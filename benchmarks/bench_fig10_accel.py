@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 10 (accelerator speedup and energy vs ANT, OLAccel, AdaFloat)."""
+
+from repro.experiments.fig10_accel import run_fig10
+
+
+def test_bench_fig10_accelerator_speedup(benchmark):
+    result = benchmark(run_fig10)
+    speedups = result.speedups["geomean"]
+    energies = result.energies["geomean"]
+    benchmark.extra_info["geomean_speedup"] = speedups
+    benchmark.extra_info["geomean_energy"] = energies
+    # Paper Fig. 10: OliVe ~4-5x over AdaFloat; ANT/OLAccel only marginally better.
+    assert speedups["olive"] > 3.0
+    assert 1.0 < speedups["ant"] < 2.0
+    assert 1.0 < speedups["olaccel"] < 2.0
+    assert energies["olive"] < energies["olaccel"] < energies["adafloat"]

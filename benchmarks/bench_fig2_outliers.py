@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 2 (CNN vs Transformer outlier profiles)."""
+
+from repro.experiments.fig2_outliers import run_fig2
+
+
+def test_bench_fig2_outlier_profiles(run_once, benchmark):
+    result = run_once(run_fig2)
+    summary = result.summary()
+    benchmark.extra_info.update(summary)
+    # Paper Fig. 2: transformer outliers are far larger than CNN outliers.
+    assert summary["transformer_max_sigma"] > summary["cnn_max_sigma"]

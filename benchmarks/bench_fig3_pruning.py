@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 3 (clip outliers vs prune victims vs prune normals)."""
+
+from repro.experiments.fig3_pruning import run_fig3
+
+
+def test_bench_fig3_pruning_ablation(run_once, benchmark):
+    result = run_once(run_fig3, tasks=("CoLA", "SST-2", "MNLI"), num_examples=48)
+    benchmark.extra_info["scores"] = result.scores
+    # Paper Fig. 3: clipping outliers is catastrophic, pruning victims is almost free.
+    assert result.average_drop("clip-outlier") > result.average_drop("prune-victim")

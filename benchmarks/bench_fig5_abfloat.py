@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 5 (abfloat configuration study)."""
+
+from repro.experiments.fig5_abfloat_error import run_fig5
+
+
+def test_bench_fig5_abfloat_rounding_error(run_once, benchmark):
+    result = run_once(run_fig5)
+    benchmark.extra_info["errors"] = result.errors
+    # Paper Fig. 5: E2M1 gives the least error, motivating its adoption.
+    assert result.best_overall() == "E2M1"

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 9 (GPU speedup and energy vs ANT, int8, GOBO)."""
+
+from repro.experiments.fig9_gpu import run_fig9
+
+
+def test_bench_fig9_gpu_speedup(benchmark):
+    result = benchmark(run_fig9)
+    speedups = result.speedups["geomean"]
+    energies = result.energies["geomean"]
+    benchmark.extra_info["geomean_speedup"] = speedups
+    benchmark.extra_info["geomean_energy"] = energies
+    # Paper Fig. 9: OliVe is the fastest and most energy-efficient design.
+    assert speedups["olive"] > speedups["ant"] > speedups["gobo"]
+    assert speedups["olive"] > speedups["int8"]
+    assert energies["olive"] < energies["ant"] < energies["gobo"]
+    assert energies["olive"] < energies["int8"]
+    assert speedups["olive"] > 3.0
+    assert energies["olive"] < 0.35

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 10 (OliVe decoder area on the RTX 2080 Ti)."""
+
+from repro.experiments.tables_area import run_table10
+
+
+def test_bench_table10_gpu_decoder_area(benchmark):
+    result = benchmark(run_table10)
+    ratios = result.ratios()
+    benchmark.extra_info["area_ratios"] = ratios
+    # Paper Table 10: 0.250% (4-bit) and 0.166% (8-bit) of the 754 mm^2 die.
+    assert abs(ratios["4-bit decoder"] - 0.00250) < 2e-4
+    assert abs(ratios["8-bit decoder"] - 0.00166) < 2e-4

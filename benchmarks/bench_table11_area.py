@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 11 (systolic-array area breakdown at 22 nm)."""
+
+from repro.experiments.tables_area import run_table11
+
+
+def test_bench_table11_systolic_area(benchmark):
+    result = benchmark(run_table11)
+    ratios = result.ratios()
+    benchmark.extra_info["area_ratios"] = ratios
+    # Paper Table 11: the PEs dominate (96.3%); decoders are ~2.2% and ~1.5%.
+    assert ratios["4-bit PE"] > 0.9
+    assert ratios["4-bit decoder"] < 0.05
+    assert ratios["8-bit decoder"] < 0.05

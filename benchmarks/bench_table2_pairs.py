@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 2 (pair-type census of large-model analogues)."""
+
+from repro.experiments.table2_pairs import run_table2
+
+
+def test_bench_table2_pair_census(run_once, benchmark):
+    result = run_once(run_table2)
+    fractions = result.fractions()
+    benchmark.extra_info.update(
+        {model: {k: round(v, 5) for k, v in f.items()} for model, f in fractions.items()}
+    )
+    for per_model in fractions.values():
+        assert per_model["normal-normal"] > 0.95
+        assert per_model["outlier-outlier"] < 0.01

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 6 (GLUE accuracy of OliVe 4-bit PTQ vs baselines)."""
+
+from repro.experiments.table6_glue import run_table6
+
+
+def test_bench_table6_glue_accuracy(run_once, benchmark):
+    result = run_once(
+        run_table6,
+        models=("bert-base", "bart-base"),
+        tasks=("CoLA", "SST-2", "MNLI"),
+        schemes=("fp32", "olive-4bit", "ant-4bit", "os-6bit"),
+        num_examples=48,
+    )
+    benchmark.extra_info["scores"] = {
+        f"{m}/{t}": v for (m, t), v in result.scores.items()
+    }
+    for model in ("bert-base", "bart-base"):
+        # Paper Table 6: OliVe 4-bit PTQ loses less accuracy than ANT 4-bit PTQ.
+        assert result.accuracy_drop(model, "olive-4bit") < result.accuracy_drop(model, "ant-4bit")

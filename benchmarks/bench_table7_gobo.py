@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 7 (weight-only comparison against GOBO)."""
+
+from repro.experiments.table7_gobo import run_table7
+
+
+def test_bench_table7_weight_only(run_once, benchmark):
+    result = run_once(run_table7, tasks=("MNLI",), num_examples=48)
+    benchmark.extra_info["scores"] = result.scores
+    scores = result.scores["MNLI"]
+    # Both weight-only schemes stay close to full precision on MNLI.
+    assert scores["olive-4bit-weights"] > scores["fp32"] - 10
+    assert scores["gobo"] > scores["fp32"] - 10

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 9 (LLM perplexity under PTQ)."""
+
+from repro.experiments.table9_llm import run_table9
+
+
+def test_bench_table9_llm_perplexity(run_once, benchmark):
+    result = run_once(run_table9, num_sequences=8)
+    benchmark.extra_info["perplexity"] = {
+        f"{m}/{c}": v for (m, c), v in result.perplexities.items()
+    }
+    for (model, corpus), row in result.perplexities.items():
+        # OliVe 8-bit tracks FP32 much more closely than the 4-bit baselines.
+        assert row["olive-8bit"] < row["int4"]
+        assert row["olive-8bit"] < row["ant-4bit"]
+        if model == "opt-6.7b":
+            # The emergent-outlier model: plain int8 collapses, OliVe 8-bit survives.
+            assert row["olive-8bit"] < row["int8"]

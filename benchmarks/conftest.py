@@ -1,0 +1,19 @@
+"""Shared pytest-benchmark configuration for the paper-experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+accuracy experiments are run once per benchmark (``rounds=1``) — the quantity
+of interest is the experiment's *result*, which each benchmark also attaches
+to ``benchmark.extra_info`` so the numbers appear in the saved benchmark JSON.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark and return its result."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,32 @@
+"""Reproduce the Fig. 9 / Fig. 10 workflow: performance and energy simulation.
+
+Run with ``python examples/accelerator_speedup.py``.  The script simulates
+full-size transformer inference (real architectural dimensions, paper batch
+sizes) on both integration targets:
+
+* the OliVe-extended Turing GPU against ANT, int8 tensor cores and GOBO;
+* the OliVe systolic-array accelerator against ANT, OLAccel and AdaptivFloat;
+
+and prints per-model speedups, geomean speedups and normalised energy.
+"""
+
+from repro.experiments.fig9_gpu import format_fig9, run_fig9
+from repro.experiments.fig10_accel import format_fig10, run_fig10
+from repro.experiments.tables_area import format_table10, format_table11, run_table10, run_table11
+
+
+def main() -> None:
+    print("=== GPU integration (paper Fig. 9) ===\n")
+    print(format_fig9(run_fig9()))
+
+    print("\n\n=== Systolic-array accelerator (paper Fig. 10) ===\n")
+    print(format_fig10(run_fig10()))
+
+    print("\n\n=== Area overhead (paper Tables 10-11) ===\n")
+    print(format_table10(run_table10()))
+    print()
+    print(format_table11(run_table11()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Reproduce the Table 9 workflow: LLM perplexity under different PTQ schemes.
+
+Run with ``python examples/llm_perplexity.py [model]`` where ``model`` is one
+of ``gpt2-xl``, ``bloom-7b1``, ``opt-6.7b`` (default ``opt-6.7b`` — the model
+whose emergent activation outliers break plain int8 quantization).
+"""
+
+import sys
+
+from repro.core import get_scheme, quantize_model
+from repro.data import evaluate_perplexity, make_lm_dataset
+from repro.models import build_causal_lm
+
+SCHEMES = ["fp32", "int8", "olive-8bit", "int4", "ant-4bit", "olive-4bit"]
+
+
+def main(model_name: str = "opt-6.7b") -> None:
+    print(f"model analogue: {model_name}")
+    teacher = build_causal_lm(model_name, seed=0)
+    for corpus in ("wikitext", "c4"):
+        dataset = make_lm_dataset(
+            corpus, teacher, vocab_size=teacher.config.vocab_size,
+            num_sequences=12, seq_len=32, seed=1,
+        )
+        print(f"\n  corpus: {corpus}")
+        for scheme_name in SCHEMES:
+            scheme = get_scheme(scheme_name)
+            quantized = quantize_model(teacher, scheme, dataset.calibration_batch())
+            ppl = evaluate_perplexity(quantized, dataset)
+            print(f"    {scheme_name:<12} perplexity = {ppl:10.2f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "opt-6.7b")

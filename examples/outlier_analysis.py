@@ -1,0 +1,35 @@
+"""Reproduce the paper's motivation studies (Fig. 2, Table 2, Fig. 3, Fig. 5).
+
+Run with ``python examples/outlier_analysis.py``.  The script answers the
+three questions Section 2 of the paper asks:
+
+1. How large are transformer outliers compared to CNN outliers?  (Fig. 2)
+2. How often do two outliers land in the same adjacent pair?      (Table 2)
+3. Is it safe to sacrifice the values next to outliers (victims),
+   and which abfloat layout represents outliers best?              (Fig. 3, Fig. 5)
+"""
+
+from repro.experiments.fig2_outliers import format_fig2, run_fig2
+from repro.experiments.fig3_pruning import format_fig3, run_fig3
+from repro.experiments.fig5_abfloat_error import format_fig5, run_fig5
+from repro.experiments.table2_pairs import format_table2, run_table2
+
+
+def main() -> None:
+    print("=== Fig. 2: CNN vs Transformer outliers ===\n")
+    print(format_fig2(run_fig2()))
+
+    print("\n=== Table 2: pair-type census ===\n")
+    print(format_table2(run_table2()))
+
+    print("\n=== Fig. 5: abfloat configuration study ===\n")
+    result5 = run_fig5()
+    print(format_fig5(result5))
+    print(f"\nbest overall configuration: {result5.best_overall()}")
+
+    print("\n=== Fig. 3: clip outliers vs prune victims (this takes a minute) ===\n")
+    print(format_fig3(run_fig3(tasks=("SST-2", "MNLI"), num_examples=48)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments without the wheel package (offline installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""OliVe reproduction: outlier-victim pair quantization for LLMs (ISCA 2023).
+
+Public API overview
+-------------------
+* :mod:`repro.core` — the OVP encoding, abfloat data type, tensor quantizer
+  and model-level PTQ framework (the paper's contribution).
+* :mod:`repro.quant` — the baseline quantizers the paper compares against.
+* :mod:`repro.nn` / :mod:`repro.models` — the NumPy transformer substrate and
+  the synthetic, outlier-bearing model zoo.
+* :mod:`repro.data` — synthetic GLUE/SQuAD/LM workloads and metrics.
+* :mod:`repro.hardware` / :mod:`repro.sim` — decoder/MAC/systolic-array/GPU
+  hardware models and the end-to-end performance, energy and area simulators.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core import (
+    OVPairCodec,
+    OVPTensorQuantizer,
+    OVPQuantizerConfig,
+    PackedOVPTensor,
+    QuantizationScheme,
+    SCHEMES,
+    get_scheme,
+    make_quantizer,
+    quantize_model,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "OVPairCodec",
+    "OVPTensorQuantizer",
+    "OVPQuantizerConfig",
+    "PackedOVPTensor",
+    "QuantizationScheme",
+    "SCHEMES",
+    "get_scheme",
+    "make_quantizer",
+    "quantize_model",
+]

@@ -1,0 +1,73 @@
+"""The paper's primary contribution: outlier-victim pair quantization."""
+
+from repro.core.abfloat import (
+    ABFLOAT_4BIT_CONFIGS,
+    ABFLOAT_E0M3,
+    ABFLOAT_E1M2,
+    ABFLOAT_E2M1,
+    ABFLOAT_E3M0,
+    ABFLOAT_E4M3,
+    AbfloatType,
+    default_bias_for,
+    get_abfloat,
+)
+from repro.core.analysis import (
+    PairCensus,
+    TensorOutlierStats,
+    largest_outliers,
+    model_outlier_profile,
+    model_pair_census,
+    pair_census,
+    tensor_outlier_stats,
+)
+from repro.core.dtypes import (
+    FLINT4,
+    INT4,
+    INT8,
+    NORMAL_DTYPES,
+    NormalDataType,
+    get_normal_dtype,
+)
+from repro.core.errors import (
+    ConfigurationError,
+    DecodingError,
+    EncodingError,
+    QuantizationError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.core.framework import (
+    SCHEMES,
+    QuantizationScheme,
+    get_scheme,
+    quantize_model,
+    quantize_tensors,
+)
+from repro.core.ovp import OVPairCodec, PackedOVPTensor, PairKind
+from repro.core.pruning import (
+    apply_to_tensors,
+    clip_outliers,
+    prune_random_normals,
+    prune_victims,
+)
+from repro.core.quantizer import OVPQuantizerConfig, OVPTensorQuantizer, make_quantizer
+
+__all__ = [
+    # data types
+    "NormalDataType", "INT4", "FLINT4", "INT8", "NORMAL_DTYPES", "get_normal_dtype",
+    "AbfloatType", "ABFLOAT_E0M3", "ABFLOAT_E1M2", "ABFLOAT_E2M1", "ABFLOAT_E3M0",
+    "ABFLOAT_E4M3", "ABFLOAT_4BIT_CONFIGS", "get_abfloat", "default_bias_for",
+    # OVP encoding and quantization
+    "PairKind", "OVPairCodec", "PackedOVPTensor",
+    "OVPQuantizerConfig", "OVPTensorQuantizer", "make_quantizer",
+    # framework
+    "QuantizationScheme", "SCHEMES", "get_scheme", "quantize_model", "quantize_tensors",
+    # analysis and ablations
+    "TensorOutlierStats", "PairCensus", "tensor_outlier_stats", "pair_census",
+    "model_outlier_profile", "model_pair_census", "largest_outliers",
+    "clip_outliers", "prune_victims", "prune_random_normals", "apply_to_tensors",
+    # errors
+    "ReproError", "EncodingError", "DecodingError", "ConfigurationError",
+    "QuantizationError", "SimulationError", "WorkloadError",
+]

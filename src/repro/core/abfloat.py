@@ -1,0 +1,261 @@
+"""``abfloat`` — the adaptive-biased float data type for outliers (paper Sec. 3.3).
+
+Outliers have a wide dynamic range, so OliVe encodes them with a small
+float-like format that is converted to fixed point for cheap hardware:
+
+.. math::
+
+    \\text{value} = \\text{sign} \\times
+        \\big((1 \\ll mb) + \\text{mantissa}\\big) \\ll (\\text{exponent} + \\text{bias})
+
+where *mb* is the mantissa bit-width (paper Equation 2).  The *adaptive bias*
+shifts the whole representable range above the range covered by the normal
+data type so no code points are wasted on magnitudes the normal type already
+covers (e.g. bias 2 moves 4-bit E2M1 from {3..24} to {12..96}, complementing
+``int4``'s [−7, 7]).
+
+Two magnitude-zero codes exist (``0000`` and ``1000``); both are *disabled*
+for outliers because ``1000`` is the outlier identifier of the normal type
+(paper Sec. 3.3, last paragraph).
+
+The 4-bit configurations are named E0M3, E1M2, E2M1 and E3M0; the paper picks
+E2M1 for 4-bit outliers and E4M3 for 8-bit outliers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import DecodingError, EncodingError
+
+__all__ = [
+    "AbfloatType",
+    "ABFLOAT_E0M3",
+    "ABFLOAT_E1M2",
+    "ABFLOAT_E2M1",
+    "ABFLOAT_E3M0",
+    "ABFLOAT_E4M3",
+    "ABFLOAT_4BIT_CONFIGS",
+    "get_abfloat",
+    "default_bias_for",
+]
+
+
+@dataclass(frozen=True)
+class AbfloatType:
+    """An ``abfloat`` configuration: sign + ``exp_bits`` + ``man_bits``.
+
+    The total storage width is ``1 + exp_bits + man_bits`` bits.  The type is
+    bias-agnostic: the same bit patterns decode to different magnitudes for
+    different biases, which is exactly how the hardware decoder treats the
+    bias (it arrives as an instruction operand, paper Sec. 4.6).
+    """
+
+    name: str
+    exp_bits: int
+    man_bits: int
+
+    # ------------------------------------------------------------------ #
+    # Structural properties
+    # ------------------------------------------------------------------ #
+    @property
+    def bits(self) -> int:
+        """Total storage width in bits, including the sign."""
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Width of the unsigned magnitude field."""
+        return self.exp_bits + self.man_bits
+
+    @property
+    def max_exponent_field(self) -> int:
+        """Largest raw exponent field value."""
+        return (1 << self.exp_bits) - 1
+
+    @property
+    def max_mantissa_field(self) -> int:
+        """Largest raw mantissa field value."""
+        return (1 << self.man_bits) - 1 if self.man_bits else 0
+
+    # ------------------------------------------------------------------ #
+    # Decoding (paper Fig. 7)
+    # ------------------------------------------------------------------ #
+    def decode_magnitude(self, magnitude_code: int, bias: int) -> int:
+        """Decode an unsigned magnitude code into an integer value.
+
+        Mirrors the hardware decoder: ``integer << (exp_field + bias)`` with
+        ``integer = (1 << mb) | mantissa`` and a special case mapping the
+        all-zero code to 0.
+        """
+        if magnitude_code < 0 or magnitude_code > (1 << self.magnitude_bits) - 1:
+            raise DecodingError(
+                f"magnitude code {magnitude_code} out of range for {self.name}"
+            )
+        if magnitude_code == 0:
+            return 0
+        exp_field = magnitude_code >> self.man_bits
+        man_field = magnitude_code & self.max_mantissa_field
+        integer = (1 << self.man_bits) | man_field
+        return integer << (exp_field + bias)
+
+    def decode(self, code: int, bias: int) -> int:
+        """Decode a full signed code (sign bit in the MSB position)."""
+        if code < 0 or code >= (1 << self.bits):
+            raise DecodingError(f"code {code:#x} out of range for {self.name}")
+        sign = -1 if (code >> self.magnitude_bits) & 1 else 1
+        magnitude = self.decode_magnitude(code & ((1 << self.magnitude_bits) - 1), bias)
+        return sign * magnitude
+
+    def exponent_integer_pair(self, code: int, bias: int) -> Tuple[int, int]:
+        """Return the ``(exponent, signed integer)`` pair the MAC units consume.
+
+        This is the output interface of the hardware outlier decoder
+        (paper Fig. 6b / Fig. 7): the value equals ``integer << exponent``.
+        """
+        if code < 0 or code >= (1 << self.bits):
+            raise DecodingError(f"code {code:#x} out of range for {self.name}")
+        sign = -1 if (code >> self.magnitude_bits) & 1 else 1
+        magnitude_code = code & ((1 << self.magnitude_bits) - 1)
+        if magnitude_code == 0:
+            return 0, 0
+        exp_field = magnitude_code >> self.man_bits
+        man_field = magnitude_code & self.max_mantissa_field
+        integer = (1 << self.man_bits) | man_field
+        return exp_field + bias, sign * integer
+
+    # ------------------------------------------------------------------ #
+    # Encoding (paper Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def encode_magnitude(self, magnitude: float, bias: int) -> int:
+        """Encode a non-negative magnitude using Algorithm 2.
+
+        Magnitudes below the smallest representable outlier saturate to the
+        smallest non-zero code (the zero codes are reserved); magnitudes above
+        the largest representable value saturate to the largest code.
+        """
+        if magnitude < 0:
+            raise EncodingError("encode_magnitude expects a non-negative magnitude")
+        min_code = 1
+        max_code = (1 << self.magnitude_bits) - 1
+        if magnitude <= 0:
+            return min_code
+        exp = math.floor(math.log2(magnitude)) - self.man_bits
+        base_int = int(round(magnitude / (2.0 ** exp)))
+        # Rounding can push base_int to 2^(mb+1); renormalise (Algorithm 2 l.4-6).
+        if base_int == (1 << (self.man_bits + 1)):
+            exp += 1
+            base_int >>= 1
+        exp_field = exp - bias
+        man_field = base_int & self.max_mantissa_field
+        if exp_field < 0:
+            return min_code
+        if exp_field > self.max_exponent_field:
+            return max_code
+        code = (exp_field << self.man_bits) | man_field
+        return max(code, min_code)
+
+    def encode(self, value: float, bias: int) -> int:
+        """Encode a signed value into a full abfloat code (Algorithm 2)."""
+        sign_bit = 1 if value < 0 else 0
+        magnitude_code = self.encode_magnitude(abs(float(value)), bias)
+        return (sign_bit << self.magnitude_bits) | magnitude_code
+
+    # ------------------------------------------------------------------ #
+    # Value-set helpers
+    # ------------------------------------------------------------------ #
+    def magnitude_values(self, bias: int) -> np.ndarray:
+        """Sorted array of representable non-zero outlier magnitudes."""
+        mags = sorted(
+            {
+                self.decode_magnitude(code, bias)
+                for code in range(1, 1 << self.magnitude_bits)
+            }
+        )
+        return np.array(mags, dtype=np.float64)
+
+    def representable_values(self, bias: int) -> np.ndarray:
+        """Sorted array of all representable signed outlier values."""
+        mags = self.magnitude_values(bias)
+        return np.concatenate([-mags[::-1], mags])
+
+    def min_magnitude(self, bias: int) -> float:
+        """Smallest representable non-zero magnitude for a given bias."""
+        return float(self.magnitude_values(bias)[0])
+
+    def max_magnitude(self, bias: int) -> float:
+        """Largest representable magnitude for a given bias."""
+        return float(self.magnitude_values(bias)[-1])
+
+    def quantize(self, x: np.ndarray, bias: int) -> np.ndarray:
+        """Round-trip an array through encode/decode (vectorised).
+
+        Used both by the fake-quantization path and by the Fig. 5 rounding
+        error study.
+        """
+        flat = np.asarray(x, dtype=np.float64).ravel()
+        out = np.empty_like(flat)
+        for i, v in enumerate(flat):
+            out[i] = float(self.decode(self.encode(v, bias), bias))
+        return out.reshape(np.asarray(x).shape)
+
+    def mean_relative_error(self, values: np.ndarray, bias: int) -> float:
+        """Mean relative rounding error of ``values`` under this config.
+
+        This is the metric behind paper Fig. 5 (normalised mean error of the
+        largest outliers quantized with E0M3/E1M2/E2M1/E3M0).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return 0.0
+        quantized = self.quantize(values, bias)
+        denom = np.maximum(np.abs(values), 1e-12)
+        return float(np.mean(np.abs(values - quantized) / denom))
+
+
+ABFLOAT_E0M3 = AbfloatType("E0M3", exp_bits=0, man_bits=3)
+ABFLOAT_E1M2 = AbfloatType("E1M2", exp_bits=1, man_bits=2)
+ABFLOAT_E2M1 = AbfloatType("E2M1", exp_bits=2, man_bits=1)
+ABFLOAT_E3M0 = AbfloatType("E3M0", exp_bits=3, man_bits=0)
+ABFLOAT_E4M3 = AbfloatType("E4M3", exp_bits=4, man_bits=3)
+
+ABFLOAT_4BIT_CONFIGS: List[AbfloatType] = [
+    ABFLOAT_E0M3,
+    ABFLOAT_E1M2,
+    ABFLOAT_E2M1,
+    ABFLOAT_E3M0,
+]
+
+_REGISTRY: Dict[str, AbfloatType] = {
+    t.name: t for t in ABFLOAT_4BIT_CONFIGS + [ABFLOAT_E4M3]
+}
+
+
+def get_abfloat(name: str) -> AbfloatType:
+    """Look up an abfloat configuration by name (e.g. ``"E2M1"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise EncodingError(
+            f"unknown abfloat configuration {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def default_bias_for(normal_max: float, abfloat_type: AbfloatType) -> int:
+    """Pick the smallest bias whose minimum outlier exceeds the normal range.
+
+    The paper chooses bias 2 for ``int4`` (normal max 7 → outliers start at 12)
+    and bias 3 for ``flint4`` (normal max 16 → outliers start at 24); this
+    helper generalises that rule: the smallest bias such that the smallest
+    representable outlier magnitude is strictly greater than ``normal_max``.
+    """
+    bias = 0
+    while abfloat_type.min_magnitude(bias) <= normal_max:
+        bias += 1
+        if bias > 64:  # pragma: no cover - defensive guard
+            raise EncodingError("could not find a suitable adaptive bias")
+    return bias

@@ -1,0 +1,170 @@
+"""Outlier statistics and pair-wise census (paper Sec. 2, Fig. 2, Table 2).
+
+The paper motivates OVP with two measurements made over every tensor of a
+model:
+
+* the normalised maximum magnitude ``max|x| / σ`` and the fraction of values
+  above 3σ and 6σ (Fig. 2 — transformers have outliers one order of magnitude
+  larger than CNNs);
+* the census of adjacent non-overlapping value pairs into normal-normal,
+  outlier-normal and outlier-outlier shapes under the 3σ rule (Table 2 —
+  outlier-outlier pairs are vanishingly rare, which is what makes the victim
+  trick cheap).
+
+This module provides those measurements for arbitrary tensors and tensor
+collections (models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TensorOutlierStats",
+    "PairCensus",
+    "tensor_outlier_stats",
+    "pair_census",
+    "model_outlier_profile",
+    "model_pair_census",
+]
+
+
+@dataclass(frozen=True)
+class TensorOutlierStats:
+    """Outlier statistics of a single tensor (one point of Fig. 2)."""
+
+    name: str
+    sigma: float
+    max_sigma: float
+    frac_gt_3sigma: float
+    frac_gt_6sigma: float
+    num_elements: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the experiment report writers."""
+        return {
+            "name": self.name,
+            "sigma": self.sigma,
+            "max_sigma": self.max_sigma,
+            "frac_gt_3sigma": self.frac_gt_3sigma,
+            "frac_gt_6sigma": self.frac_gt_6sigma,
+            "num_elements": self.num_elements,
+        }
+
+
+@dataclass(frozen=True)
+class PairCensus:
+    """Pair-shape census of a tensor or a whole model (one row of Table 2)."""
+
+    normal_normal: int
+    outlier_normal: int
+    outlier_outlier: int
+
+    @property
+    def total(self) -> int:
+        """Total number of pairs counted."""
+        return self.normal_normal + self.outlier_normal + self.outlier_outlier
+
+    @property
+    def fractions(self) -> Dict[str, float]:
+        """Percentages of each pair shape (sums to 1)."""
+        total = max(self.total, 1)
+        return {
+            "normal-normal": self.normal_normal / total,
+            "outlier-normal": self.outlier_normal / total,
+            "outlier-outlier": self.outlier_outlier / total,
+        }
+
+    def merged(self, other: "PairCensus") -> "PairCensus":
+        """Combine censuses from two tensors of the same model."""
+        return PairCensus(
+            normal_normal=self.normal_normal + other.normal_normal,
+            outlier_normal=self.outlier_normal + other.outlier_normal,
+            outlier_outlier=self.outlier_outlier + other.outlier_outlier,
+        )
+
+
+def tensor_outlier_stats(tensor: np.ndarray, name: str = "") -> TensorOutlierStats:
+    """Compute σ-normalised outlier statistics of a tensor (Fig. 2 metrics)."""
+    flat = np.asarray(tensor, dtype=np.float64).ravel()
+    if flat.size == 0:
+        return TensorOutlierStats(name, 0.0, 0.0, 0.0, 0.0, 0)
+    centered = flat - float(np.mean(flat))
+    sigma = float(np.std(centered))
+    if sigma == 0.0:
+        return TensorOutlierStats(name, 0.0, 0.0, 0.0, 0.0, flat.size)
+    normalized = np.abs(centered) / sigma
+    return TensorOutlierStats(
+        name=name,
+        sigma=sigma,
+        max_sigma=float(np.max(normalized)),
+        frac_gt_3sigma=float(np.mean(normalized > 3.0)),
+        frac_gt_6sigma=float(np.mean(normalized > 6.0)),
+        num_elements=int(flat.size),
+    )
+
+
+def pair_census(tensor: np.ndarray, sigma_threshold: float = 3.0) -> PairCensus:
+    """Count pair shapes of adjacent, non-overlapping value pairs (Table 2).
+
+    Values whose centred magnitude exceeds ``sigma_threshold`` × σ are
+    outliers; pairs are formed in flattened order without overlap, matching
+    how the OVP codec walks the tensor.
+    """
+    flat = np.asarray(tensor, dtype=np.float64).ravel()
+    if flat.size < 2:
+        return PairCensus(0, 0, 0)
+    centered = flat - float(np.mean(flat))
+    sigma = float(np.std(centered))
+    if sigma == 0.0:
+        n_pairs = flat.size // 2
+        return PairCensus(n_pairs, 0, 0)
+    is_outlier = np.abs(centered) > sigma_threshold * sigma
+    usable = (flat.size // 2) * 2
+    pair_outliers = is_outlier[:usable].reshape(-1, 2).sum(axis=1)
+    return PairCensus(
+        normal_normal=int(np.sum(pair_outliers == 0)),
+        outlier_normal=int(np.sum(pair_outliers == 1)),
+        outlier_outlier=int(np.sum(pair_outliers == 2)),
+    )
+
+
+def model_outlier_profile(
+    tensors: Mapping[str, np.ndarray],
+) -> List[TensorOutlierStats]:
+    """Per-tensor outlier statistics sorted by max σ (the Fig. 2 x-axis order)."""
+    stats = [tensor_outlier_stats(t, name) for name, t in tensors.items()]
+    return sorted(stats, key=lambda s: s.max_sigma)
+
+
+def model_pair_census(
+    tensors: Mapping[str, np.ndarray], sigma_threshold: float = 3.0
+) -> PairCensus:
+    """Aggregate pair census over every tensor of a model (one Table 2 row)."""
+    total = PairCensus(0, 0, 0)
+    for tensor in tensors.values():
+        total = total.merged(pair_census(tensor, sigma_threshold))
+    return total
+
+
+def largest_outliers(tensors: Mapping[str, np.ndarray], top_k: int = 1) -> np.ndarray:
+    """Collect the ``top_k`` largest σ-normalised magnitudes of each tensor.
+
+    These are the values quantized in the Fig. 5 abfloat-configuration study.
+    """
+    collected: List[float] = []
+    for tensor in tensors.values():
+        flat = np.asarray(tensor, dtype=np.float64).ravel()
+        if flat.size == 0:
+            continue
+        centered = flat - float(np.mean(flat))
+        sigma = float(np.std(centered))
+        if sigma == 0.0:
+            continue
+        normalized = np.abs(centered) / sigma
+        k = min(top_k, normalized.size)
+        collected.extend(np.sort(normalized)[-k:].tolist())
+    return np.asarray(collected, dtype=np.float64)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the OliVe reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class EncodingError(ReproError):
+    """Raised when a value cannot be encoded into the requested data type."""
+
+
+class DecodingError(ReproError):
+    """Raised when a bit pattern cannot be decoded from a data type."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class QuantizationError(ReproError):
+    """Raised when tensor quantization fails (e.g. degenerate scale)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a hardware simulation is asked to do something impossible."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload description is malformed."""

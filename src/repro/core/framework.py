@@ -1,0 +1,182 @@
+"""Model-level post-training quantization framework (paper Sec. 3.4).
+
+The framework turns a full-precision model from :mod:`repro.models` into a
+fake-quantized model under a named *scheme*.  A scheme bundles
+
+* a factory for the **weight** quantizer,
+* a factory for the **activation** quantizer (``None`` for weight-only
+  schemes such as GOBO),
+
+and is applied by swapping every :class:`repro.nn.layers.Linear` for a
+:class:`repro.nn.fakequant.QuantizedLinear`, then running a single
+calibration batch to fit the activation scale factors — matching the paper's
+PTQ recipe ("we still need to use one batch of data from the training set for
+the scale factor selection").
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.fakequant import QuantizedLinear, set_calibration
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.quant.registry import create_quantizer
+
+__all__ = [
+    "QuantizationScheme",
+    "SCHEMES",
+    "get_scheme",
+    "quantize_model",
+    "quantize_tensors",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationScheme:
+    """A named weight/activation quantization recipe.
+
+    ``weight_quantizer`` / ``activation_quantizer`` are registry names from
+    :mod:`repro.quant.registry`; ``None`` disables quantization of that
+    operand (e.g. GOBO leaves activations in full precision).
+    """
+
+    name: str
+    weight_quantizer: Optional[str]
+    activation_quantizer: Optional[str]
+    bits_label: str
+    description: str = ""
+
+    def make_weight_quantizer(self):
+        """Instantiate a fresh weight quantizer (or None)."""
+        return create_quantizer(self.weight_quantizer) if self.weight_quantizer else None
+
+    def make_activation_quantizer(self):
+        """Instantiate a fresh activation quantizer (or None)."""
+        return create_quantizer(self.activation_quantizer) if self.activation_quantizer else None
+
+
+#: Schemes used throughout the accuracy experiments (Tables 6-9).
+SCHEMES: Dict[str, QuantizationScheme] = {
+    "fp32": QuantizationScheme("fp32", None, None, "32-bit", "full precision reference"),
+    "olive-4bit": QuantizationScheme(
+        "olive-4bit", "olive-4bit", "olive-4bit", "4-bit",
+        "OliVe OVP: int4 normals + E2M1 abfloat outliers (weights and activations)",
+    ),
+    "olive-8bit": QuantizationScheme(
+        "olive-8bit", "olive-8bit", "olive-8bit", "8-bit",
+        "OliVe OVP: int8 normals + E4M3 abfloat outliers",
+    ),
+    "olive-4bit-weights": QuantizationScheme(
+        "olive-4bit-weights", "olive-4bit", None, "4-bit",
+        "OliVe weight-only 4-bit (for the GOBO comparison, Table 7)",
+    ),
+    "int4": QuantizationScheme(
+        "int4", "int4", "int4", "4-bit", "plain symmetric int4 on weights and activations"
+    ),
+    "int8": QuantizationScheme(
+        "int8", "int8", "int8", "8-bit", "plain symmetric int8 on weights and activations"
+    ),
+    "ant-4bit": QuantizationScheme(
+        "ant-4bit", "ant4", "ant4", "4-bit", "ANT adaptive data type, 4-bit, no outlier handling"
+    ),
+    "ant-mixed": QuantizationScheme(
+        "ant-mixed", "ant-mixed", "ant-mixed", "4/8-bit",
+        "ANT with per-tensor 8-bit fallback (the paper's ANT PTQ configuration)",
+    ),
+    "os-4bit": QuantizationScheme(
+        "os-4bit", "os4", "os4", "4-bit", "Outlier Suppression approximation, 4-bit"
+    ),
+    "os-6bit": QuantizationScheme(
+        "os-6bit", "os6", "os6", "6-bit", "Outlier Suppression approximation, 6-bit"
+    ),
+    "q8bert": QuantizationScheme(
+        "q8bert", "q8bert", "q8bert", "8-bit", "Q8BERT symmetric 8-bit"
+    ),
+    "gobo": QuantizationScheme(
+        "gobo", "gobo", None, "3-bit", "GOBO weight-only centroid quantization"
+    ),
+    "olaccel": QuantizationScheme(
+        "olaccel", "olaccel", "olaccel", "4/8-bit", "OLAccel outlier-aware mixed precision"
+    ),
+    "adafloat-8bit": QuantizationScheme(
+        "adafloat-8bit", "adafloat8", "adafloat8", "8-bit", "AdaptivFloat 8-bit"
+    ),
+}
+
+
+def get_scheme(name: str) -> QuantizationScheme:
+    """Look up a quantization scheme by name."""
+    try:
+        return SCHEMES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown scheme {name!r}; expected one of {sorted(SCHEMES)}") from exc
+
+
+def quantize_model(
+    model: Module,
+    scheme: QuantizationScheme,
+    calibration_inputs: Optional[np.ndarray] = None,
+    calibration_kwargs: Optional[dict] = None,
+) -> Module:
+    """Return a fake-quantized deep copy of ``model`` under ``scheme``.
+
+    Parameters
+    ----------
+    model:
+        A full-precision model from :mod:`repro.models`.
+    scheme:
+        The quantization recipe to apply.
+    calibration_inputs:
+        One batch of token ids used to calibrate activation quantizers.
+        Required whenever the scheme quantizes activations.
+    calibration_kwargs:
+        Extra keyword arguments forwarded to the model's calibration forward
+        pass (e.g. decoder inputs for encoder-decoder models).
+    """
+    quantized = copy.deepcopy(model)
+    if scheme.weight_quantizer is None and scheme.activation_quantizer is None:
+        return quantized
+
+    replacements = []
+    for name, module in quantized.named_modules():
+        if isinstance(module, Linear) and not isinstance(module, QuantizedLinear):
+            replacements.append(name)
+    for name in replacements:
+        original = quantized.get_submodule(name)
+        wrapped = QuantizedLinear(
+            original,
+            weight_quantizer=scheme.make_weight_quantizer(),
+            activation_quantizer=scheme.make_activation_quantizer(),
+        )
+        quantized.set_submodule(name, wrapped)
+
+    if scheme.activation_quantizer is not None:
+        if calibration_inputs is None:
+            raise ValueError(
+                f"scheme {scheme.name!r} quantizes activations and needs calibration_inputs"
+            )
+        set_calibration(quantized, True)
+        quantized(calibration_inputs, **(calibration_kwargs or {}))
+        set_calibration(quantized, False)
+    return quantized
+
+
+def quantize_tensors(
+    tensors: Dict[str, np.ndarray], quantizer_name: str
+) -> Dict[str, np.ndarray]:
+    """Quantize a dict of tensors independently with a fresh quantizer each.
+
+    Convenience path used by tensor-level studies (e.g. MSE sweeps) that do
+    not need a full model.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for name, tensor in tensors.items():
+        quantizer = create_quantizer(quantizer_name)
+        quantizer.fit(tensor)
+        out[name] = quantizer.quantize(tensor)
+    return out

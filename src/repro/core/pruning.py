@@ -1,0 +1,133 @@
+"""Outlier / victim / normal-value ablation transforms (paper Fig. 3).
+
+Fig. 3 of the paper compares four treatments of a full-precision model:
+
+* **source** — leave the model untouched;
+* **clipping outlier** — clip every value above 3σ back to 3σ (what a plain
+  low-bit quantizer effectively does) → disastrous accuracy;
+* **pruning victim** — zero the normal value adjacent to each outlier (what
+  OVP sacrifices) → negligible accuracy change;
+* **pruning normal value** — zero the same *number* of randomly chosen normal
+  values → negligible accuracy change.
+
+These transforms are applied to weight tensors while keeping everything else
+in full precision, exactly as in the paper's study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "clip_outliers",
+    "prune_victims",
+    "prune_random_normals",
+    "apply_to_tensors",
+]
+
+
+def _sigma(tensor: np.ndarray) -> float:
+    centered = tensor - float(np.mean(tensor))
+    return float(np.std(centered))
+
+
+def clip_outliers(tensor: np.ndarray, sigma_threshold: float = 3.0) -> np.ndarray:
+    """Clip values beyond ``sigma_threshold`` × σ to the threshold."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    sigma = _sigma(tensor)
+    if sigma == 0.0:
+        return tensor.copy()
+    mean = float(np.mean(tensor))
+    limit = sigma_threshold * sigma
+    return np.clip(tensor, mean - limit, mean + limit)
+
+
+def prune_victims(tensor: np.ndarray, sigma_threshold: float = 3.0) -> np.ndarray:
+    """Zero the pair partner of every outlier (the OVP victims).
+
+    Pairs are adjacent, non-overlapping elements in flattened order.  In an
+    outlier-outlier pair the smaller of the two is pruned, matching the OVP
+    encoder's behaviour.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    flat = tensor.ravel().copy()
+    sigma = _sigma(flat)
+    if sigma == 0.0 or flat.size < 2:
+        return flat.reshape(tensor.shape)
+    mean = float(np.mean(flat))
+    magnitude = np.abs(flat - mean)
+    is_outlier = magnitude > sigma_threshold * sigma
+    usable = (flat.size // 2) * 2
+    pairs_out = is_outlier[:usable].reshape(-1, 2)
+    pairs_mag = magnitude[:usable].reshape(-1, 2)
+    pairs_val = flat[:usable].reshape(-1, 2)
+
+    one_outlier = pairs_out.sum(axis=1) == 1
+    two_outlier = pairs_out.sum(axis=1) == 2
+    # One-outlier pairs: the normal partner is the victim.
+    victim_col = np.where(pairs_out[:, 0], 1, 0)
+    rows = np.nonzero(one_outlier)[0]
+    pairs_val[rows, victim_col[rows]] = 0.0
+    # Two-outlier pairs: the smaller outlier is the victim.
+    rows2 = np.nonzero(two_outlier)[0]
+    smaller_col = np.where(pairs_mag[rows2, 0] <= pairs_mag[rows2, 1], 0, 1)
+    pairs_val[rows2, smaller_col] = 0.0
+
+    flat[:usable] = pairs_val.reshape(-1)
+    return flat.reshape(tensor.shape)
+
+
+def prune_random_normals(
+    tensor: np.ndarray,
+    sigma_threshold: float = 3.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Zero as many randomly chosen *normal* values as there are outliers."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    flat = tensor.ravel().copy()
+    sigma = _sigma(flat)
+    if sigma == 0.0:
+        return flat.reshape(tensor.shape)
+    rng = rng or np.random.default_rng(0)
+    mean = float(np.mean(flat))
+    magnitude = np.abs(flat - mean)
+    is_outlier = magnitude > sigma_threshold * sigma
+    n_outliers = int(np.sum(is_outlier))
+    normal_idx = np.nonzero(~is_outlier)[0]
+    if n_outliers == 0 or normal_idx.size == 0:
+        return flat.reshape(tensor.shape)
+    chosen = rng.choice(normal_idx, size=min(n_outliers, normal_idx.size), replace=False)
+    flat[chosen] = 0.0
+    return flat.reshape(tensor.shape)
+
+
+def apply_to_tensors(
+    tensors: Mapping[str, np.ndarray],
+    method: str,
+    sigma_threshold: float = 3.0,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Apply one of the Fig. 3 treatments to every tensor of a model.
+
+    ``method`` is one of ``"source"``, ``"clip-outlier"``, ``"prune-victim"``
+    or ``"prune-normal"``.
+    """
+    rng = np.random.default_rng(seed)
+    out: Dict[str, np.ndarray] = {}
+    for name, tensor in tensors.items():
+        if method == "source":
+            out[name] = np.asarray(tensor, dtype=np.float64).copy()
+        elif method == "clip-outlier":
+            out[name] = clip_outliers(tensor, sigma_threshold)
+        elif method == "prune-victim":
+            out[name] = prune_victims(tensor, sigma_threshold)
+        elif method == "prune-normal":
+            out[name] = prune_random_normals(tensor, sigma_threshold, rng)
+        else:
+            raise ValueError(
+                "method must be one of 'source', 'clip-outlier', "
+                f"'prune-victim', 'prune-normal'; got {method!r}"
+            )
+    return out

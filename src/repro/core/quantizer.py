@@ -1,0 +1,271 @@
+"""Tensor-level OVP quantizer with MSE-driven threshold search (paper Sec. 3.4).
+
+The quantizer decides a single scale factor per tensor (or per channel when
+requested).  The scale is tied to the outlier threshold ``T``:
+
+* grid value   = real value / scale,
+* scale        = T / max_normal   (so normal values map onto the full
+  normal-data-type range),
+* on the grid, anything with magnitude above ``max_normal`` is an outlier and
+  is handled by the OVP pair logic.
+
+The search starts at the empirical 3σ point (paper: "we take 3σ as the
+initial scale factor") and scans a multiplicative neighbourhood around it,
+picking the threshold with the smallest mean squared quantization error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.abfloat import (
+    ABFLOAT_E2M1,
+    ABFLOAT_E4M3,
+    AbfloatType,
+    default_bias_for,
+    get_abfloat,
+)
+from repro.core.dtypes import NormalDataType, get_normal_dtype
+from repro.core.errors import QuantizationError
+from repro.core.ovp import OVPairCodec, PackedOVPTensor
+
+__all__ = [
+    "OVPQuantizerConfig",
+    "OVPTensorQuantizer",
+    "make_quantizer",
+]
+
+
+@dataclass
+class OVPQuantizerConfig:
+    """Configuration of an OVP tensor quantizer.
+
+    Parameters
+    ----------
+    normal_dtype:
+        Name of the normal-value data type (``int4``, ``flint4``, ``int8``).
+    abfloat:
+        Name of the outlier data type; defaults to the paper's choice
+        (E2M1 for 4-bit types, E4M3 for ``int8``).
+    bias:
+        Adaptive exponent bias.  ``None`` selects the smallest bias whose
+        outlier range starts above the normal range (paper Sec. 3.3).
+    search_points:
+        Number of candidate thresholds evaluated by the MSE search.
+    search_low / search_high:
+        Multiplicative search window around the 3σ initial threshold.
+    per_channel_axis:
+        When set, fit one scale per slice along this axis (an extension of
+        the per-tensor scheme evaluated in the paper).
+    """
+
+    normal_dtype: str = "int4"
+    abfloat: Optional[str] = None
+    bias: Optional[int] = None
+    search_points: int = 24
+    search_low: float = 0.5
+    search_high: float = 4.0
+    per_channel_axis: Optional[int] = None
+
+    def resolve(self) -> Tuple[NormalDataType, AbfloatType, int]:
+        """Resolve names into concrete data-type objects and a bias."""
+        normal = get_normal_dtype(self.normal_dtype)
+        if self.abfloat is not None:
+            outlier = get_abfloat(self.abfloat)
+        elif normal.bits == 8:
+            outlier = ABFLOAT_E4M3
+        else:
+            outlier = ABFLOAT_E2M1
+        bias = self.bias if self.bias is not None else default_bias_for(normal.max_value, outlier)
+        return normal, outlier, int(bias)
+
+
+@dataclass
+class _FittedScale:
+    """Per-tensor (or per-channel) fitted quantization parameters."""
+
+    scale: np.ndarray  # broadcastable to the tensor
+    threshold_sigma: float
+    mse: float
+
+
+class OVPTensorQuantizer:
+    """Quantize tensors with the outlier-victim pair scheme.
+
+    Typical usage::
+
+        q = OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype="int4"))
+        q.fit(weight)
+        w_q = q.quantize(weight)          # fake-quantized float tensor
+        packed = q.encode(weight)         # memory-aligned byte stream
+        w_rt = q.decode(packed)           # decoded back to floats
+    """
+
+    def __init__(self, config: Optional[OVPQuantizerConfig] = None) -> None:
+        self.config = config or OVPQuantizerConfig()
+        normal, outlier, bias = self.config.resolve()
+        self.normal_dtype = normal
+        self.abfloat_type = outlier
+        self.bias = bias
+        self.codec = OVPairCodec(normal, outlier, bias)
+        self._fitted: Optional[_FittedScale] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._fitted is not None
+
+    @property
+    def scale(self) -> np.ndarray:
+        """The fitted scale factor(s)."""
+        self._require_fitted()
+        return self._fitted.scale
+
+    @property
+    def threshold_sigma(self) -> float:
+        """The fitted outlier threshold expressed in multiples of σ."""
+        self._require_fitted()
+        return self._fitted.threshold_sigma
+
+    @property
+    def fit_mse(self) -> float:
+        """Mean squared error achieved by the fitted threshold."""
+        self._require_fitted()
+        return self._fitted.mse
+
+    def fit(self, tensor: np.ndarray) -> "OVPTensorQuantizer":
+        """Search for the MSE-optimal outlier threshold on ``tensor``."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if tensor.size == 0:
+            raise QuantizationError("cannot fit a quantizer on an empty tensor")
+        axis = self.config.per_channel_axis
+        if axis is None:
+            scale, sigma_mult, mse = self._fit_flat(tensor.ravel())
+            self._fitted = _FittedScale(
+                scale=np.asarray(scale), threshold_sigma=sigma_mult, mse=mse
+            )
+        else:
+            self._fitted = self._fit_per_channel(tensor, axis)
+        return self
+
+    def _fit_flat(self, flat: np.ndarray) -> Tuple[float, float, float]:
+        sigma = float(np.std(flat))
+        if sigma == 0.0:
+            # Degenerate constant tensor: any positive scale works.
+            return max(abs(float(flat[0])), 1.0) / self.normal_dtype.max_value, 3.0, 0.0
+        candidates = np.linspace(
+            self.config.search_low, self.config.search_high, self.config.search_points
+        )
+        best = (np.inf, 3.0, sigma * 3.0 / self.normal_dtype.max_value)
+        for mult in candidates:
+            threshold = 3.0 * sigma * mult
+            scale = threshold / self.normal_dtype.max_value
+            grid = flat / scale
+            deq = self.codec.fake_quantize_grid(grid, self.normal_dtype.max_value) * scale
+            mse = float(np.mean((deq - flat) ** 2))
+            if mse < best[0]:
+                best = (mse, 3.0 * mult, scale)
+        return best[2], best[1], best[0]
+
+    def _fit_per_channel(self, tensor: np.ndarray, axis: int) -> _FittedScale:
+        moved = np.moveaxis(tensor, axis, 0)
+        n_channels = moved.shape[0]
+        scales = np.ones(n_channels, dtype=np.float64)
+        sigma_mults = np.zeros(n_channels, dtype=np.float64)
+        mses = np.zeros(n_channels, dtype=np.float64)
+        for c in range(n_channels):
+            scales[c], sigma_mults[c], mses[c] = self._fit_flat(moved[c].ravel())
+        shape = [1] * tensor.ndim
+        shape[axis] = n_channels
+        return _FittedScale(
+            scale=scales.reshape(shape),
+            threshold_sigma=float(np.mean(sigma_mults)),
+            mse=float(np.mean(mses)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Quantization
+    # ------------------------------------------------------------------ #
+    def quantize(self, tensor: np.ndarray, fit: bool = False) -> np.ndarray:
+        """Return the fake-quantized (quantize → dequantize) tensor."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if fit or not self.is_fitted:
+            self.fit(tensor)
+        scale = self._fitted.scale
+        if np.ndim(scale) == 0 or np.size(scale) == 1:
+            grid = tensor / float(np.asarray(scale).ravel()[0])
+            deq = self.codec.fake_quantize_grid(grid, self.normal_dtype.max_value)
+            return deq * float(np.asarray(scale).ravel()[0])
+        # Per-channel: quantize each channel slice with its own scale.
+        axis = self.config.per_channel_axis
+        moved = np.moveaxis(tensor, axis, 0)
+        scales = np.asarray(scale).ravel()
+        out = np.empty_like(moved)
+        for c in range(moved.shape[0]):
+            grid = moved[c] / scales[c]
+            out[c] = self.codec.fake_quantize_grid(grid, self.normal_dtype.max_value) * scales[c]
+        return np.moveaxis(out, 0, axis)
+
+    def quantization_mse(self, tensor: np.ndarray) -> float:
+        """Mean squared error of quantizing ``tensor`` with the fitted scale."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        return float(np.mean((self.quantize(tensor) - tensor) ** 2))
+
+    # ------------------------------------------------------------------ #
+    # Bit-packed encode/decode
+    # ------------------------------------------------------------------ #
+    def encode(self, tensor: np.ndarray) -> PackedOVPTensor:
+        """Encode ``tensor`` into a memory-aligned OVP byte stream."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if not self.is_fitted:
+            self.fit(tensor)
+        scale = float(np.asarray(self._fitted.scale).ravel()[0])
+        return self.codec.encode_tensor(tensor, scale, self.normal_dtype.max_value)
+
+    def decode(self, packed: PackedOVPTensor) -> np.ndarray:
+        """Decode a packed OVP tensor produced by :meth:`encode`."""
+        return self.codec.decode_tensor(packed)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def pair_statistics(self, tensor: np.ndarray) -> dict:
+        """Fraction of each pair shape under the fitted threshold."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if not self.is_fitted:
+            self.fit(tensor)
+        scale = float(np.asarray(self._fitted.scale).ravel()[0])
+        grid = tensor.ravel() / scale
+        if grid.size % 2 == 1:
+            grid = grid[:-1]
+        pairs = np.abs(grid.reshape(-1, 2)) > self.normal_dtype.max_value
+        n_out = pairs.sum(axis=1)
+        total = max(len(n_out), 1)
+        return {
+            "normal-normal": float(np.mean(n_out == 0)) if total else 0.0,
+            "outlier-normal": float(np.mean(n_out == 1)) if total else 0.0,
+            "outlier-outlier": float(np.mean(n_out == 2)) if total else 0.0,
+        }
+
+    def _require_fitted(self) -> None:
+        if self._fitted is None:
+            raise QuantizationError("quantizer has not been fitted; call fit() first")
+
+
+def make_quantizer(bits: int = 4, normal_dtype: Optional[str] = None) -> OVPTensorQuantizer:
+    """Convenience constructor for the paper's two standard settings.
+
+    ``bits=4`` → int4 normals + E2M1 abfloat outliers (the headline 4-bit PTQ),
+    ``bits=8`` → int8 normals + E4M3 abfloat outliers.
+    """
+    if normal_dtype is None:
+        normal_dtype = "int4" if bits == 4 else "int8"
+    if bits not in (4, 8):
+        raise QuantizationError("OliVe supports 4- and 8-bit quantization")
+    return OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype=normal_dtype))

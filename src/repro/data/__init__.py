@@ -1,0 +1,52 @@
+"""Synthetic workloads (GLUE/SQuAD/LM) and task metrics."""
+
+from repro.data.glue import (
+    GLUE_TASKS,
+    GLUE_TASK_ORDER,
+    ClassificationDataset,
+    GlueTaskSpec,
+    batched_forward,
+    evaluate_classifier,
+    make_glue_dataset,
+)
+from repro.data.lm import LM_CORPORA, LMDataset, evaluate_perplexity, make_lm_dataset
+from repro.data.metrics import (
+    accuracy,
+    exact_match,
+    f1_score,
+    matthews_corrcoef,
+    pearson_corrcoef,
+    perplexity_from_nll,
+    span_f1,
+)
+from repro.data.squad import (
+    SQUAD_VARIANTS,
+    SquadDataset,
+    evaluate_span_model,
+    make_squad_dataset,
+)
+
+__all__ = [
+    "GlueTaskSpec",
+    "ClassificationDataset",
+    "GLUE_TASKS",
+    "GLUE_TASK_ORDER",
+    "make_glue_dataset",
+    "evaluate_classifier",
+    "batched_forward",
+    "SquadDataset",
+    "SQUAD_VARIANTS",
+    "make_squad_dataset",
+    "evaluate_span_model",
+    "LMDataset",
+    "LM_CORPORA",
+    "make_lm_dataset",
+    "evaluate_perplexity",
+    "accuracy",
+    "matthews_corrcoef",
+    "pearson_corrcoef",
+    "f1_score",
+    "exact_match",
+    "span_f1",
+    "perplexity_from_nll",
+]

@@ -1,0 +1,108 @@
+"""Task metrics used by the accuracy experiments (GLUE, SQuAD, perplexity)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "matthews_corrcoef",
+    "pearson_corrcoef",
+    "f1_score",
+    "exact_match",
+    "span_f1",
+    "perplexity_from_nll",
+]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact label matches, in percent."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels) * 100.0)
+
+
+def matthews_corrcoef(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Matthews correlation coefficient for binary labels, in percent (CoLA metric)."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    tp = float(np.sum((predictions == 1) & (labels == 1)))
+    tn = float(np.sum((predictions == 0) & (labels == 0)))
+    fp = float(np.sum((predictions == 1) & (labels == 0)))
+    fn = float(np.sum((predictions == 0) & (labels == 1)))
+    denom = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+    if denom == 0:
+        return 0.0
+    return float((tp * tn - fp * fn) / denom * 100.0)
+
+
+def pearson_corrcoef(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Pearson correlation, in percent (STS-B metric)."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if predictions.size < 2:
+        return 0.0
+    px = predictions - predictions.mean()
+    py = labels - labels.mean()
+    denom = np.sqrt(np.sum(px ** 2) * np.sum(py ** 2))
+    if denom == 0:
+        return 0.0
+    return float(np.sum(px * py) / denom * 100.0)
+
+
+def f1_score(predictions: np.ndarray, labels: np.ndarray, positive: int = 1) -> float:
+    """Binary F1 score, in percent."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    tp = float(np.sum((predictions == positive) & (labels == positive)))
+    fp = float(np.sum((predictions == positive) & (labels != positive)))
+    fn = float(np.sum((predictions != positive) & (labels == positive)))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return float(2 * precision * recall / (precision + recall) * 100.0)
+
+
+def exact_match(
+    pred_spans: Sequence[Tuple[int, int]], gold_spans: Sequence[Tuple[int, int]]
+) -> float:
+    """SQuAD exact-match score over (start, end) spans, in percent."""
+    if len(pred_spans) == 0:
+        return 0.0
+    matches = [int(p == g) for p, g in zip(pred_spans, gold_spans)]
+    return float(np.mean(matches) * 100.0)
+
+
+def span_f1(
+    pred_spans: Sequence[Tuple[int, int]], gold_spans: Sequence[Tuple[int, int]]
+) -> float:
+    """SQuAD token-overlap F1 over (start, end) spans, in percent."""
+    if len(pred_spans) == 0:
+        return 0.0
+    scores = []
+    for (ps, pe), (gs, ge) in zip(pred_spans, gold_spans):
+        pred_tokens = set(range(min(ps, pe), max(ps, pe) + 1))
+        gold_tokens = set(range(min(gs, ge), max(gs, ge) + 1))
+        overlap = len(pred_tokens & gold_tokens)
+        if overlap == 0:
+            scores.append(0.0)
+            continue
+        precision = overlap / len(pred_tokens)
+        recall = overlap / len(gold_tokens)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores) * 100.0)
+
+
+def perplexity_from_nll(mean_nll: float, cap: float = 1e9) -> float:
+    """Convert mean negative log-likelihood (natural log) to perplexity.
+
+    The exponent is capped so catastrophically-bad quantized models (e.g. the
+    paper's int4 entries reported as "1E+4"…"9E+6") produce a large finite
+    number instead of an overflow.
+    """
+    return float(min(np.exp(min(mean_nll, np.log(cap))), cap))

@@ -1,0 +1,124 @@
+"""Synthetic SQuAD-like span extraction tasks (paper Table 8).
+
+The span-extraction analogue mirrors :mod:`repro.data.glue`: random token
+contexts are labelled with the teacher model's own most-likely answer span,
+a fraction of the gold spans is perturbed to give the teacher a realistic
+(sub-100 %) score, and quantized models are then evaluated with the standard
+SQuAD exact-match / token-F1 metrics.
+
+Two task variants mirror SQuAD v1.1 and v2.0: the v2.0 variant perturbs more
+gold spans (and allows null spans), making it the harder benchmark, just as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.glue import batched_forward
+from repro.data.metrics import exact_match, span_f1
+from repro.nn.module import Module
+
+__all__ = ["SquadDataset", "SQUAD_VARIANTS", "make_squad_dataset", "evaluate_span_model"]
+
+
+@dataclass
+class SquadDataset:
+    """A generated span-extraction evaluation set."""
+
+    name: str
+    inputs: np.ndarray                 # (n, seq_len) token ids
+    gold_spans: List[Tuple[int, int]]  # per-example (start, end)
+
+    @property
+    def num_examples(self) -> int:
+        """Number of evaluation examples."""
+        return int(self.inputs.shape[0])
+
+    def calibration_batch(self, batch_size: int = 8) -> np.ndarray:
+        """First few inputs, used to calibrate activation quantizers."""
+        return self.inputs[:batch_size]
+
+
+#: Span-perturbation rates for the two SQuAD variants.
+SQUAD_VARIANTS = {"squad-v1.1": 0.10, "squad-v2.0": 0.22}
+
+
+def _spans_from_logits(start_logits: np.ndarray, end_logits: np.ndarray) -> List[Tuple[int, int]]:
+    """Pick the highest-scoring (start ≤ end) span for each example."""
+    spans = []
+    for s_row, e_row in zip(start_logits, end_logits):
+        start = int(np.argmax(s_row))
+        end_candidates = e_row.copy()
+        end_candidates[:start] = -np.inf
+        end = int(np.argmax(end_candidates))
+        spans.append((start, end))
+    return spans
+
+
+def make_squad_dataset(
+    variant: str,
+    teacher: Module,
+    vocab_size: int,
+    num_examples: int = 64,
+    seq_len: int = 32,
+    seed: int = 0,
+) -> SquadDataset:
+    """Generate a teacher-labelled span dataset for ``variant``."""
+    if variant not in SQUAD_VARIANTS:
+        raise ValueError(f"unknown SQuAD variant {variant!r}; expected {sorted(SQUAD_VARIANTS)}")
+    noise = SQUAD_VARIANTS[variant]
+    rng = np.random.default_rng(seed)
+    n_candidates = num_examples * 8
+    inputs = rng.integers(0, vocab_size, size=(n_candidates, seq_len), dtype=np.int64)
+
+    start_logits, end_logits = _forward_spans(teacher, inputs)
+    # Keep the examples the teacher answers with the largest span-logit margin,
+    # mirroring the confident-margin structure of fine-tuned QA models.
+    margin = _span_margin(start_logits) + _span_margin(end_logits)
+    keep = np.sort(np.argsort(margin)[::-1][:num_examples])
+    inputs = inputs[keep]
+    start_logits = start_logits[keep]
+    end_logits = end_logits[keep]
+    gold = _spans_from_logits(start_logits, end_logits)
+
+    perturbed: List[Tuple[int, int]] = []
+    for span in gold:
+        if rng.random() < noise:
+            start = int(rng.integers(0, seq_len))
+            end = int(min(seq_len - 1, start + rng.integers(0, 4)))
+            perturbed.append((start, end))
+        else:
+            perturbed.append(span)
+    return SquadDataset(name=variant, inputs=inputs, gold_spans=perturbed)
+
+
+def _span_margin(logits: np.ndarray) -> np.ndarray:
+    """Top-1 minus top-2 logit per example (confidence of the span boundary)."""
+    sorted_logits = np.sort(logits, axis=-1)
+    return sorted_logits[:, -1] - sorted_logits[:, -2]
+
+
+def _forward_spans(model: Module, inputs: np.ndarray, batch_size: int = 16):
+    """Batched forward returning stacked start/end logits."""
+    starts, ends = [], []
+    for i in range(0, inputs.shape[0], batch_size):
+        s, e = model(inputs[i : i + batch_size])
+        starts.append(np.asarray(s))
+        ends.append(np.asarray(e))
+    return np.concatenate(starts, axis=0), np.concatenate(ends, axis=0)
+
+
+def evaluate_span_model(
+    model: Module, dataset: SquadDataset, batch_size: int = 16
+) -> Tuple[float, float]:
+    """Return ``(F1, exact match)`` percentages of ``model`` on ``dataset``.
+
+    The ordering matches the paper's "F1/EM" presentation in Table 8.
+    """
+    start_logits, end_logits = _forward_spans(model, dataset.inputs, batch_size)
+    pred = _spans_from_logits(start_logits, end_logits)
+    return span_f1(pred, dataset.gold_spans), exact_match(pred, dataset.gold_spans)

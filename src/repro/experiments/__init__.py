@@ -1,0 +1,35 @@
+"""One module per paper table/figure, plus a runner that regenerates them all."""
+
+from repro.experiments.fig2_outliers import Fig2Result, run_fig2
+from repro.experiments.fig3_pruning import Fig3Result, run_fig3
+from repro.experiments.fig5_abfloat_error import Fig5Result, run_fig5
+from repro.experiments.fig9_gpu import Fig9Result, run_fig9
+from repro.experiments.fig10_accel import Fig10Result, run_fig10
+from repro.experiments.table2_pairs import Table2Result, run_table2
+from repro.experiments.table6_glue import Table6Result, run_table6
+from repro.experiments.table7_gobo import Table7Result, run_table7
+from repro.experiments.table8_squad import Table8Result, run_table8
+from repro.experiments.table9_llm import Table9Result, run_table9
+from repro.experiments.tables_area import (
+    Table10Result,
+    Table11Result,
+    run_table10,
+    run_table11,
+)
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+__all__ = [
+    "run_fig2", "Fig2Result",
+    "run_table2", "Table2Result",
+    "run_fig3", "Fig3Result",
+    "run_fig5", "Fig5Result",
+    "run_table6", "Table6Result",
+    "run_table7", "Table7Result",
+    "run_table8", "Table8Result",
+    "run_table9", "Table9Result",
+    "run_fig9", "Fig9Result",
+    "run_fig10", "Fig10Result",
+    "run_table10", "Table10Result",
+    "run_table11", "Table11Result",
+    "EXPERIMENTS", "run_all",
+]

@@ -1,0 +1,55 @@
+"""Fig. 10 — accelerator speedup and energy of OliVe vs ANT, OLAccel, AdaFloat."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.sim.accelerator import simulate_accelerator_comparison
+from repro.sim.results import ComparisonTable
+from repro.utils.tables import format_nested_dict
+
+__all__ = ["Fig10Result", "run_fig10", "format_fig10", "FIG10_MODELS"]
+
+#: Models of the paper's Fig. 10 x-axis.
+FIG10_MODELS = ["bert-base", "bert-large", "bart-base", "gpt2-xl", "bloom-7b1"]
+
+
+@dataclass
+class Fig10Result:
+    """Speedup and normalised-energy tables of the accelerator comparison."""
+
+    table: ComparisonTable
+
+    @property
+    def speedups(self) -> Dict[str, Dict[str, float]]:
+        """Model (+ geomean) → scheme → speedup over AdaFloat."""
+        return self.table.speedup_table()
+
+    @property
+    def energies(self) -> Dict[str, Dict[str, float]]:
+        """Model (+ geomean) → scheme → energy normalised to AdaFloat."""
+        return self.table.energy_table()
+
+    def geomean_speedup(self, scheme: str = "olive") -> float:
+        """Geometric-mean speedup of a scheme over AdaFloat."""
+        return self.table.geomean_speedup(scheme)
+
+    def geomean_energy(self, scheme: str = "olive") -> float:
+        """Geometric-mean normalised energy of a scheme."""
+        return self.table.geomean_normalized_energy(scheme)
+
+
+def run_fig10(models: Iterable[str] = tuple(FIG10_MODELS)) -> Fig10Result:
+    """Run the accelerator performance/energy comparison."""
+    return Fig10Result(table=simulate_accelerator_comparison(models=models))
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """Markdown rendering: a speedup table and an energy table."""
+    return (
+        "Speedup over AdaFloat\n\n"
+        + format_nested_dict(result.speedups)
+        + "\n\nNormalised energy (AdaFloat = 1)\n\n"
+        + format_nested_dict(result.energies)
+    )

@@ -1,0 +1,95 @@
+"""Fig. 3 — why victims are cheap and outliers are not.
+
+The experiment applies three weight-tensor treatments to the full-precision
+BERT-base analogue and measures GLUE-task accuracy:
+
+* **clip outliers** to 3σ (what outlier-oblivious quantization does),
+* **prune victims** (zero the pair partner of every outlier — OliVe's cost),
+* **prune random normal values** (the same count as the outliers).
+
+The paper finds clipping outliers destroys accuracy while either pruning is
+essentially free; the same ordering is reproduced here.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.core.pruning import apply_to_tensors
+from repro.data.glue import GLUE_TASKS, evaluate_classifier, make_glue_dataset
+from repro.models.zoo import build_classifier
+from repro.nn.layers import Linear
+from repro.utils.tables import format_table
+
+__all__ = ["Fig3Result", "run_fig3", "format_fig3", "FIG3_METHODS"]
+
+#: Treatments in presentation order (matching the paper's legend).
+FIG3_METHODS = ["source", "clip-outlier", "prune-victim", "prune-normal"]
+
+
+@dataclass
+class Fig3Result:
+    """Task → treatment → metric value (percent)."""
+
+    scores: Dict[str, Dict[str, float]]
+
+    def average_drop(self, method: str) -> float:
+        """Mean score drop of ``method`` relative to the untouched model."""
+        drops = [
+            self.scores[task]["source"] - self.scores[task][method] for task in self.scores
+        ]
+        return float(np.mean(drops)) if drops else 0.0
+
+
+def _apply_method(model, method: str, seed: int):
+    """Return a copy of ``model`` with one Fig. 3 treatment applied to its weights."""
+    treated = copy.deepcopy(model)
+    tensors = {}
+    modules = {}
+    for name, module in treated.named_modules():
+        if isinstance(module, Linear):
+            tensors[name] = module.weight.data
+            modules[name] = module
+    transformed = apply_to_tensors(tensors, method, seed=seed)
+    for name, module in modules.items():
+        module.weight.copy_(transformed[name])
+    return treated
+
+
+def run_fig3(
+    tasks: Iterable[str] = ("CoLA", "SST-2", "MNLI", "QQP", "MRPC"),
+    model_name: str = "bert-base",
+    num_examples: int = 64,
+    seq_len: int = 32,
+    seed: int = 0,
+    oversample: int = 16,
+) -> Fig3Result:
+    """Evaluate the three treatments on a subset of the GLUE-like tasks."""
+    scores: Dict[str, Dict[str, float]] = {}
+    for task_name in tasks:
+        spec = GLUE_TASKS[task_name]
+        num_classes = max(spec.num_classes, 2) if spec.num_classes > 1 else 1
+        head_classes = num_classes if num_classes > 1 else 1
+        model = build_classifier(model_name, num_classes=max(head_classes, 1), seed=seed)
+        dataset = make_glue_dataset(
+            spec, model, vocab_size=model.config.vocab_size,
+            num_examples=num_examples, seq_len=seq_len, seed=seed + 1, oversample=oversample,
+        )
+        per_method: Dict[str, float] = {}
+        for method in FIG3_METHODS:
+            treated = model if method == "source" else _apply_method(model, method, seed)
+            per_method[method] = evaluate_classifier(treated, dataset)
+        scores[task_name] = per_method
+    return Fig3Result(scores=scores)
+
+
+def format_fig3(result: Fig3Result) -> str:
+    """Markdown rendering of the Fig. 3 scores."""
+    rows: List[List[object]] = []
+    for task, per_method in result.scores.items():
+        rows.append([task] + [round(per_method[m], 2) for m in FIG3_METHODS])
+    return format_table(["task"] + FIG3_METHODS, rows)

@@ -1,0 +1,67 @@
+"""Fig. 5 — rounding error of the largest outliers under each abfloat config.
+
+The paper quantizes the largest outlier of every tensor with the four 4-bit
+abfloat layouts (E0M3, E1M2, E2M1, E3M0) and finds E2M1 gives the smallest
+error, which is why OliVe adopts it.  This experiment repeats the study on the
+analogue models' weight tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.abfloat import ABFLOAT_4BIT_CONFIGS, default_bias_for
+from repro.core.analysis import largest_outliers
+from repro.models.zoo import transformer_analogue_tensors
+from repro.utils.tables import format_table
+
+__all__ = ["Fig5Result", "run_fig5", "format_fig5", "FIG5_MODELS"]
+
+#: The models the paper's Fig. 5 evaluates.
+FIG5_MODELS = ["bert-base", "bert-large", "bart-base", "gpt2-xl"]
+
+
+@dataclass
+class Fig5Result:
+    """Mean relative rounding error per (model, abfloat config)."""
+
+    errors: Dict[str, Dict[str, float]]
+
+    def best_config(self, model: str) -> str:
+        """The abfloat layout with the smallest error for ``model``."""
+        per_config = self.errors[model]
+        return min(per_config, key=per_config.get)
+
+    def best_overall(self) -> str:
+        """The layout that wins on the most models (the paper's answer: E2M1)."""
+        wins: Dict[str, int] = {}
+        for model in self.errors:
+            winner = self.best_config(model)
+            wins[winner] = wins.get(winner, 0) + 1
+        return max(wins, key=wins.get)
+
+
+def run_fig5(
+    models: Iterable[str] = tuple(FIG5_MODELS), seed: int = 0, normal_max: float = 7.0
+) -> Fig5Result:
+    """Quantize each model's largest outliers with every 4-bit abfloat layout."""
+    errors: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        tensors = transformer_analogue_tensors(model, seed)
+        outliers = largest_outliers(tensors, top_k=1)
+        per_config: Dict[str, float] = {}
+        for config in ABFLOAT_4BIT_CONFIGS:
+            bias = default_bias_for(normal_max, config)
+            per_config[config.name] = config.mean_relative_error(outliers, bias)
+        errors[model] = per_config
+    return Fig5Result(errors=errors)
+
+
+def format_fig5(result: Fig5Result) -> str:
+    """Markdown rendering of the per-model, per-config errors."""
+    configs = [c.name for c in ABFLOAT_4BIT_CONFIGS]
+    rows: List[List[object]] = []
+    for model, per_config in result.errors.items():
+        rows.append([model] + [round(per_config[c], 4) for c in configs])
+    return format_table(["model"] + configs, rows)

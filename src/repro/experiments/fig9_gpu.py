@@ -1,0 +1,55 @@
+"""Fig. 9 — GPU speedup and normalised energy of OliVe vs ANT, int8 and GOBO."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.sim.gpu import simulate_gpu_comparison
+from repro.sim.results import ComparisonTable
+from repro.utils.tables import format_nested_dict
+
+__all__ = ["Fig9Result", "run_fig9", "format_fig9", "FIG9_MODELS"]
+
+#: Models of the paper's Fig. 9 x-axis.
+FIG9_MODELS = ["bert-base", "bert-large", "bart-base", "gpt2-xl", "bloom-7b1"]
+
+
+@dataclass
+class Fig9Result:
+    """Speedup and normalised-energy tables of the GPU comparison."""
+
+    table: ComparisonTable
+
+    @property
+    def speedups(self) -> Dict[str, Dict[str, float]]:
+        """Model (+ geomean) → scheme → speedup over GOBO."""
+        return self.table.speedup_table()
+
+    @property
+    def energies(self) -> Dict[str, Dict[str, float]]:
+        """Model (+ geomean) → scheme → energy normalised to GOBO."""
+        return self.table.energy_table()
+
+    def geomean_speedup(self, scheme: str = "olive") -> float:
+        """Geometric-mean speedup of a scheme over GOBO."""
+        return self.table.geomean_speedup(scheme)
+
+    def geomean_energy(self, scheme: str = "olive") -> float:
+        """Geometric-mean normalised energy of a scheme."""
+        return self.table.geomean_normalized_energy(scheme)
+
+
+def run_fig9(models: Iterable[str] = tuple(FIG9_MODELS)) -> Fig9Result:
+    """Run the GPU performance/energy comparison."""
+    return Fig9Result(table=simulate_gpu_comparison(models=models))
+
+
+def format_fig9(result: Fig9Result) -> str:
+    """Markdown rendering: a speedup table and an energy table."""
+    return (
+        "Speedup over GOBO\n\n"
+        + format_nested_dict(result.speedups)
+        + "\n\nNormalised energy (GOBO = 1)\n\n"
+        + format_nested_dict(result.energies)
+    )

@@ -1,0 +1,101 @@
+"""Run every experiment and emit a combined markdown report.
+
+``python -m repro.experiments.runner`` regenerates the measured side of
+EXPERIMENTS.md.  Each experiment accepts size parameters so the quick profile
+(used by CI and the benchmark harness) finishes in minutes while the full
+profile evaluates every model/task combination the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.fig2_outliers import format_fig2, run_fig2
+from repro.experiments.fig3_pruning import format_fig3, run_fig3
+from repro.experiments.fig5_abfloat_error import format_fig5, run_fig5
+from repro.experiments.fig9_gpu import format_fig9, run_fig9
+from repro.experiments.fig10_accel import format_fig10, run_fig10
+from repro.experiments.table2_pairs import format_table2, run_table2
+from repro.experiments.table6_glue import format_table6, run_table6
+from repro.experiments.table7_gobo import format_table7, run_table7
+from repro.experiments.table8_squad import format_table8, run_table8
+from repro.experiments.table9_llm import format_table9, run_table9
+from repro.experiments.tables_area import (
+    format_table10,
+    format_table11,
+    run_table10,
+    run_table11,
+)
+
+__all__ = ["EXPERIMENTS", "run_all", "main"]
+
+
+def _quick_table6():
+    return run_table6(models=("bert-base",), tasks=("SST-2", "MNLI"), num_examples=48)
+
+
+def _quick_fig3():
+    return run_fig3(tasks=("SST-2", "MNLI"), num_examples=48)
+
+
+def _quick_table8():
+    return run_table8(models=("bert-base",), num_examples=32)
+
+
+def _quick_table9():
+    return run_table9(models=("gpt2-xl", "opt-6.7b"), num_sequences=8)
+
+
+#: Experiment registry: id → (full runner, quick runner, formatter).
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable, Callable]] = {
+    "fig2": (run_fig2, run_fig2, format_fig2),
+    "table2": (run_table2, run_table2, format_table2),
+    "fig3": (run_fig3, _quick_fig3, format_fig3),
+    "fig5": (run_fig5, run_fig5, format_fig5),
+    "table6": (run_table6, _quick_table6, format_table6),
+    "table7": (run_table7, run_table7, format_table7),
+    "table8": (run_table8, _quick_table8, format_table8),
+    "table9": (run_table9, _quick_table9, format_table9),
+    "fig9": (run_fig9, run_fig9, format_fig9),
+    "fig10": (run_fig10, run_fig10, format_fig10),
+    "table10": (run_table10, run_table10, format_table10),
+    "table11": (run_table11, run_table11, format_table11),
+}
+
+
+def run_all(quick: bool = True, only: List[str] = None) -> str:
+    """Run the selected experiments and return a combined markdown report."""
+    sections = []
+    for exp_id, (full, quick_fn, formatter) in EXPERIMENTS.items():
+        if only and exp_id not in only:
+            continue
+        start = time.time()
+        result = (quick_fn if quick else full)()
+        elapsed = time.time() - start
+        sections.append(
+            f"## {exp_id}\n\n{formatter(result)}\n\n_(ran in {elapsed:.1f} s)_\n"
+        )
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Run OliVe reproduction experiments")
+    parser.add_argument("--full", action="store_true", help="run the full-size experiments")
+    parser.add_argument("--only", nargs="*", default=None, help="experiment ids to run")
+    parser.add_argument("--output", default=None, help="write the report to this file")
+    args = parser.parse_args(argv)
+    report = run_all(quick=not args.full, only=args.only)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

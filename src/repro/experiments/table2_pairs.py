@@ -1,0 +1,56 @@
+"""Table 2 — census of adjacent value pairs under the 3σ rule.
+
+For each large-model analogue, pairs every two adjacent weight values and
+counts normal-normal, outlier-normal and outlier-outlier pairs.  The paper's
+observation (and OliVe's enabling fact) is that ~99 % of pairs are
+normal-normal and outlier-outlier pairs are below ~0.06 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.analysis import PairCensus, model_pair_census
+from repro.models.zoo import transformer_analogue_tensors
+from repro.utils.tables import format_table
+
+__all__ = ["Table2Result", "run_table2", "format_table2", "TABLE2_MODELS"]
+
+#: The four models the paper's Table 2 reports.
+TABLE2_MODELS = ["bert-base", "bert-large", "gpt2-xl", "opt-6.7b"]
+
+
+@dataclass
+class Table2Result:
+    """Per-model pair-shape fractions."""
+
+    censuses: Dict[str, PairCensus]
+
+    def fractions(self) -> Dict[str, Dict[str, float]]:
+        """Model → pair shape → fraction."""
+        return {model: census.fractions for model, census in self.censuses.items()}
+
+
+def run_table2(models: Iterable[str] = tuple(TABLE2_MODELS), seed: int = 0) -> Table2Result:
+    """Run the pair census over each model analogue's weight tensors."""
+    censuses = {
+        model: model_pair_census(transformer_analogue_tensors(model, seed))
+        for model in models
+    }
+    return Table2Result(censuses=censuses)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Markdown rendering matching the layout of paper Table 2 (percentages)."""
+    rows: List[List[object]] = []
+    for model, fractions in result.fractions().items():
+        rows.append(
+            [
+                model,
+                f"{fractions['normal-normal'] * 100:.2f}%",
+                f"{fractions['outlier-normal'] * 100:.2f}%",
+                f"{fractions['outlier-outlier'] * 100:.2f}%",
+            ]
+        )
+    return format_table(["model", "normal-normal", "outlier-normal", "outlier-outlier"], rows)

@@ -1,0 +1,63 @@
+"""Table 7 — weight-only comparison against GOBO (MNLI and STS-B).
+
+GOBO quantizes only weights and computes in full precision, so the fair
+comparison (and the one the paper runs) restricts OliVe to weight-only 4-bit
+quantization as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.core.framework import get_scheme, quantize_model
+from repro.data.glue import GLUE_TASKS, evaluate_classifier, make_glue_dataset
+from repro.models.zoo import build_classifier
+from repro.utils.tables import format_table
+
+__all__ = ["Table7Result", "run_table7", "format_table7", "TABLE7_SCHEMES"]
+
+#: Schemes of the weight-only comparison.
+TABLE7_SCHEMES = ["fp32", "olive-4bit-weights", "gobo"]
+
+
+@dataclass
+class Table7Result:
+    """task → scheme → metric value (percent)."""
+
+    scores: Dict[str, Dict[str, float]]
+
+
+def run_table7(
+    tasks: Iterable[str] = ("MNLI", "STS-B"),
+    model_name: str = "bert-base",
+    num_examples: int = 64,
+    seq_len: int = 32,
+    seed: int = 0,
+    oversample: int = 16,
+) -> Table7Result:
+    """Evaluate the weight-only schemes on the paper's two Table 7 tasks."""
+    scores: Dict[str, Dict[str, float]] = {}
+    for task_name in tasks:
+        spec = GLUE_TASKS[task_name]
+        num_classes = spec.num_classes if spec.num_classes > 1 else 1
+        teacher = build_classifier(model_name, num_classes=max(num_classes, 1), seed=seed)
+        dataset = make_glue_dataset(
+            spec, teacher, vocab_size=teacher.config.vocab_size,
+            num_examples=num_examples, seq_len=seq_len, seed=seed + 1, oversample=oversample,
+        )
+        per_scheme: Dict[str, float] = {}
+        for scheme_name in TABLE7_SCHEMES:
+            scheme = get_scheme(scheme_name)
+            quantized = quantize_model(teacher, scheme, dataset.calibration_batch())
+            per_scheme[scheme_name] = evaluate_classifier(quantized, dataset)
+        scores[task_name] = per_scheme
+    return Table7Result(scores=scores)
+
+
+def format_table7(result: Table7Result) -> str:
+    """Markdown rendering of the weight-only comparison."""
+    rows = []
+    for task, per_scheme in result.scores.items():
+        rows.append([task] + [round(per_scheme[s], 2) for s in TABLE7_SCHEMES])
+    return format_table(["task"] + TABLE7_SCHEMES, rows)

@@ -1,0 +1,64 @@
+"""Table 8 — SQuAD v1.1 / v2.0 span-extraction accuracy under PTQ.
+
+BERT-base and BART-base analogues are quantized with 4-bit OliVe and the
+6-bit Outlier Suppression baseline and scored with F1 / exact match on the
+teacher-labelled span datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.core.framework import get_scheme, quantize_model
+from repro.data.squad import SQUAD_VARIANTS, evaluate_span_model, make_squad_dataset
+from repro.models.zoo import build_span_model
+from repro.utils.tables import format_table
+
+__all__ = ["Table8Result", "run_table8", "format_table8", "TABLE8_SCHEMES"]
+
+#: Schemes compared on SQuAD in the paper's Table 8.
+TABLE8_SCHEMES = ["fp32", "olive-4bit", "os-6bit"]
+
+
+@dataclass
+class Table8Result:
+    """(model, variant) → scheme → (F1, EM) percentages."""
+
+    scores: Dict[Tuple[str, str], Dict[str, Tuple[float, float]]]
+
+
+def run_table8(
+    models: Iterable[str] = ("bert-base", "bart-base"),
+    variants: Iterable[str] = tuple(SQUAD_VARIANTS),
+    schemes: Iterable[str] = tuple(TABLE8_SCHEMES),
+    num_examples: int = 48,
+    seq_len: int = 32,
+    seed: int = 0,
+) -> Table8Result:
+    """Evaluate each (model, SQuAD variant, scheme) combination."""
+    scores: Dict[Tuple[str, str], Dict[str, Tuple[float, float]]] = {}
+    for model_name in models:
+        for variant in variants:
+            teacher = build_span_model(model_name, seed=seed)
+            dataset = make_squad_dataset(
+                variant, teacher, vocab_size=teacher.config.vocab_size,
+                num_examples=num_examples, seq_len=seq_len, seed=seed + 1,
+            )
+            per_scheme: Dict[str, Tuple[float, float]] = {}
+            for scheme_name in schemes:
+                scheme = get_scheme(scheme_name)
+                quantized = quantize_model(teacher, scheme, dataset.calibration_batch())
+                per_scheme[scheme_name] = evaluate_span_model(quantized, dataset)
+            scores[(model_name, variant)] = per_scheme
+    return Table8Result(scores=scores)
+
+
+def format_table8(result: Table8Result) -> str:
+    """Markdown rendering in the paper's "F1/EM" style."""
+    schemes = sorted({s for v in result.scores.values() for s in v})
+    rows = []
+    for (model, variant), per_scheme in result.scores.items():
+        cells = [f"{per_scheme[s][0]:.2f}/{per_scheme[s][1]:.2f}" for s in schemes]
+        rows.append([model, variant] + cells)
+    return format_table(["model", "dataset"] + schemes, rows)

@@ -1,0 +1,73 @@
+"""Table 9 — large-language-model perplexity under PTQ.
+
+GPT2-XL, BLOOM-7B1 and OPT-6.7B analogues are evaluated on the WikiText- and
+C4-like corpora under six settings: FP32, int8, 8-bit OliVe, int4, 4-bit ANT
+and 4-bit OliVe.  The paper's qualitative results are:
+
+* 8-bit OliVe matches FP32 on every model, while plain int8 degrades sharply
+  on OPT-6.7B (whose activation outliers are the largest);
+* int4 and 4-bit ANT are catastrophically bad everywhere;
+* 4-bit OliVe stays usable (close to int8) on GPT2-XL/BLOOM and degrades —
+  but far less than the baselines — on OPT-6.7B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.core.framework import get_scheme, quantize_model
+from repro.data.lm import LM_CORPORA, evaluate_perplexity, make_lm_dataset
+from repro.models.zoo import build_causal_lm
+from repro.utils.tables import format_table
+
+__all__ = ["Table9Result", "run_table9", "format_table9", "TABLE9_SCHEMES"]
+
+#: Schemes of the paper's Table 9, in presentation order.
+TABLE9_SCHEMES = ["fp32", "int8", "olive-8bit", "int4", "ant-4bit", "olive-4bit"]
+
+
+@dataclass
+class Table9Result:
+    """(model, corpus) → scheme → perplexity."""
+
+    perplexities: Dict[Tuple[str, str], Dict[str, float]]
+
+    def perplexity(self, model: str, corpus: str, scheme: str) -> float:
+        """Convenience accessor."""
+        return self.perplexities[(model, corpus)][scheme]
+
+
+def run_table9(
+    models: Iterable[str] = ("gpt2-xl", "bloom-7b1", "opt-6.7b"),
+    corpora: Iterable[str] = tuple(LM_CORPORA),
+    schemes: Iterable[str] = tuple(TABLE9_SCHEMES),
+    num_sequences: int = 16,
+    seq_len: int = 32,
+    seed: int = 0,
+) -> Table9Result:
+    """Evaluate each (model, corpus, scheme) perplexity."""
+    perplexities: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for model_name in models:
+        teacher = build_causal_lm(model_name, seed=seed)
+        for corpus in corpora:
+            dataset = make_lm_dataset(
+                corpus, teacher, vocab_size=teacher.config.vocab_size,
+                num_sequences=num_sequences, seq_len=seq_len, seed=seed + 1,
+            )
+            per_scheme: Dict[str, float] = {}
+            for scheme_name in schemes:
+                scheme = get_scheme(scheme_name)
+                quantized = quantize_model(teacher, scheme, dataset.calibration_batch())
+                per_scheme[scheme_name] = evaluate_perplexity(quantized, dataset)
+            perplexities[(model_name, corpus)] = per_scheme
+    return Table9Result(perplexities=perplexities)
+
+
+def format_table9(result: Table9Result) -> str:
+    """Markdown rendering in the paper's Table 9 layout."""
+    schemes = TABLE9_SCHEMES
+    rows = []
+    for (model, corpus), per_scheme in result.perplexities.items():
+        rows.append([model, corpus] + [round(per_scheme.get(s, float("nan")), 2) for s in schemes])
+    return format_table(["model", "corpus"] + schemes, rows)

@@ -1,0 +1,84 @@
+"""Tables 10 and 11 — area of the OliVe decoders on the GPU and the systolic array."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hardware.area import AreaEntry, gpu_decoder_area, systolic_area_breakdown
+from repro.hardware.config import SystolicArrayConfig, TuringGPUConfig
+from repro.utils.tables import format_table
+
+__all__ = [
+    "Table10Result",
+    "Table11Result",
+    "run_table10",
+    "run_table11",
+    "format_table10",
+    "format_table11",
+]
+
+
+@dataclass
+class Table10Result:
+    """Decoder area added to the GPU die (paper Table 10)."""
+
+    entries: List[AreaEntry]
+    die_area_mm2: float
+
+    def ratios(self) -> Dict[str, float]:
+        """Component → fraction of the GPU die."""
+        return {e.component: e.ratio_of(self.die_area_mm2) for e in self.entries}
+
+    @property
+    def total_overhead_ratio(self) -> float:
+        """Total decoder area as a fraction of the die."""
+        return sum(self.ratios().values())
+
+
+@dataclass
+class Table11Result:
+    """Area breakdown of the OliVe systolic array at 22 nm (paper Table 11)."""
+
+    entries: List[AreaEntry]
+
+    @property
+    def core_area_mm2(self) -> float:
+        """Total core area (decoders + PEs)."""
+        return sum(e.total_mm2 for e in self.entries)
+
+    def ratios(self) -> Dict[str, float]:
+        """Component → fraction of the core area."""
+        core = self.core_area_mm2
+        return {e.component: e.ratio_of(core) for e in self.entries}
+
+
+def run_table10(config: TuringGPUConfig = TuringGPUConfig()) -> Table10Result:
+    """Compute the GPU decoder-area table."""
+    return Table10Result(entries=gpu_decoder_area(config), die_area_mm2=config.die_area_mm2)
+
+
+def run_table11(config: SystolicArrayConfig = SystolicArrayConfig()) -> Table11Result:
+    """Compute the systolic-array area breakdown."""
+    return Table11Result(entries=systolic_area_breakdown(config))
+
+
+def format_table10(result: Table10Result) -> str:
+    """Markdown rendering of Table 10."""
+    rows = [
+        [e.component, e.count, round(e.unit_area_um2, 2), round(e.total_mm2, 3),
+         f"{e.ratio_of(result.die_area_mm2) * 100:.3f}%"]
+        for e in result.entries
+    ]
+    return format_table(["component", "count", "unit area (um^2)", "area (mm^2)", "ratio of die"], rows)
+
+
+def format_table11(result: Table11Result) -> str:
+    """Markdown rendering of Table 11."""
+    core = result.core_area_mm2
+    rows = [
+        [e.component, e.count, round(e.unit_area_um2, 2), round(e.total_mm2, 5),
+         f"{e.ratio_of(core) * 100:.1f}%"]
+        for e in result.entries
+    ]
+    return format_table(["component", "count", "unit area (um^2)", "area (mm^2)", "ratio of core"], rows)

@@ -1,0 +1,54 @@
+"""Hardware substrate: decoders, MAC units, GPU/systolic-array timing, energy and area."""
+
+from repro.hardware.area import (
+    AreaEntry,
+    DECODER_AREA_UM2,
+    PE_AREA_UM2,
+    gpu_decoder_area,
+    systolic_area_breakdown,
+)
+from repro.hardware.config import (
+    SYSTOLIC_64X64,
+    SystolicArrayConfig,
+    TURING_2080TI,
+    TuringGPUConfig,
+)
+from repro.hardware.decoder import AbfloatDecoder, ExponentIntegerPair, OVPDecoder
+from repro.hardware.energy import ACCEL_ENERGY_MODEL, GPU_ENERGY_MODEL, EnergyBreakdown, EnergyModel
+from repro.hardware.isa import MMA_S4, MmaInstruction, execute_mma_ovp, mma_ovp_for
+from repro.hardware.mac import FourPEInt8Multiplier, Int32Accumulator, OliveMacUnit
+from repro.hardware.memory import GemmTraffic, gemm_traffic
+from repro.hardware.systolic import SystolicArrayModel, SystolicGemmResult
+from repro.hardware.tensor_core import TensorCoreGemmResult, TensorCoreModel
+
+__all__ = [
+    "TuringGPUConfig",
+    "SystolicArrayConfig",
+    "TURING_2080TI",
+    "SYSTOLIC_64X64",
+    "ExponentIntegerPair",
+    "AbfloatDecoder",
+    "OVPDecoder",
+    "OliveMacUnit",
+    "FourPEInt8Multiplier",
+    "Int32Accumulator",
+    "GemmTraffic",
+    "gemm_traffic",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "GPU_ENERGY_MODEL",
+    "ACCEL_ENERGY_MODEL",
+    "AreaEntry",
+    "DECODER_AREA_UM2",
+    "PE_AREA_UM2",
+    "gpu_decoder_area",
+    "systolic_area_breakdown",
+    "SystolicArrayModel",
+    "SystolicGemmResult",
+    "TensorCoreModel",
+    "TensorCoreGemmResult",
+    "MmaInstruction",
+    "MMA_S4",
+    "mma_ovp_for",
+    "execute_mma_ovp",
+]

@@ -1,0 +1,85 @@
+"""Area model for the OliVe hardware additions (paper Tables 10 and 11).
+
+The paper synthesises its decoders in 22 nm and scales them to the GPU's 12 nm
+node with DeepScaleTool; the resulting per-component areas are reproduced here
+and combined into the two published breakdowns:
+
+* Table 10 — decoder area added to an RTX 2080 Ti (139,264 4-bit + 69,632
+  8-bit decoders on a 754 mm² die → 0.250 % / 0.166 %).
+* Table 11 — the systolic-array accelerator breakdown at 22 nm (128 + 64 edge
+  decoders, 4096 4-bit PEs → decoders are ~2 % of the core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hardware.config import SystolicArrayConfig, TuringGPUConfig
+
+__all__ = [
+    "AreaEntry",
+    "DECODER_AREA_UM2",
+    "PE_AREA_UM2",
+    "gpu_decoder_area",
+    "systolic_area_breakdown",
+]
+
+#: Synthesised decoder area in µm², keyed by (bits, process nm).  Values from
+#: the paper (Tables 10-11).
+DECODER_AREA_UM2: Dict[tuple, float] = {
+    (4, 22): 37.22,
+    (8, 22): 49.50,
+    (4, 12): 13.53,
+    (8, 12): 18.00,
+}
+
+#: 4-bit processing-element area at 22 nm (paper Table 11), µm².
+PE_AREA_UM2: Dict[int, float] = {22: 50.01}
+
+
+@dataclass(frozen=True)
+class AreaEntry:
+    """One row of an area table."""
+
+    component: str
+    count: int
+    unit_area_um2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Total area of this component in mm²."""
+        return self.count * self.unit_area_um2 * 1e-6
+
+    def ratio_of(self, reference_mm2: float) -> float:
+        """This component's share of ``reference_mm2`` (a fraction)."""
+        if reference_mm2 <= 0:
+            return 0.0
+        return self.total_mm2 / reference_mm2
+
+
+def gpu_decoder_area(config: TuringGPUConfig = TuringGPUConfig()) -> List[AreaEntry]:
+    """Table 10: the OVP decoders added to every EDP lane of the GPU.
+
+    One 4-bit decoder per 4-bit multiplier pair and one 8-bit decoder per
+    8-bit multiplier pair, i.e. 139,264 and 69,632 decoders respectively.
+    """
+    return [
+        AreaEntry("4-bit decoder", config.int4_multipliers, DECODER_AREA_UM2[(4, config.process_nm)]),
+        AreaEntry("8-bit decoder", config.int8_multipliers, DECODER_AREA_UM2[(8, config.process_nm)]),
+    ]
+
+
+def systolic_area_breakdown(config: SystolicArrayConfig = SystolicArrayConfig()) -> List[AreaEntry]:
+    """Table 11: area breakdown of the OliVe systolic array at 22 nm.
+
+    Decoders sit only on the array borders (n + m of them, Sec. 4.3); every PE
+    is a 4-bit exponent-integer MAC.
+    """
+    four_bit_decoders = config.rows + config.cols
+    eight_bit_decoders = (config.rows + config.cols) // 2
+    return [
+        AreaEntry("4-bit decoder", four_bit_decoders, DECODER_AREA_UM2[(4, config.process_nm)]),
+        AreaEntry("8-bit decoder", eight_bit_decoders, DECODER_AREA_UM2[(8, config.process_nm)]),
+        AreaEntry("4-bit PE", config.num_pes, PE_AREA_UM2[config.process_nm]),
+    ]

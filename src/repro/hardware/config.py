@@ -1,0 +1,99 @@
+"""Hardware configuration objects (paper Table 5 and Sec. 5.1).
+
+Two platforms are modelled:
+
+* :class:`TuringGPUConfig` — the RTX 2080 Ti (Turing) GPU the paper integrates
+  OliVe into: 68 SMs × 8 tensor cores, 34,816 16-bit multipliers, with 2× /
+  4× throughput at 8-bit / 4-bit (Table 5), plus the memory hierarchy and
+  clock/bandwidth parameters used by the performance model.
+* :class:`SystolicArrayConfig` — the 64×64 output-stationary systolic array
+  used for the accelerator comparison (4096 4-bit PEs, Table 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["TuringGPUConfig", "SystolicArrayConfig", "TURING_2080TI", "SYSTOLIC_64X64"]
+
+
+@dataclass(frozen=True)
+class TuringGPUConfig:
+    """Turing-class GPU description (paper Table 5 + RTX 2080 Ti datasheet)."""
+
+    name: str = "rtx-2080ti"
+    num_sms: int = 68
+    tensor_cores_per_sm: int = 8
+    fp16_multipliers: int = 34_816       # Table 5: 16-bit units
+    int8_multipliers: int = 69_632       # Table 5: 8-bit units (2×)
+    int4_multipliers: int = 139_264      # Table 5: 4-bit units (4×)
+    clock_ghz: float = 1.545
+    dram_bandwidth_gbs: float = 616.0
+    l2_bandwidth_gbs: float = 2_000.0
+    l2_size_mb: float = 5.5
+    dram_size_gb: float = 11.0
+    die_area_mm2: float = 754.0          # paper Sec. 5.3
+    process_nm: int = 12
+
+    def multipliers_for_bits(self, bits: int) -> int:
+        """Number of parallel multipliers available at a given precision."""
+        if bits <= 4:
+            return self.int4_multipliers
+        if bits <= 8:
+            return self.int8_multipliers
+        return self.fp16_multipliers
+
+    def peak_macs_per_second(self, bits: int) -> float:
+        """Peak multiply-accumulate throughput at a given operand precision."""
+        return self.multipliers_for_bits(bits) * self.clock_ghz * 1e9
+
+    @property
+    def total_tensor_cores(self) -> int:
+        """Total tensor cores on the die (68 × 8 = 544)."""
+        return self.num_sms * self.tensor_cores_per_sm
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """Output-stationary systolic-array accelerator description (Sec. 4.3, Table 11)."""
+
+    name: str = "olive-sa-64x64"
+    rows: int = 64
+    cols: int = 64
+    clock_ghz: float = 1.0
+    dram_bandwidth_gbs: float = 128.0
+    sram_bandwidth_gbs: float = 1_024.0
+    weight_buffer_kb: int = 512
+    input_buffer_kb: int = 512
+    output_buffer_kb: int = 256
+    pe_bits: int = 4                     # native PE precision (Sec. 4.5)
+    process_nm: int = 22
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("systolic array dimensions must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        """Number of processing elements (4096 for the 64×64 array)."""
+        return self.rows * self.cols
+
+    @property
+    def num_edge_decoders(self) -> int:
+        """OVP decoders needed along the array borders (n + m, Sec. 4.3)."""
+        return self.rows + self.cols
+
+    def peak_macs_per_second(self, bits: int) -> float:
+        """Peak MAC throughput; ``bits`` wider than the PE width gangs 4 PEs (Sec. 4.5)."""
+        if bits <= self.pe_bits:
+            effective = self.num_pes
+        else:
+            effective = self.num_pes // 4
+        return effective * self.clock_ghz * 1e9
+
+
+#: Default platform instances used throughout the simulators.
+TURING_2080TI = TuringGPUConfig()
+SYSTOLIC_64X64 = SystolicArrayConfig()

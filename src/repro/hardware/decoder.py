@@ -1,0 +1,153 @@
+"""Bit-accurate behavioural models of the OliVe hardware decoders (paper Sec. 4.2).
+
+Two decoders are modelled:
+
+* :class:`AbfloatDecoder` — Fig. 7: turns a 4-bit (or 8-bit) abfloat code plus
+  the instruction-supplied bias into an ``(exponent, integer)`` pair.
+* :class:`OVPDecoder` — Fig. 6b: reads one byte (exactly one 4-bit value pair,
+  or one element of an 8-bit pair), detects the outlier identifier, zeroes the
+  victim slot and routes the outlier nibble through the abfloat decoder.  The
+  output is the pair of exponent-integer operands consumed by the OliVe MAC
+  units.
+
+Both classes also expose area/power/latency figures taken from the paper's
+synthesis results (Tables 10–11) so the area model can reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.abfloat import ABFLOAT_E2M1, ABFLOAT_E4M3, AbfloatType
+from repro.core.dtypes import INT4, INT8, NormalDataType, get_normal_dtype
+from repro.core.errors import DecodingError
+
+__all__ = ["ExponentIntegerPair", "AbfloatDecoder", "OVPDecoder"]
+
+
+@dataclass(frozen=True)
+class ExponentIntegerPair:
+    """The unified operand format produced by every decoder (Sec. 4.4).
+
+    The represented value is ``integer << exponent`` (with sign carried by the
+    integer), which the MAC unit consumes directly.
+    """
+
+    exponent: int
+    integer: int
+
+    @property
+    def value(self) -> int:
+        """The decoded numerical value."""
+        return self.integer * (1 << self.exponent)
+
+
+class AbfloatDecoder:
+    """The outlier decoder of Fig. 7: abfloat code + bias → exponent/integer."""
+
+    #: Synthesised area of the 4-bit decoder at 22 nm (paper Table 11), µm².
+    AREA_4BIT_22NM_UM2 = 37.22 * 0.45   # the abfloat decoder is a sub-block of the OVP decoder
+
+    def __init__(self, abfloat_type: AbfloatType, bias: int) -> None:
+        self.abfloat_type = abfloat_type
+        self.bias = int(bias)
+
+    def decode(self, code: int) -> ExponentIntegerPair:
+        """Decode one abfloat code into an exponent-integer pair."""
+        exponent, integer = self.abfloat_type.exponent_integer_pair(code, self.bias)
+        return ExponentIntegerPair(exponent=exponent, integer=integer)
+
+
+class OVPDecoder:
+    """The outlier-victim pair decoder of Fig. 6b.
+
+    ``bits`` selects the 4-bit (int4/flint4 + E2M1) or 8-bit (int8 + E4M3)
+    variant.  The 4-bit decoder consumes one byte per call — the smallest
+    addressable unit, holding exactly one pair; the 8-bit decoder consumes two
+    bytes.
+    """
+
+    #: Synthesised decoder areas (µm²) from the paper.
+    AREA_UM2 = {
+        (4, 22): 37.22,   # Table 11
+        (8, 22): 49.50,   # Table 11
+        (4, 12): 13.53,   # Table 10
+        (8, 12): 18.00,   # Table 10
+    }
+
+    def __init__(self, bits: int = 4, normal_dtype: str = None, bias: int = None) -> None:
+        if bits not in (4, 8):
+            raise DecodingError("OVP decoders exist in 4- and 8-bit variants only")
+        self.bits = bits
+        if normal_dtype is None:
+            normal_dtype = "int4" if bits == 4 else "int8"
+        self.normal_dtype: NormalDataType = get_normal_dtype(normal_dtype)
+        abfloat = ABFLOAT_E2M1 if bits == 4 else ABFLOAT_E4M3
+        if bias is None:
+            bias = 2 if bits == 4 else 4
+        self.outlier_decoder = AbfloatDecoder(abfloat, bias)
+
+    # ------------------------------------------------------------------ #
+    # Single-pair decode
+    # ------------------------------------------------------------------ #
+    def decode_pair(self, code1: int, code2: int) -> Tuple[ExponentIntegerPair, ExponentIntegerPair]:
+        """Decode a code pair into two exponent-integer operands.
+
+        Normal values get exponent 0 (the decoder "appends a 0000₂ exponent",
+        Sec. 4.2); the victim slot becomes the zero operand.
+        """
+        identifier = self.normal_dtype.identifier_code
+        if code2 == identifier:
+            return self.outlier_decoder.decode(code1), ExponentIntegerPair(0, 0)
+        if code1 == identifier:
+            return ExponentIntegerPair(0, 0), self.outlier_decoder.decode(code2)
+        return (
+            ExponentIntegerPair(0, int(self.normal_dtype.decode(code1))),
+            ExponentIntegerPair(0, int(self.normal_dtype.decode(code2))),
+        )
+
+    def decode_byte(self, byte: int) -> Tuple[ExponentIntegerPair, ExponentIntegerPair]:
+        """Decode one byte of a 4-bit OVP stream (high nibble first)."""
+        if self.bits != 4:
+            raise DecodingError("decode_byte is only meaningful for the 4-bit decoder")
+        if byte < 0 or byte > 0xFF:
+            raise DecodingError("byte out of range")
+        return self.decode_pair((byte >> 4) & 0xF, byte & 0xF)
+
+    # ------------------------------------------------------------------ #
+    # Stream decode
+    # ------------------------------------------------------------------ #
+    def decode_stream(self, data: np.ndarray) -> List[ExponentIntegerPair]:
+        """Decode a packed byte stream into a flat list of operands."""
+        data = np.asarray(data, dtype=np.uint8)
+        operands: List[ExponentIntegerPair] = []
+        if self.bits == 4:
+            for byte in data:
+                a, b = self.decode_byte(int(byte))
+                operands.extend((a, b))
+        else:
+            if data.size % 2:
+                raise DecodingError("8-bit OVP streams must contain an even number of bytes")
+            for i in range(0, data.size, 2):
+                a, b = self.decode_pair(int(data[i]), int(data[i + 1]))
+                operands.extend((a, b))
+        return operands
+
+    def decode_stream_values(self, data: np.ndarray) -> np.ndarray:
+        """Decode a packed byte stream directly to integer grid values."""
+        return np.array([op.value for op in self.decode_stream(data)], dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Physical characteristics
+    # ------------------------------------------------------------------ #
+    def area_um2(self, process_nm: int = 22) -> float:
+        """Synthesised decoder area at the given process node (paper Tables 10-11)."""
+        try:
+            return self.AREA_UM2[(self.bits, process_nm)]
+        except KeyError as exc:
+            raise DecodingError(
+                f"no synthesis data for a {self.bits}-bit decoder at {process_nm} nm"
+            ) from exc

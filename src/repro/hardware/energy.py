@@ -1,0 +1,112 @@
+"""Energy model (AccelWattch/GPUWattch/CACTI-style accounting, paper Sec. 5.1).
+
+Energy is split the same way the paper's Fig. 9b / Fig. 10b stacks are:
+
+* **constant** — idle/board power drawn for the whole runtime (GPU only);
+* **static** — leakage proportional to runtime;
+* **DRAM / L2 / L1+shared / register+core** — dynamic energy proportional to
+  bytes moved at each level and to the number of MACs at each precision.
+
+The per-byte and per-MAC energies are standard published figures (45 nm
+numbers from Horowitz's ISSCC keynote scaled to the modelled nodes); what
+matters for reproducing the paper is the *relative* cost of FP16 vs int8 vs
+int4 arithmetic and of DRAM vs on-chip accesses, which these constants
+preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "GPU_ENERGY_MODEL", "ACCEL_ENERGY_MODEL"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (joules) per reporting category of Fig. 9b / Fig. 10b."""
+
+    constant: float = 0.0
+    static: float = 0.0
+    dram: float = 0.0
+    l2: float = 0.0
+    l1: float = 0.0
+    core: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total energy in joules."""
+        return self.constant + self.static + self.dram + self.l2 + self.l1 + self.core
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view used by the experiment report writers."""
+        return {
+            "constant": self.constant,
+            "static": self.static,
+            "dram": self.dram,
+            "l2": self.l2,
+            "l1": self.l1,
+            "core": self.core,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-access and per-op energy constants plus idle/leakage power."""
+
+    #: dynamic energy per byte moved (joules/byte)
+    dram_energy_per_byte: float = 20e-12
+    l2_energy_per_byte: float = 2.0e-12
+    l1_energy_per_byte: float = 0.6e-12
+    #: dynamic energy per MAC, keyed by operand bit width (joules)
+    mac_energy: Dict[int, float] = field(
+        default_factory=lambda: {4: 0.15e-12, 8: 0.45e-12, 16: 1.6e-12, 32: 3.5e-12}
+    )
+    #: decoder energy per decoded element (joules); tiny, per the paper's area results
+    decoder_energy_per_element: float = 0.02e-12
+    #: leakage and constant power (watts)
+    static_power_w: float = 35.0
+    constant_power_w: float = 55.0
+
+    def mac_energy_for_bits(self, bits: int) -> float:
+        """Per-MAC dynamic energy at the closest supported precision."""
+        for candidate in sorted(self.mac_energy):
+            if bits <= candidate:
+                return self.mac_energy[candidate]
+        return self.mac_energy[max(self.mac_energy)]
+
+    def compute(
+        self,
+        runtime_s: float,
+        macs: float,
+        mac_bits: int,
+        dram_bytes: float,
+        l2_bytes: float,
+        l1_bytes: float,
+        decoded_elements: float = 0.0,
+    ) -> EnergyBreakdown:
+        """Combine traffic, compute and runtime into an energy breakdown."""
+        return EnergyBreakdown(
+            constant=self.constant_power_w * runtime_s,
+            static=self.static_power_w * runtime_s,
+            dram=dram_bytes * self.dram_energy_per_byte,
+            l2=l2_bytes * self.l2_energy_per_byte,
+            l1=l1_bytes * self.l1_energy_per_byte,
+            core=macs * self.mac_energy_for_bits(mac_bits)
+            + decoded_elements * self.decoder_energy_per_element,
+        )
+
+
+#: GPU-class energy model (RTX 2080 Ti scale: significant constant power).
+GPU_ENERGY_MODEL = EnergyModel()
+
+#: Accelerator-class energy model: no GPU board overhead, smaller leakage,
+#: DRAM relatively more expensive because the core itself is tiny.
+ACCEL_ENERGY_MODEL = EnergyModel(
+    dram_energy_per_byte=20e-12,
+    l2_energy_per_byte=1.5e-12,
+    l1_energy_per_byte=0.5e-12,
+    static_power_w=2.0,
+    constant_power_w=0.0,
+)

@@ -1,0 +1,91 @@
+"""The ``mma.ovp`` instruction (paper Sec. 4.6).
+
+The Turing tensor core exposes ``mma.s32.s4.s4.s32`` (int32 += int4 × int4).
+OliVe adds ``mmaovp.s32.ovpi4.ovpf4.s32.s4`` whose A/B operands are OVP-encoded
+tiles (int4- or flint4-based) and whose extra ``s4`` operand is the abfloat
+bias.  Because the encoding is memory aligned, the instruction is a drop-in
+replacement: the operand fetch path is unchanged and only the per-lane OVP
+decoders are new.
+
+This module provides a small symbolic ISA layer: instruction descriptors, an
+encoder from quantizer settings to an instruction instance, and a functional
+executor that runs the instruction on packed operands using the bit-accurate
+decoder and MAC models.  It is what ties the quantization framework to the
+hardware model in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.hardware.decoder import OVPDecoder
+from repro.hardware.mac import OliveMacUnit
+
+__all__ = ["MmaInstruction", "MMA_S4", "mma_ovp_for", "execute_mma_ovp"]
+
+
+@dataclass(frozen=True)
+class MmaInstruction:
+    """A matrix-multiply-accumulate instruction descriptor."""
+
+    mnemonic: str
+    accumulator_type: str
+    a_type: str
+    b_type: str
+    bias: int = 0
+
+    @property
+    def is_ovp(self) -> bool:
+        """True for the OVP-enabled variant."""
+        return self.mnemonic == "mmaovp"
+
+    def render(self) -> str:
+        """PTX-like textual form, e.g. ``mmaovp.s32.ovpi4.ovpi4.s32.s4``."""
+        text = f"{self.mnemonic}.{self.accumulator_type}.{self.a_type}.{self.b_type}.{self.accumulator_type}"
+        if self.is_ovp:
+            text += ".s4"
+        return text
+
+
+#: The baseline Turing 4-bit integer MMA.
+MMA_S4 = MmaInstruction("mma", "s32", "s4", "s4")
+
+
+def mma_ovp_for(normal_dtype: str, bias: int) -> MmaInstruction:
+    """Build the ``mmaovp`` instruction for a given normal data type and abfloat bias."""
+    type_code = {"int4": "ovpi4", "flint4": "ovpf4", "int8": "ovpi8"}.get(normal_dtype)
+    if type_code is None:
+        raise SimulationError(f"no mmaovp encoding for normal data type {normal_dtype!r}")
+    return MmaInstruction("mmaovp", "s32", type_code, type_code, bias=int(bias))
+
+
+def execute_mma_ovp(
+    instruction: MmaInstruction,
+    a_packed: np.ndarray,
+    b_packed: np.ndarray,
+    accumulator: int = 0,
+    bits: int = 4,
+) -> int:
+    """Functionally execute one OVP dot-product instruction.
+
+    ``a_packed`` and ``b_packed`` are byte streams holding the same number of
+    OVP-encoded elements; the result is the int32 dot product of the decoded
+    integer-grid values added to ``accumulator`` (D = A·B + C).
+    """
+    if not instruction.is_ovp:
+        raise SimulationError("execute_mma_ovp only executes mmaovp instructions")
+    decoder = OVPDecoder(bits=bits, bias=instruction.bias)
+    a_ops = decoder.decode_stream(np.asarray(a_packed, dtype=np.uint8))
+    b_ops = decoder.decode_stream(np.asarray(b_packed, dtype=np.uint8))
+    if len(a_ops) != len(b_ops):
+        raise SimulationError("operand streams must decode to the same length")
+    mac = OliveMacUnit()
+    mac.accumulator.value = int(accumulator)
+    result = int(accumulator)
+    for a, b in zip(a_ops, b_ops):
+        result = mac.mac(a, b)
+    return result

@@ -1,0 +1,132 @@
+"""OliVe MAC units (paper Sec. 4.4-4.5).
+
+After decoding, both normal values and outliers are exponent-integer pairs
+``<e, i>`` representing ``i << e``.  A multiply of two such pairs is
+
+    <a, b> × <c, d> = <a + c, b × d>
+
+i.e. one integer multiply plus one exponent add; the shift happens when the
+product is accumulated into the 32-bit integer accumulator.  Higher precision
+(int8, 8-bit abfloat) is composed from four 4-bit PEs by splitting each
+operand into high/low nibbles (Sec. 4.5).
+
+These models are *bit-accurate* (they operate on Python ints and reproduce
+the exact arithmetic including the 2^15 outlier clip and int32 accumulator
+semantics), and they also carry per-operation energy estimates used by the
+energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.core.errors import SimulationError
+from repro.hardware.decoder import ExponentIntegerPair
+
+__all__ = ["OliveMacUnit", "FourPEInt8Multiplier", "Int32Accumulator"]
+
+#: Paper Sec. 4.5: outliers are clipped to 2^15 so products fit int32.
+MAX_OUTLIER_MAGNITUDE = 1 << 15
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+
+@dataclass
+class Int32Accumulator:
+    """The 32-bit signed accumulator at the end of every dot-product lane."""
+
+    value: int = 0
+
+    def add(self, product: int) -> int:
+        """Accumulate with int32 wrap-around semantics (as the hardware would)."""
+        total = self.value + product
+        # Wrap into the signed 32-bit range.
+        total = (total - INT32_MIN) % (1 << 32) + INT32_MIN
+        self.value = total
+        return self.value
+
+    def reset(self) -> None:
+        """Clear the accumulator."""
+        self.value = 0
+
+
+class OliveMacUnit:
+    """A single 4-bit exponent-integer MAC lane (Fig. 8, the ``OliVe MAC Unit``)."""
+
+    def __init__(self) -> None:
+        self.accumulator = Int32Accumulator()
+
+    @staticmethod
+    def multiply(a: ExponentIntegerPair, b: ExponentIntegerPair) -> int:
+        """``<ea, ia> × <eb, ib> = (ia × ib) << (ea + eb)``."""
+        product_int = a.integer * b.integer
+        shift = a.exponent + b.exponent
+        product = product_int << shift if product_int >= 0 else -((-product_int) << shift)
+        if product > INT32_MAX or product < INT32_MIN:
+            raise SimulationError(
+                "product overflows the 32-bit accumulator; outliers must be "
+                f"clipped to {MAX_OUTLIER_MAGNITUDE} before multiplication"
+            )
+        return product
+
+    def mac(self, a: ExponentIntegerPair, b: ExponentIntegerPair) -> int:
+        """Multiply-accumulate one operand pair; returns the running sum."""
+        return self.accumulator.add(self.multiply(a, b))
+
+    def dot_product(
+        self,
+        lhs: Iterable[ExponentIntegerPair],
+        rhs: Iterable[ExponentIntegerPair],
+    ) -> int:
+        """Dot product of two operand sequences (the 16EDP of Fig. 6a)."""
+        self.accumulator.reset()
+        result = 0
+        for a, b in zip(lhs, rhs):
+            result = self.mac(a, b)
+        return result
+
+
+class FourPEInt8Multiplier:
+    """8-bit multiplication composed from four 4-bit PEs (paper Sec. 4.5).
+
+    An int8 value ``x`` splits into ``x = (h_x << 4) + l_x``; the product of
+    two int8 values is the sum of the four cross terms, each computed by one
+    4-bit PE.  The same composition handles 8-bit abfloat by adding the
+    decoded exponent to both halves.
+    """
+
+    @staticmethod
+    def split_int8(value: int) -> Tuple[int, int]:
+        """Split a signed 8-bit value into (high nibble, low nibble) with ``x = (h<<4)+l``."""
+        if value < -128 or value > 127:
+            raise SimulationError("value out of int8 range")
+        low = value & 0xF
+        high = (value - low) >> 4
+        return high, low
+
+    @classmethod
+    def multiply_int8(cls, x: int, y: int) -> int:
+        """Exact int8 × int8 product using the four-PE decomposition."""
+        hx, lx = cls.split_int8(x)
+        hy, ly = cls.split_int8(y)
+        pe0 = (hx * hy) << 8
+        pe1 = (hx * ly) << 4
+        pe2 = (lx * hy) << 4
+        pe3 = lx * ly
+        return pe0 + pe1 + pe2 + pe3
+
+    @classmethod
+    def multiply_abfloat8(
+        cls, x: ExponentIntegerPair, y: ExponentIntegerPair
+    ) -> int:
+        """8-bit abfloat product: the four-PE int product shifted by both exponents."""
+        product = cls.multiply_int8(_clip_int8_integer(x.integer), _clip_int8_integer(y.integer))
+        return product << (x.exponent + y.exponent)
+
+
+def _clip_int8_integer(integer: int) -> int:
+    """Decoded abfloat integers fit in 8 bits by construction; guard anyway."""
+    if integer < -128 or integer > 127:
+        raise SimulationError("decoded abfloat integer exceeds 8 bits")
+    return integer

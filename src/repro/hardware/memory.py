@@ -1,0 +1,87 @@
+"""Memory-hierarchy traffic model for GEMM workloads.
+
+The performance and energy simulators need, for every GEMM, the number of
+bytes that cross each level of the memory hierarchy.  A simple but standard
+tile-reuse model is used:
+
+* **DRAM** — each operand tensor is streamed once (weights are resident in
+  DRAM between layers; activations are produced by the previous layer but are
+  too large for on-chip persistence at the evaluated batch sizes), the output
+  is written once.
+* **L2** — sees the DRAM traffic plus one extra pass of the streamed operands
+  (tile re-fetch across tile rows/columns).
+* **L1 / shared memory** — each operand element is loaded once per output
+  tile it participates in; with ``tile × tile`` output tiles the A operand is
+  re-read ``N / tile`` times and B ``M / tile`` times.
+* **Register file** — one access per MAC operand (captured by the energy
+  model's per-MAC cost rather than explicit traffic).
+
+The same model is applied to every scheme; what changes between schemes is the
+*bytes per element* of each operand, which is exactly how OliVe, GOBO, ANT and
+int8 differ (paper Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GemmTraffic", "gemm_traffic"]
+
+
+@dataclass(frozen=True)
+class GemmTraffic:
+    """Bytes crossing each memory level for one GEMM."""
+
+    dram_bytes: float
+    l2_bytes: float
+    l1_bytes: float
+    output_bytes: float
+
+    def scaled(self, factor: float) -> "GemmTraffic":
+        """Uniformly scale all traffic (used for sparse-index overheads)."""
+        return GemmTraffic(
+            dram_bytes=self.dram_bytes * factor,
+            l2_bytes=self.l2_bytes * factor,
+            l1_bytes=self.l1_bytes * factor,
+            output_bytes=self.output_bytes * factor,
+        )
+
+
+def gemm_traffic(
+    m: int,
+    k: int,
+    n: int,
+    activation_bytes: float,
+    weight_bytes: float,
+    output_bytes: float = 2.0,
+    tile: int = 64,
+    index_overhead: float = 0.0,
+) -> GemmTraffic:
+    """Traffic of a GEMM ``C[M,N] = A[M,K] @ B[K,N]``.
+
+    Parameters
+    ----------
+    activation_bytes / weight_bytes:
+        Bytes per element of the A (activation) and B (weight) operands under
+        the scheme being simulated (0.5 for 4-bit, 1 for 8-bit, 2 for FP16...).
+    output_bytes:
+        Bytes per element of the produced C tensor.
+    tile:
+        Output tile edge used for the L1 reuse estimate.
+    index_overhead:
+        Extra fractional traffic for sparse outlier indices (coordinate lists,
+        bitmaps); 0 for aligned schemes such as OliVe.
+    """
+    a_bytes = m * k * activation_bytes
+    b_bytes = k * n * weight_bytes
+    c_bytes = m * n * output_bytes
+
+    dram = a_bytes + b_bytes + c_bytes
+    l2 = a_bytes * 2.0 + b_bytes * 2.0 + c_bytes
+    a_reuse = max(1.0, n / tile)
+    b_reuse = max(1.0, m / tile)
+    l1 = a_bytes * a_reuse + b_bytes * b_reuse + c_bytes
+    traffic = GemmTraffic(dram_bytes=dram, l2_bytes=l2, l1_bytes=l1, output_bytes=c_bytes)
+    if index_overhead:
+        traffic = traffic.scaled(1.0 + index_overhead)
+    return traffic

@@ -1,0 +1,101 @@
+"""Cycle-level model of the output-stationary systolic array (paper Sec. 4.3).
+
+A GEMM ``C[M,N] = A[M,K] @ B[K,N]`` is executed tile by tile: each ``rows ×
+cols`` output tile stays resident in the PEs while the corresponding ``K``
+operand slices are streamed through the array.  The per-tile cycle count is
+the classic output-stationary expression ``K + rows + cols − 2`` (streaming
+depth plus pipeline fill/drain), and tiles execute back to back.
+
+Precisions wider than the native 4-bit PE gang four PEs per MAC (Sec. 4.5),
+which the model captures by shrinking the effective array.  Schemes that need
+an outlier controller (OLAccel/GOBO-style sparse handling) pay a per-outlier
+serialisation penalty, which is how the paper explains their lower benefit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.hardware.config import SystolicArrayConfig
+
+__all__ = ["SystolicGemmResult", "SystolicArrayModel"]
+
+
+@dataclass(frozen=True)
+class SystolicGemmResult:
+    """Cycle/utilisation summary of one GEMM on the systolic array."""
+
+    m: int
+    k: int
+    n: int
+    cycles: float
+    macs: float
+    effective_rows: int
+    effective_cols: int
+
+    @property
+    def utilization(self) -> float:
+        """Achieved MAC utilisation of the (effective) array."""
+        peak = self.cycles * self.effective_rows * self.effective_cols
+        return float(self.macs / peak) if peak > 0 else 0.0
+
+
+class SystolicArrayModel:
+    """Output-stationary systolic-array GEMM timing model."""
+
+    def __init__(self, config: SystolicArrayConfig = SystolicArrayConfig()) -> None:
+        self.config = config
+
+    def effective_dims(self, bits: int) -> tuple:
+        """Effective array dimensions once PE ganging for wide operands is applied."""
+        rows, cols = self.config.rows, self.config.cols
+        if bits > self.config.pe_bits:
+            # Four 4-bit PEs per 8-bit MAC: halve each dimension (Sec. 4.5).
+            rows //= 2
+            cols //= 2
+        if rows == 0 or cols == 0:
+            raise SimulationError("systolic array too small for the requested precision")
+        return rows, cols
+
+    def gemm(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        bits: int = 4,
+        outlier_serialisation: float = 0.0,
+    ) -> SystolicGemmResult:
+        """Cycle count of one GEMM.
+
+        Parameters
+        ----------
+        bits:
+            Operand precision; > 4 bits gangs four PEs per MAC.
+        outlier_serialisation:
+            Fractional extra cycles spent by an outlier controller
+            (0 for OliVe — its decode is in the operand path).
+        """
+        if min(m, k, n) <= 0:
+            raise SimulationError("GEMM dimensions must be positive")
+        rows, cols = self.effective_dims(bits)
+        tiles_m = math.ceil(m / rows)
+        tiles_n = math.ceil(n / cols)
+        per_tile = k + rows + cols - 2
+        cycles = tiles_m * tiles_n * per_tile
+        cycles *= 1.0 + max(outlier_serialisation, 0.0)
+        return SystolicGemmResult(
+            m=m,
+            k=k,
+            n=n,
+            cycles=float(cycles),
+            macs=float(m) * k * n,
+            effective_rows=rows,
+            effective_cols=cols,
+        )
+
+    def gemm_seconds(self, m: int, k: int, n: int, bits: int = 4, outlier_serialisation: float = 0.0) -> float:
+        """Wall-clock seconds of one GEMM at the configured clock."""
+        result = self.gemm(m, k, n, bits, outlier_serialisation)
+        return result.cycles / (self.config.clock_ghz * 1e9)

@@ -1,0 +1,89 @@
+"""GPU tensor-core GEMM timing model (paper Sec. 4.1 / 5.3).
+
+The model follows the roofline the paper's GPGPU-Sim experiments obey to first
+order: every GEMM takes the larger of
+
+* its **compute time** — MACs divided by the peak MAC rate at the precision
+  the scheme computes in (Table 5: 34,816 / 69,632 / 139,264 multipliers for
+  16-/8-/4-bit), de-rated by an achievable-utilisation factor that matches
+  CUTLASS efficiency on large GEMMs; and
+* its **memory time** — DRAM traffic divided by the DRAM bandwidth.
+
+Decode of OVP operands happens in the operand path of every EDP (Fig. 6a) and
+does not add cycles; GOBO-style DRAM-only compression adds decompression work
+but, more importantly, still computes in FP16 — which is what the model
+charges it for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.hardware.config import TuringGPUConfig
+from repro.hardware.memory import GemmTraffic
+
+__all__ = ["TensorCoreGemmResult", "TensorCoreModel"]
+
+
+@dataclass(frozen=True)
+class TensorCoreGemmResult:
+    """Timing summary of one GEMM on the GPU."""
+
+    m: int
+    k: int
+    n: int
+    compute_seconds: float
+    memory_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Roofline execution time."""
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """True when DRAM bandwidth limits this GEMM."""
+        return self.memory_seconds > self.compute_seconds
+
+
+class TensorCoreModel:
+    """Roofline GEMM model of a Turing-class GPU."""
+
+    def __init__(
+        self,
+        config: TuringGPUConfig = TuringGPUConfig(),
+        compute_efficiency: float = 0.75,
+        bandwidth_efficiency: float = 0.80,
+    ) -> None:
+        if not (0 < compute_efficiency <= 1.0 and 0 < bandwidth_efficiency <= 1.0):
+            raise SimulationError("efficiencies must be in (0, 1]")
+        self.config = config
+        self.compute_efficiency = compute_efficiency
+        self.bandwidth_efficiency = bandwidth_efficiency
+
+    def gemm(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        compute_bits: int,
+        traffic: GemmTraffic,
+        compute_overhead: float = 0.0,
+    ) -> TensorCoreGemmResult:
+        """Roofline time of one GEMM.
+
+        ``compute_overhead`` is a fractional slowdown of the math pipeline
+        (used for schemes that interleave extra instructions, e.g. sparse
+        outlier handling on the CUDA cores).
+        """
+        if min(m, k, n) <= 0:
+            raise SimulationError("GEMM dimensions must be positive")
+        macs = float(m) * k * n
+        peak = self.config.peak_macs_per_second(compute_bits) * self.compute_efficiency
+        compute_seconds = macs / peak * (1.0 + max(compute_overhead, 0.0))
+        bandwidth = self.config.dram_bandwidth_gbs * 1e9 * self.bandwidth_efficiency
+        memory_seconds = traffic.dram_bytes / bandwidth
+        return TensorCoreGemmResult(
+            m=m, k=k, n=n, compute_seconds=compute_seconds, memory_seconds=memory_seconds
+        )

@@ -1,0 +1,59 @@
+"""Synthetic model zoo and model configurations."""
+
+from repro.models.configs import (
+    ACCURACY_MODELS,
+    LLM_MODELS,
+    PERF_MODELS,
+    AnalogueConfig,
+    ModelConfig,
+    ModelFamily,
+    PAPER_CONFIGS,
+    RESNET18_CONV_SHAPES,
+    analogue_config,
+    paper_config,
+)
+from repro.models.outliers import (
+    inject_activation_outliers,
+    inject_model_outliers,
+    inject_tensor_outliers,
+    inject_weight_outliers,
+)
+from repro.models.zoo import (
+    CausalLM,
+    SequenceClassifier,
+    SpanExtractor,
+    build_backbone,
+    build_causal_lm,
+    build_classifier,
+    build_span_model,
+    model_weight_tensors,
+    resnet18_tensors,
+    transformer_analogue_tensors,
+)
+
+__all__ = [
+    "ModelFamily",
+    "ModelConfig",
+    "AnalogueConfig",
+    "PAPER_CONFIGS",
+    "RESNET18_CONV_SHAPES",
+    "ACCURACY_MODELS",
+    "LLM_MODELS",
+    "PERF_MODELS",
+    "analogue_config",
+    "paper_config",
+    "inject_tensor_outliers",
+    "inject_weight_outliers",
+    "inject_activation_outliers",
+    "inject_model_outliers",
+    "SequenceClassifier",
+    "SpanExtractor",
+    "CausalLM",
+    "build_backbone",
+    "build_classifier",
+    "build_span_model",
+    "build_causal_lm",
+    "model_weight_tensors",
+    "resnet18_tensors",
+    "transformer_analogue_tensors",
+]

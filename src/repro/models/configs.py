@@ -1,0 +1,199 @@
+"""Model configurations.
+
+Two kinds of configuration live here:
+
+* :data:`PAPER_CONFIGS` — the *real* architectural dimensions of the models
+  the paper evaluates (BERT-base/large, BART-base, GPT2-XL, BLOOM-7B1,
+  OPT-6.7B) plus a ResNet-18 tensor-shape listing.  These drive the GEMM
+  workload generator for the performance/energy simulations (Figs. 9–10);
+  no actual weights of that size are ever materialised.
+
+* :func:`analogue_config` — scaled-down analogues used by the accuracy
+  experiments.  They keep the architectural *family* (encoder / decoder /
+  encoder-decoder), relative depth ordering and, crucially, the outlier
+  statistics of the originals (Fig. 2 / Table 2), but with hidden sizes small
+  enough that full NumPy inference is fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "ModelFamily",
+    "ModelConfig",
+    "AnalogueConfig",
+    "PAPER_CONFIGS",
+    "RESNET18_CONV_SHAPES",
+    "analogue_config",
+    "paper_config",
+    "ACCURACY_MODELS",
+    "LLM_MODELS",
+    "PERF_MODELS",
+]
+
+
+class ModelFamily:
+    """Architectural families evaluated in the paper."""
+
+    ENCODER = "encoder"              # BERT-like
+    DECODER = "decoder"              # GPT/OPT/BLOOM-like
+    ENCODER_DECODER = "encoder-decoder"  # BART-like
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Full-size architecture description (used for workload generation)."""
+
+    name: str
+    family: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    intermediate_size: int
+    vocab_size: int
+    max_positions: int
+    default_batch: int
+    default_seq_len: int
+
+    @property
+    def approx_parameters(self) -> int:
+        """Rough parameter count of the transformer blocks (ignores embeddings)."""
+        per_layer = 4 * self.hidden_size * self.hidden_size + 2 * self.hidden_size * self.intermediate_size
+        layers = self.num_layers * (2 if self.family == ModelFamily.ENCODER_DECODER else 1)
+        return per_layer * layers
+
+
+@dataclass(frozen=True)
+class AnalogueConfig:
+    """Scaled-down analogue used by accuracy experiments.
+
+    ``outlier_max_sigma`` and ``outlier_ratio`` reproduce the outlier profile
+    of the original model (Fig. 2 / Table 2 of the paper); ``activation_outlier_channels``
+    is the number of embedding channels whose LayerNorm gain is amplified,
+    modelling the per-channel activation outliers observed in real LLMs.
+    """
+
+    name: str
+    family: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    intermediate_size: int
+    vocab_size: int
+    max_positions: int
+    outlier_max_sigma: float
+    outlier_ratio: float
+    activation_outlier_channels: int
+    activation_outlier_gain: float = 6.0
+    lm_temperature: float = 0.25
+
+
+# --------------------------------------------------------------------------- #
+# Paper-scale configurations (architecture dimensions from the public models)
+# --------------------------------------------------------------------------- #
+PAPER_CONFIGS: Dict[str, ModelConfig] = {
+    "bert-base": ModelConfig(
+        "bert-base", ModelFamily.ENCODER, 768, 12, 12, 3072, 30522, 512, 16, 128
+    ),
+    "bert-large": ModelConfig(
+        "bert-large", ModelFamily.ENCODER, 1024, 24, 16, 4096, 30522, 512, 16, 128
+    ),
+    "bart-base": ModelConfig(
+        "bart-base", ModelFamily.ENCODER_DECODER, 768, 6, 12, 3072, 50265, 1024, 16, 128
+    ),
+    "gpt2-xl": ModelConfig(
+        "gpt2-xl", ModelFamily.DECODER, 1600, 48, 25, 6400, 50257, 1024, 2, 512
+    ),
+    "bloom-7b1": ModelConfig(
+        "bloom-7b1", ModelFamily.DECODER, 4096, 30, 32, 16384, 250880, 2048, 2, 512
+    ),
+    "opt-6.7b": ModelConfig(
+        "opt-6.7b", ModelFamily.DECODER, 4096, 32, 32, 16384, 50272, 2048, 2, 512
+    ),
+}
+
+#: (out_channels, in_channels, kh, kw) of every ResNet-18 convolution, used to
+#: build the CNN side of the Fig. 2 comparison.
+RESNET18_CONV_SHAPES: List[Tuple[int, int, int, int]] = [
+    (64, 3, 7, 7),
+    (64, 64, 3, 3), (64, 64, 3, 3), (64, 64, 3, 3), (64, 64, 3, 3),
+    (128, 64, 3, 3), (128, 128, 3, 3), (128, 64, 1, 1),
+    (128, 128, 3, 3), (128, 128, 3, 3),
+    (256, 128, 3, 3), (256, 256, 3, 3), (256, 128, 1, 1),
+    (256, 256, 3, 3), (256, 256, 3, 3),
+    (512, 256, 3, 3), (512, 512, 3, 3), (512, 256, 1, 1),
+    (512, 512, 3, 3), (512, 512, 3, 3),
+]
+
+
+# --------------------------------------------------------------------------- #
+# Scaled-down analogues (accuracy experiments)
+# --------------------------------------------------------------------------- #
+_ANALOGUES: Dict[str, AnalogueConfig] = {
+    "bert-base": AnalogueConfig(
+        "bert-base", ModelFamily.ENCODER, 64, 3, 4, 128, 96, 64,
+        outlier_max_sigma=60.0, outlier_ratio=0.003, activation_outlier_channels=0,
+        activation_outlier_gain=1.0,
+    ),
+    "bert-large": AnalogueConfig(
+        "bert-large", ModelFamily.ENCODER, 80, 4, 4, 160, 96, 64,
+        outlier_max_sigma=80.0, outlier_ratio=0.003, activation_outlier_channels=0,
+        activation_outlier_gain=1.0,
+    ),
+    "bart-base": AnalogueConfig(
+        "bart-base", ModelFamily.ENCODER_DECODER, 64, 2, 4, 128, 96, 64,
+        outlier_max_sigma=70.0, outlier_ratio=0.003, activation_outlier_channels=0,
+        activation_outlier_gain=1.0,
+    ),
+    "gpt2-xl": AnalogueConfig(
+        "gpt2-xl", ModelFamily.DECODER, 64, 3, 4, 128, 96, 64,
+        outlier_max_sigma=120.0, outlier_ratio=0.004, activation_outlier_channels=1,
+        activation_outlier_gain=6.0, lm_temperature=0.6,
+    ),
+    "bloom-7b1": AnalogueConfig(
+        "bloom-7b1", ModelFamily.DECODER, 80, 3, 4, 160, 96, 64,
+        outlier_max_sigma=150.0, outlier_ratio=0.003, activation_outlier_channels=2,
+        activation_outlier_gain=8.0, lm_temperature=0.6,
+    ),
+    "opt-6.7b": AnalogueConfig(
+        "opt-6.7b", ModelFamily.DECODER, 80, 3, 4, 160, 96, 64,
+        outlier_max_sigma=250.0, outlier_ratio=0.003, activation_outlier_channels=2,
+        activation_outlier_gain=25.0, lm_temperature=0.6,
+    ),
+    "resnet-18": AnalogueConfig(
+        "resnet-18", ModelFamily.ENCODER, 64, 2, 4, 128, 96, 64,
+        outlier_max_sigma=8.0, outlier_ratio=0.002, activation_outlier_channels=0,
+        activation_outlier_gain=1.0,
+    ),
+}
+
+#: Models used in the GLUE/SQuAD accuracy experiments.
+ACCURACY_MODELS = ["bert-base", "bert-large", "bart-base"]
+
+#: Models used in the LLM perplexity experiment (Table 9).
+LLM_MODELS = ["gpt2-xl", "bloom-7b1", "opt-6.7b"]
+
+#: Models used in the performance/energy experiments (Figs. 9–10).
+PERF_MODELS = ["bert-base", "bert-large", "bart-base", "gpt2-xl", "bloom-7b1"]
+
+
+def paper_config(name: str) -> ModelConfig:
+    """Full-size architecture description by model name."""
+    try:
+        return PAPER_CONFIGS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; expected one of {sorted(PAPER_CONFIGS)}"
+        ) from exc
+
+
+def analogue_config(name: str) -> AnalogueConfig:
+    """Scaled-down analogue configuration by model name."""
+    try:
+        return _ANALOGUES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown analogue {name!r}; expected one of {sorted(_ANALOGUES)}"
+        ) from exc

@@ -1,0 +1,39 @@
+"""NumPy transformer substrate (forward-only) used by the OliVe reproduction."""
+
+from repro.nn import functional
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.fakequant import QuantizedLinear, iter_quantized_linears, set_calibration
+from repro.nn.heads import ClassificationHead, LMHead, SpanHead
+from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
+from repro.nn.module import Module, Parameter
+from repro.nn.transformer import (
+    FeedForward,
+    TransformerDecoder,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerEncoderDecoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "PositionalEmbedding",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "TransformerEncoder",
+    "TransformerDecoder",
+    "TransformerEncoderDecoder",
+    "ClassificationHead",
+    "SpanHead",
+    "LMHead",
+    "QuantizedLinear",
+    "set_calibration",
+    "iter_quantized_linears",
+]

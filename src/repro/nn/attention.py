@@ -1,0 +1,87 @@
+"""Multi-head attention for the NumPy transformer substrate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+__all__ = ["MultiHeadAttention"]
+
+
+class MultiHeadAttention(Module):
+    """Multi-head scaled dot-product attention.
+
+    Supports self-attention (``context is None``), cross-attention (BART-style
+    decoder) and causal masking (GPT-style decoding).  The four projection
+    matrices (Q, K, V, output) are ordinary :class:`Linear` layers, which is
+    exactly where the OliVe quantization framework attaches its fake-quant
+    wrappers.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if hidden_size % num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        self.hidden_size = int(hidden_size)
+        self.num_heads = int(num_heads)
+        self.head_dim = hidden_size // num_heads
+        rng = rng or np.random.default_rng(0)
+        self.q_proj = Linear(hidden_size, hidden_size, rng=rng)
+        self.k_proj = Linear(hidden_size, hidden_size, rng=rng)
+        self.v_proj = Linear(hidden_size, hidden_size, rng=rng)
+        self.out_proj = Linear(hidden_size, hidden_size, rng=rng)
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        x = x.reshape(batch, seq, self.num_heads, self.head_dim)
+        return x.transpose(0, 2, 1, 3)  # (batch, heads, seq, head_dim)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, heads, seq, dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * dim)
+
+    def forward(
+        self,
+        hidden: np.ndarray,
+        context: Optional[np.ndarray] = None,
+        causal: bool = False,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run attention.
+
+        Parameters
+        ----------
+        hidden:
+            Query-side input of shape ``(batch, seq, hidden)``.
+        context:
+            Key/value-side input for cross-attention; defaults to ``hidden``.
+        causal:
+            Apply a lower-triangular mask (decoder self-attention).
+        attention_mask:
+            Optional additive mask broadcastable to ``(batch, heads, q, k)``.
+        """
+        hidden = np.asarray(hidden, dtype=np.float64)
+        kv_input = hidden if context is None else np.asarray(context, dtype=np.float64)
+
+        q = self._split_heads(self.q_proj(hidden))
+        k = self._split_heads(self.k_proj(kv_input))
+        v = self._split_heads(self.v_proj(kv_input))
+
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if causal:
+            scores = scores + F.causal_mask(scores.shape[-1])[None, None]
+        if attention_mask is not None:
+            scores = scores + attention_mask
+        weights = F.softmax(scores, axis=-1)
+        attended = weights @ v
+        return self.out_proj(self._merge_heads(attended))

@@ -1,0 +1,100 @@
+"""Fake-quantization wrappers for post-training quantization (PTQ).
+
+Quantized inference is simulated the same way the paper's PyTorch framework
+does it: each GEMM operand (weight tensor and input activation) is passed
+through a quantize→dequantize round trip before the floating-point matmul.
+This isolates the *numerical* effect of the encoding from the hardware model,
+which is simulated separately in :mod:`repro.sim`.
+
+:class:`QuantizedLinear` replaces a :class:`repro.nn.layers.Linear`.  It holds
+two quantizer objects (any object with ``fit``/``quantize``; see
+:mod:`repro.quant.base`):
+
+* the weight quantizer is fitted once, eagerly, on the layer weight;
+* the activation quantizer is fitted during a *calibration* pass over one
+  batch of data (paper Sec. 3.4: "we still need to use one batch of data from
+  the training set for the scale factor selection").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+
+__all__ = ["QuantizedLinear", "set_calibration", "iter_quantized_linears"]
+
+
+class QuantizedLinear(Module):
+    """A Linear layer whose weight and input activations are fake-quantized."""
+
+    def __init__(
+        self,
+        linear: Linear,
+        weight_quantizer=None,
+        activation_quantizer=None,
+    ) -> None:
+        super().__init__()
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+        self.weight = Parameter(linear.weight.data.copy())
+        self.bias = Parameter(linear.bias.data.copy()) if linear.bias is not None else None
+        self.weight_quantizer = weight_quantizer
+        self.activation_quantizer = activation_quantizer
+        self.calibrating = False
+        self._quantized_weight: Optional[np.ndarray] = None
+        if weight_quantizer is not None:
+            weight_quantizer.fit(self.weight.data)
+            self._quantized_weight = weight_quantizer.quantize(self.weight.data)
+
+    # ------------------------------------------------------------------ #
+    # Calibration control
+    # ------------------------------------------------------------------ #
+    def begin_calibration(self) -> None:
+        """Enter calibration mode: the next forward fits the activation quantizer."""
+        self.calibrating = True
+
+    def end_calibration(self) -> None:
+        """Leave calibration mode."""
+        self.calibrating = False
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.activation_quantizer is not None:
+            if self.calibrating:
+                self.activation_quantizer.fit(x)
+            x = self.activation_quantizer.quantize(x)
+        weight = (
+            self._quantized_weight if self._quantized_weight is not None else self.weight.data
+        )
+        out = x @ weight.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def gemm_shape(self, batch_tokens: int) -> tuple:
+        """``(M, K, N)`` of the GEMM this layer performs on ``batch_tokens`` rows."""
+        return (batch_tokens, self.in_features, self.out_features)
+
+
+def set_calibration(model: Module, enabled: bool) -> None:
+    """Toggle calibration mode on every :class:`QuantizedLinear` in ``model``."""
+    for _, module in model.named_modules():
+        if isinstance(module, QuantizedLinear):
+            if enabled:
+                module.begin_calibration()
+            else:
+                module.end_calibration()
+
+
+def iter_quantized_linears(model: Module):
+    """Yield ``(dotted_name, QuantizedLinear)`` pairs of ``model``."""
+    for name, module in model.named_modules():
+        if isinstance(module, QuantizedLinear):
+            yield name, module

@@ -1,0 +1,87 @@
+"""Stateless neural-network math used by the NumPy transformer substrate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "relu",
+    "layer_norm",
+    "cross_entropy",
+    "one_hot",
+    "causal_mask",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as used by BERT/GPT-2)."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalisation over the last axis with affine parameters."""
+    x = np.asarray(x, dtype=np.float64)
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    return normed * gamma + beta
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer indices along a new trailing axis."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross-entropy (natural log) of integer targets under ``logits``.
+
+    ``logits`` has shape ``(..., num_classes)`` and ``targets`` the matching
+    leading shape of integer class indices.
+    """
+    logp = log_softmax(logits, axis=-1)
+    targets = np.asarray(targets, dtype=np.int64)
+    gathered = np.take_along_axis(logp, targets[..., None], axis=-1)[..., 0]
+    return float(-np.mean(gathered))
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive causal attention mask of shape ``(seq_len, seq_len)``.
+
+    Future positions receive ``-inf`` so the softmax zeroes them out.
+    """
+    mask = np.triu(np.ones((seq_len, seq_len), dtype=np.float64), k=1)
+    return np.where(mask > 0, -np.inf, 0.0)

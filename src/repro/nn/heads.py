@@ -1,0 +1,81 @@
+"""Task heads attached to the transformer backbones.
+
+These cover the three evaluation families of the paper:
+
+* :class:`ClassificationHead` — GLUE-style sequence classification/regression;
+* :class:`SpanHead` — SQuAD-style start/end span extraction;
+* :class:`LMHead` — next-token language-model logits for perplexity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+__all__ = ["ClassificationHead", "SpanHead", "LMHead"]
+
+
+class ClassificationHead(Module):
+    """Pool the first token and project to class logits (or a scalar score)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_classes: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dense = Linear(hidden_size, hidden_size, rng=rng)
+        self.classifier = Linear(hidden_size, num_classes, rng=rng)
+        self.num_classes = int(num_classes)
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        pooled = np.tanh(self.dense(hidden[:, 0]))
+        return self.classifier(pooled)
+
+
+class SpanHead(Module):
+    """Per-token start/end logits for extractive question answering."""
+
+    def __init__(self, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.span_proj = Linear(hidden_size, 2, rng=rng)
+
+    def forward(self, hidden: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        logits = self.span_proj(hidden)
+        return logits[..., 0], logits[..., 1]
+
+
+class LMHead(Module):
+    """Project hidden states to vocabulary logits.
+
+    ``temperature`` sharpens the output distribution; the synthetic model zoo
+    uses it to give the teacher model a confidently-peaked predictive
+    distribution so that perplexity sits in a realistic range.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        vocab_size: int,
+        temperature: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.proj = Linear(hidden_size, vocab_size, bias=False, rng=rng)
+        self.temperature = float(temperature)
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        return self.proj(hidden) / self.temperature
+
+    def log_probs(self, hidden: np.ndarray) -> np.ndarray:
+        """Log-probabilities over the vocabulary."""
+        return F.log_softmax(self.forward(hidden), axis=-1)

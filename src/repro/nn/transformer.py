@@ -1,0 +1,235 @@
+"""Transformer encoder/decoder stacks for the NumPy substrate.
+
+Three architectures are provided, matching the model families evaluated in
+the paper:
+
+* :class:`TransformerEncoder` — BERT-style bidirectional encoder;
+* :class:`TransformerDecoder` — GPT/OPT/BLOOM-style causal decoder;
+* :class:`TransformerEncoderDecoder` — BART-style encoder-decoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
+from repro.nn.module import Module
+
+__all__ = [
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "TransformerEncoder",
+    "TransformerDecoder",
+    "TransformerEncoderDecoder",
+]
+
+
+class FeedForward(Module):
+    """Two-layer position-wise feed-forward block with GELU."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        intermediate_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.fc_in = Linear(hidden_size, intermediate_size, rng=rng)
+        self.fc_out = Linear(intermediate_size, hidden_size, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc_out(F.gelu(self.fc_in(x)))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm encoder layer: self-attention + feed-forward with residuals."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        intermediate_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attention = MultiHeadAttention(hidden_size, num_heads, rng=rng)
+        self.ffn = FeedForward(hidden_size, intermediate_size, rng=rng)
+        self.norm_attn = LayerNorm(hidden_size)
+        self.norm_ffn = LayerNorm(hidden_size)
+
+    def forward(self, x: np.ndarray, attention_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        x = x + self.attention(self.norm_attn(x), attention_mask=attention_mask)
+        x = x + self.ffn(self.norm_ffn(x))
+        return x
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-norm decoder layer with optional cross-attention."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        intermediate_size: int,
+        cross_attention: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.self_attention = MultiHeadAttention(hidden_size, num_heads, rng=rng)
+        self.cross_attention = (
+            MultiHeadAttention(hidden_size, num_heads, rng=rng) if cross_attention else None
+        )
+        self.ffn = FeedForward(hidden_size, intermediate_size, rng=rng)
+        self.norm_self = LayerNorm(hidden_size)
+        self.norm_cross = LayerNorm(hidden_size) if cross_attention else None
+        self.norm_ffn = LayerNorm(hidden_size)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        encoder_hidden: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        x = x + self.self_attention(self.norm_self(x), causal=True)
+        if self.cross_attention is not None:
+            if encoder_hidden is None:
+                raise ValueError("cross-attention layer requires encoder_hidden")
+            x = x + self.cross_attention(self.norm_cross(x), context=encoder_hidden)
+        x = x + self.ffn(self.norm_ffn(x))
+        return x
+
+
+class _EmbeddingFrontend(Module):
+    """Shared token + positional embedding with a final LayerNorm."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_size: int,
+        max_positions: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.token_embedding = Embedding(vocab_size, hidden_size, rng=rng)
+        self.position_embedding = PositionalEmbedding(max_positions, hidden_size, rng=rng)
+        self.norm = LayerNorm(hidden_size)
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        hidden = self.token_embedding(token_ids) + self.position_embedding(token_ids.shape[-1])
+        return self.norm(hidden)
+
+
+class TransformerEncoder(Module):
+    """BERT-style encoder producing per-token hidden states."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_size: int,
+        num_layers: int,
+        num_heads: int,
+        intermediate_size: int,
+        max_positions: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embeddings = _EmbeddingFrontend(vocab_size, hidden_size, max_positions, rng=rng)
+        self.hidden_size = hidden_size
+        for i in range(num_layers):
+            setattr(
+                self,
+                f"layer_{i}",
+                TransformerEncoderLayer(hidden_size, num_heads, intermediate_size, rng=rng),
+            )
+        self.num_layers = num_layers
+        self.final_norm = LayerNorm(hidden_size)
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        hidden = self.embeddings(token_ids)
+        for i in range(self.num_layers):
+            hidden = getattr(self, f"layer_{i}")(hidden)
+        return self.final_norm(hidden)
+
+
+class TransformerDecoder(Module):
+    """GPT-style causal decoder producing per-token hidden states."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_size: int,
+        num_layers: int,
+        num_heads: int,
+        intermediate_size: int,
+        max_positions: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embeddings = _EmbeddingFrontend(vocab_size, hidden_size, max_positions, rng=rng)
+        self.hidden_size = hidden_size
+        for i in range(num_layers):
+            setattr(
+                self,
+                f"layer_{i}",
+                TransformerDecoderLayer(hidden_size, num_heads, intermediate_size, rng=rng),
+            )
+        self.num_layers = num_layers
+        self.final_norm = LayerNorm(hidden_size)
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        hidden = self.embeddings(token_ids)
+        for i in range(self.num_layers):
+            hidden = getattr(self, f"layer_{i}")(hidden)
+        return self.final_norm(hidden)
+
+
+class TransformerEncoderDecoder(Module):
+    """BART-style encoder-decoder producing decoder-side hidden states."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_size: int,
+        num_layers: int,
+        num_heads: int,
+        intermediate_size: int,
+        max_positions: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.encoder = TransformerEncoder(
+            vocab_size, hidden_size, num_layers, num_heads, intermediate_size, max_positions, rng=rng
+        )
+        self.embeddings = _EmbeddingFrontend(vocab_size, hidden_size, max_positions, rng=rng)
+        self.hidden_size = hidden_size
+        for i in range(num_layers):
+            setattr(
+                self,
+                f"decoder_layer_{i}",
+                TransformerDecoderLayer(
+                    hidden_size, num_heads, intermediate_size, cross_attention=True, rng=rng
+                ),
+            )
+        self.num_layers = num_layers
+        self.final_norm = LayerNorm(hidden_size)
+
+    def forward(self, token_ids: np.ndarray, decoder_token_ids: Optional[np.ndarray] = None) -> np.ndarray:
+        if decoder_token_ids is None:
+            decoder_token_ids = token_ids
+        encoder_hidden = self.encoder(token_ids)
+        hidden = self.embeddings(decoder_token_ids)
+        for i in range(self.num_layers):
+            hidden = getattr(self, f"decoder_layer_{i}")(hidden, encoder_hidden=encoder_hidden)
+        return self.final_norm(hidden)

@@ -1,0 +1,31 @@
+"""Quantization baselines compared against OliVe in the paper."""
+
+from repro.quant.adafloat import AdaptivFloatQuantizer
+from repro.quant.ant import AntMixedQuantizer, AntQuantizer
+from repro.quant.base import BaseQuantizer, Quantizer, mse_optimal_scale
+from repro.quant.gobo import GoboQuantizer
+from repro.quant.olaccel import OLAccelQuantizer
+from repro.quant.outlier_suppression import OutlierSuppressionQuantizer
+from repro.quant.q8bert import Q8BertQuantizer
+from repro.quant.registry import QUANTIZER_FACTORIES, available_quantizers, create_quantizer
+from repro.quant.uniform import Int4Quantizer, Int6Quantizer, Int8Quantizer, UniformQuantizer
+
+__all__ = [
+    "Quantizer",
+    "BaseQuantizer",
+    "mse_optimal_scale",
+    "UniformQuantizer",
+    "Int4Quantizer",
+    "Int6Quantizer",
+    "Int8Quantizer",
+    "AntQuantizer",
+    "AntMixedQuantizer",
+    "GoboQuantizer",
+    "OLAccelQuantizer",
+    "AdaptivFloatQuantizer",
+    "OutlierSuppressionQuantizer",
+    "Q8BertQuantizer",
+    "QUANTIZER_FACTORIES",
+    "create_quantizer",
+    "available_quantizers",
+]

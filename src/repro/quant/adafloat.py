@@ -1,0 +1,87 @@
+"""AdaptivFloat (DAC 2020) baseline: float format with a tensor-wise exponent bias.
+
+AdaptivFloat quantizes a tensor to a small floating-point format whose
+exponent bias is chosen per tensor so the representable range covers the
+tensor's maximum magnitude.  Unlike OliVe's ``abfloat`` (which biases the
+range *above* the normal values to dedicate every code point to outliers),
+AdaptivFloat spends its dynamic range on the whole tensor at once, so with few
+mantissa bits the resolution around the Gaussian bulk is coarse.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AdaptivFloatQuantizer"]
+
+
+class AdaptivFloatQuantizer:
+    """Sign + exponent + mantissa float quantizer with a learned exponent bias."""
+
+    def __init__(self, bits: int = 8, exp_bits: int = 4) -> None:
+        if exp_bits >= bits - 1:
+            raise ValueError("exponent bits must leave room for sign and mantissa")
+        self.bits = int(bits)
+        self.exp_bits = int(exp_bits)
+        self.man_bits = bits - 1 - exp_bits
+        self.name = f"adafloat{bits}"
+        self._bias: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._bias is not None
+
+    @property
+    def exponent_bias(self) -> int:
+        """The fitted tensor-wise exponent bias."""
+        if self._bias is None:
+            raise RuntimeError("adafloat: quantizer not fitted")
+        return self._bias
+
+    def fit(self, tensor: np.ndarray) -> "AdaptivFloatQuantizer":
+        """Choose the exponent bias so the format covers the tensor maximum."""
+        flat = np.abs(np.asarray(tensor, dtype=np.float64).ravel())
+        max_abs = float(np.max(flat)) if flat.size else 1.0
+        if max_abs == 0.0:
+            max_abs = 1.0
+        # Pick the bias so the top exponent field covers the tensor maximum:
+        # values in [2^e, 2^(e+1)) need exponent e, so e_max = floor(log2(max)).
+        max_exp_field = (1 << self.exp_bits) - 1
+        self._bias = int(math.floor(math.log2(max_abs))) - max_exp_field
+        return self
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:
+        """Fake-quantize ``tensor`` with the fitted AdaptivFloat format."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if not self.is_fitted:
+            self.fit(tensor)
+        sign = np.sign(tensor)
+        mag = np.abs(tensor)
+        out = np.zeros_like(tensor)
+        nonzero = mag > 0
+        if not np.any(nonzero):
+            return out
+        exp = np.floor(np.log2(mag[nonzero]))
+        exp_field = exp - self._bias
+        max_exp_field = (1 << self.exp_bits) - 1
+        exp_field = np.clip(exp_field, 0, max_exp_field)
+        exp = exp_field + self._bias
+        # Quantize mantissa in [1, 2) to man_bits fractional bits.
+        mantissa = mag[nonzero] / (2.0 ** exp)
+        steps = 2.0 ** self.man_bits
+        mantissa_q = np.round(np.clip(mantissa, 1.0, 2.0 - 1.0 / steps) * steps) / steps
+        # Values below the smallest representable magnitude flush to zero.
+        min_mag = 1.0 * 2.0 ** self._bias
+        quantized = mantissa_q * (2.0 ** exp)
+        quantized = np.where(mag[nonzero] < min_mag / 2.0, 0.0, quantized)
+        out[nonzero] = quantized
+        return sign * out
+
+    def quantization_mse(self, tensor: np.ndarray) -> float:
+        """MSE of quantizing ``tensor``."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        return float(np.mean((self.quantize(tensor) - tensor) ** 2))

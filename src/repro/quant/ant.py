@@ -1,0 +1,122 @@
+"""ANT (MICRO 2022) baseline: adaptive numerical data type, no outlier handling.
+
+ANT selects, per tensor, the fixed-length data type that best matches the
+tensor's distribution (the paper's Table 3 lists ``int4`` and ``flint4``).  It
+achieves excellent results on CNNs but, as the OliVe paper shows, it cannot
+cope with transformer outliers: whatever type it picks, a single scale has to
+cover magnitudes hundreds of σ away from the bulk.
+
+The model-level mixed-precision behaviour ("80 % of layers end up using int8",
+paper Sec. 5.3) is reproduced by :class:`AntMixedQuantizer`, which falls back
+to 8 bits whenever the 4-bit MSE is too large relative to the tensor's power.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dtypes import FLINT4, INT4, INT8, NormalDataType
+from repro.quant.base import BaseQuantizer, mse_optimal_scale
+
+__all__ = ["AntQuantizer", "AntMixedQuantizer"]
+
+
+class AntQuantizer(BaseQuantizer):
+    """Per-tensor adaptive data-type selection among int/flint (no outliers)."""
+
+    def __init__(self, bits: int = 4) -> None:
+        super().__init__()
+        if bits not in (4, 8):
+            raise ValueError("ANT supports 4- and 8-bit quantization")
+        self.bits = int(bits)
+        self.name = f"ant{bits}"
+        self._candidates = [INT4, FLINT4] if bits == 4 else [INT8]
+        self._selected: Optional[NormalDataType] = None
+
+    @property
+    def selected_dtype(self) -> Optional[NormalDataType]:
+        """The data type chosen by the last :meth:`fit`."""
+        return self._selected
+
+    @property
+    def max_level(self) -> float:
+        dtype = self._selected or self._candidates[0]
+        return dtype.max_value
+
+    def _quantize_grid(self, grid: np.ndarray) -> np.ndarray:
+        dtype = self._selected or self._candidates[0]
+        return dtype.quantize(np.clip(grid, -dtype.max_value, dtype.max_value))
+
+    def fit(self, tensor: np.ndarray) -> "AntQuantizer":
+        """Pick the (data type, scale) pair with the smallest MSE."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        best = (np.inf, self._candidates[0], 1.0)
+        for dtype in self._candidates:
+            def grid_fn(grid, _dtype=dtype):
+                return _dtype.quantize(np.clip(grid, -_dtype.max_value, _dtype.max_value))
+
+            scale = mse_optimal_scale(tensor, grid_fn, _max_level(dtype))
+            deq = grid_fn(tensor / scale) * scale
+            mse = float(np.mean((deq - tensor) ** 2))
+            if mse < best[0]:
+                best = (mse, dtype, scale)
+        self._selected = best[1]
+        self._scale = best[2]
+        return self
+
+
+def _max_level(dtype: NormalDataType) -> float:
+    return dtype.max_value
+
+
+class AntMixedQuantizer(BaseQuantizer):
+    """ANT with per-tensor 4-bit/8-bit fallback (the paper's PTQ configuration).
+
+    The tensor is quantized at 4 bits first; if the resulting signal-to-noise
+    ratio is below ``snr_threshold`` (quantization noise too large, typically
+    because of outliers), the quantizer falls back to 8 bits for that tensor.
+    """
+
+    def __init__(self, snr_threshold: float = 20.0) -> None:
+        super().__init__()
+        self.name = "ant-mixed"
+        self.snr_threshold = float(snr_threshold)
+        self._inner: Optional[AntQuantizer] = None
+        self.bits = 4
+
+    @property
+    def selected_bits(self) -> int:
+        """Bit width chosen for the last fitted tensor."""
+        return self.bits
+
+    @property
+    def max_level(self) -> float:
+        return self._inner.max_level if self._inner else INT4.max_value
+
+    def _quantize_grid(self, grid: np.ndarray) -> np.ndarray:
+        if self._inner is None:
+            raise RuntimeError("ant-mixed: quantizer not fitted")
+        return self._inner._quantize_grid(grid)
+
+    def fit(self, tensor: np.ndarray) -> "AntMixedQuantizer":
+        tensor = np.asarray(tensor, dtype=np.float64)
+        four_bit = AntQuantizer(bits=4).fit(tensor)
+        power = float(np.mean(tensor ** 2)) + 1e-12
+        mse4 = four_bit.quantization_mse(tensor)
+        snr4 = 10.0 * np.log10(power / (mse4 + 1e-12))
+        if snr4 >= self.snr_threshold:
+            self._inner = four_bit
+            self.bits = 4
+        else:
+            self._inner = AntQuantizer(bits=8).fit(tensor)
+            self.bits = 8
+        self._scale = self._inner.scale
+        return self
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if self._inner is None:
+            self.fit(tensor)
+        return self._inner.quantize(tensor)

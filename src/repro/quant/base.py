@@ -1,0 +1,125 @@
+"""Common interface for all tensor quantizers (OliVe and the baselines).
+
+A *quantizer* is an object with two methods:
+
+* ``fit(tensor)`` — calibrate scale factors / thresholds on a tensor and
+  return ``self``;
+* ``quantize(tensor)`` — return the fake-quantized (quantize→dequantize)
+  tensor.
+
+The OVP quantizer in :mod:`repro.core.quantizer` already satisfies this
+protocol; the baseline quantizers in this package subclass
+:class:`BaseQuantizer` to share the MSE-driven scale search that most of them
+use (paper Sec. 3.4 notes MSE minimisation is the standard approach).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Quantizer", "BaseQuantizer", "mse_optimal_scale"]
+
+
+@runtime_checkable
+class Quantizer(Protocol):
+    """Structural type for anything usable as a weight/activation quantizer."""
+
+    name: str
+
+    def fit(self, tensor: np.ndarray) -> "Quantizer":  # pragma: no cover - protocol
+        ...
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+def mse_optimal_scale(
+    tensor: np.ndarray,
+    quantize_grid,
+    max_level: float,
+    num_candidates: int = 40,
+    low_fraction: float = 0.05,
+) -> float:
+    """Search the clipping scale that minimises quantization MSE.
+
+    Parameters
+    ----------
+    tensor:
+        Values to calibrate on.
+    quantize_grid:
+        Callable mapping grid values (``tensor / scale``) to their quantized
+        grid values.
+    max_level:
+        The largest representable grid magnitude (e.g. 7 for int4).
+    num_candidates:
+        Number of clipping candidates between ``low_fraction × max|x|`` and
+        ``max|x|``.
+    """
+    flat = np.asarray(tensor, dtype=np.float64).ravel()
+    max_abs = float(np.max(np.abs(flat))) if flat.size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    best_scale = max_abs / max_level
+    best_mse = np.inf
+    for frac in np.linspace(low_fraction, 1.0, num_candidates):
+        clip = max_abs * frac
+        scale = clip / max_level
+        deq = quantize_grid(flat / scale) * scale
+        mse = float(np.mean((deq - flat) ** 2))
+        if mse < best_mse:
+            best_mse = mse
+            best_scale = scale
+    return best_scale
+
+
+class BaseQuantizer(abc.ABC):
+    """Shared plumbing for baseline quantizers: scale storage and fit/quantize."""
+
+    #: Human-readable quantizer name; subclasses override.
+    name: str = "base"
+    #: Storage bits per element (used by the performance model).
+    bits: int = 8
+
+    def __init__(self) -> None:
+        self._scale: Optional[float] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._scale is not None
+
+    @property
+    def scale(self) -> float:
+        """The fitted scale factor."""
+        if self._scale is None:
+            raise RuntimeError(f"{self.name}: quantizer not fitted")
+        return self._scale
+
+    @abc.abstractmethod
+    def _quantize_grid(self, grid: np.ndarray) -> np.ndarray:
+        """Quantize values already divided by the scale."""
+
+    @property
+    @abc.abstractmethod
+    def max_level(self) -> float:
+        """Largest representable grid magnitude."""
+
+    def fit(self, tensor: np.ndarray) -> "BaseQuantizer":
+        """Calibrate the scale with an MSE search."""
+        self._scale = mse_optimal_scale(tensor, self._quantize_grid, self.max_level)
+        return self
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:
+        """Fake-quantize ``tensor`` with the fitted scale."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if not self.is_fitted:
+            self.fit(tensor)
+        return self._quantize_grid(tensor / self.scale) * self.scale
+
+    def quantization_mse(self, tensor: np.ndarray) -> float:
+        """MSE of quantizing ``tensor``."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        return float(np.mean((self.quantize(tensor) - tensor) ** 2))

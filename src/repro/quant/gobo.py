@@ -1,0 +1,105 @@
+"""GOBO (MICRO 2020) baseline: weight-only outlier-aware quantization.
+
+GOBO splits each weight tensor into a small "outlier group" kept at full
+precision (stored sparsely with a coordinate list) and a "Gaussian group"
+represented by a handful of centroids (3–4 bits per weight).  Activations are
+not quantized and all arithmetic happens in FP16/FP32 — which is exactly why
+the OliVe paper finds GOBO's *performance* gains small even though its
+*accuracy* is good (paper Sec. 5.3: GOBO only compresses DRAM traffic).
+
+This implementation follows the published scheme: outliers are values outside
+``outlier_sigma`` standard deviations of the Gaussian fit, and the remaining
+values are quantized to ``2**bits`` centroids refined with a few k-means
+(Lloyd) iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["GoboQuantizer"]
+
+
+class GoboQuantizer:
+    """Weight-only centroid quantizer with full-precision outliers."""
+
+    def __init__(self, bits: int = 3, outlier_sigma: float = 3.0, kmeans_iters: int = 8) -> None:
+        if bits < 2 or bits > 6:
+            raise ValueError("GOBO uses 2-6 bit centroid tables")
+        self.bits = int(bits)
+        self.name = f"gobo{bits}"
+        self.outlier_sigma = float(outlier_sigma)
+        self.kmeans_iters = int(kmeans_iters)
+        self._centroids: Optional[np.ndarray] = None
+        self._threshold: Optional[float] = None
+        self._mean: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._centroids is not None
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """The fitted centroid table for the Gaussian (normal) group."""
+        if self._centroids is None:
+            raise RuntimeError("gobo: quantizer not fitted")
+        return self._centroids
+
+    def outlier_fraction(self, tensor: np.ndarray) -> float:
+        """Fraction of values stored at full precision under the fitted threshold."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if not self.is_fitted:
+            self.fit(tensor)
+        return float(np.mean(np.abs(tensor - self._mean) > self._threshold))
+
+    def fit(self, tensor: np.ndarray) -> "GoboQuantizer":
+        """Fit the outlier threshold and centroid table on ``tensor``."""
+        flat = np.asarray(tensor, dtype=np.float64).ravel()
+        self._mean = float(np.mean(flat)) if flat.size else 0.0
+        sigma = float(np.std(flat)) if flat.size else 0.0
+        self._threshold = self.outlier_sigma * sigma if sigma > 0 else np.inf
+        normal = flat[np.abs(flat - self._mean) <= self._threshold]
+        if normal.size == 0:
+            normal = flat
+        n_centroids = 1 << self.bits
+        # Initialise centroids at evenly spaced quantiles, then run Lloyd steps.
+        quantiles = np.linspace(0.0, 1.0, n_centroids + 2)[1:-1]
+        centroids = np.quantile(normal, quantiles)
+        centroids = np.unique(centroids)
+        for _ in range(self.kmeans_iters):
+            assignments = np.argmin(np.abs(normal[:, None] - centroids[None, :]), axis=1)
+            new_centroids = centroids.copy()
+            for k in range(len(centroids)):
+                members = normal[assignments == k]
+                if members.size:
+                    new_centroids[k] = float(np.mean(members))
+            if np.allclose(new_centroids, centroids):
+                break
+            centroids = new_centroids
+        self._centroids = np.sort(centroids)
+        return self
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:
+        """Fake-quantize ``tensor``: normals snap to centroids, outliers pass through."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if not self.is_fitted:
+            self.fit(tensor)
+        flat = tensor.ravel()
+        out = flat.copy()
+        normal_mask = np.abs(flat - self._mean) <= self._threshold
+        normal_values = flat[normal_mask]
+        if normal_values.size:
+            idx = np.argmin(
+                np.abs(normal_values[:, None] - self._centroids[None, :]), axis=1
+            )
+            out[normal_mask] = self._centroids[idx]
+        # Outliers are stored at full precision: unchanged.
+        return out.reshape(tensor.shape)
+
+    def quantization_mse(self, tensor: np.ndarray) -> float:
+        """MSE of quantizing ``tensor``."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        return float(np.mean((self.quantize(tensor) - tensor) ** 2))

@@ -1,0 +1,85 @@
+"""OLAccel (ISCA 2018) baseline: outlier-aware mixed-precision quantization.
+
+OLAccel keeps the small fraction of large-magnitude values ("outliers") at
+high precision (16-bit in the original paper; 8-bit integer here, matching the
+OliVe paper's extension of OLAccel to transformers) while the dense majority
+is quantized to 4 bits.  The outliers are stored sparsely with a coordinate
+list, which is what makes the hardware expensive — numerically, however, the
+scheme is accurate, and that is what this quantizer reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["OLAccelQuantizer"]
+
+
+class OLAccelQuantizer:
+    """4-bit dense values + 8-bit sparse outliers (element-wise mixed precision)."""
+
+    def __init__(
+        self,
+        normal_bits: int = 4,
+        outlier_bits: int = 8,
+        outlier_fraction: float = 0.01,
+    ) -> None:
+        self.normal_bits = int(normal_bits)
+        self.outlier_bits = int(outlier_bits)
+        self.outlier_fraction = float(outlier_fraction)
+        self.name = "olaccel"
+        self.bits = normal_bits
+        self._threshold: Optional[float] = None
+        self._normal_scale: Optional[float] = None
+        self._outlier_scale: Optional[float] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._threshold is not None
+
+    def fit(self, tensor: np.ndarray) -> "OLAccelQuantizer":
+        """Split at the ``1 - outlier_fraction`` magnitude quantile and fit scales."""
+        flat = np.abs(np.asarray(tensor, dtype=np.float64).ravel())
+        if flat.size == 0:
+            self._threshold = 0.0
+            self._normal_scale = 1.0
+            self._outlier_scale = 1.0
+            return self
+        self._threshold = float(np.quantile(flat, 1.0 - self.outlier_fraction))
+        normal_max = max(self._threshold, 1e-12)
+        outlier_max = max(float(np.max(flat)), normal_max)
+        self._normal_scale = normal_max / self._normal_level
+        self._outlier_scale = outlier_max / self._outlier_level
+        return self
+
+    @property
+    def _normal_level(self) -> float:
+        return float((1 << (self.normal_bits - 1)) - 1)
+
+    @property
+    def _outlier_level(self) -> float:
+        return float((1 << (self.outlier_bits - 1)) - 1)
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:
+        """Fake-quantize: normals at ``normal_bits``, outliers at ``outlier_bits``."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if not self.is_fitted:
+            self.fit(tensor)
+        is_outlier = np.abs(tensor) > self._threshold
+        normal_q = (
+            np.clip(np.round(tensor / self._normal_scale), -self._normal_level, self._normal_level)
+            * self._normal_scale
+        )
+        outlier_q = (
+            np.clip(np.round(tensor / self._outlier_scale), -self._outlier_level, self._outlier_level)
+            * self._outlier_scale
+        )
+        return np.where(is_outlier, outlier_q, normal_q)
+
+    def quantization_mse(self, tensor: np.ndarray) -> float:
+        """MSE of quantizing ``tensor``."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        return float(np.mean((self.quantize(tensor) - tensor) ** 2))

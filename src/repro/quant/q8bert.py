@@ -1,0 +1,45 @@
+"""Q8BERT (NeurIPS EMC² 2019) baseline: symmetric 8-bit GEMM quantization.
+
+Q8BERT quantizes all GEMM weights and activations to symmetric 8-bit integers
+using max-calibrated scales (with an EMA over calibration batches for
+activations).  It was designed as a QAT method; used post-training it is
+simply an 8-bit max-calibrated quantizer, which is how the OliVe paper's
+comparison treats it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.base import BaseQuantizer
+
+__all__ = ["Q8BertQuantizer"]
+
+
+class Q8BertQuantizer(BaseQuantizer):
+    """Symmetric 8-bit quantizer with max calibration and EMA updates."""
+
+    def __init__(self, ema_decay: float = 0.9) -> None:
+        super().__init__()
+        self.bits = 8
+        self.name = "q8bert"
+        self.ema_decay = float(ema_decay)
+        self._ema_max: float = 0.0
+
+    @property
+    def max_level(self) -> float:
+        return 127.0
+
+    def _quantize_grid(self, grid: np.ndarray) -> np.ndarray:
+        return np.clip(np.round(grid), -127.0, 127.0)
+
+    def fit(self, tensor: np.ndarray) -> "Q8BertQuantizer":
+        """Update the EMA of the maximum magnitude and derive the scale."""
+        flat = np.abs(np.asarray(tensor, dtype=np.float64).ravel())
+        batch_max = float(np.max(flat)) if flat.size else 1.0
+        if self._ema_max == 0.0:
+            self._ema_max = batch_max
+        else:
+            self._ema_max = self.ema_decay * self._ema_max + (1.0 - self.ema_decay) * batch_max
+        self._scale = max(self._ema_max, 1e-12) / self.max_level
+        return self

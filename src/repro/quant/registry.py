@@ -1,0 +1,54 @@
+"""Name-based construction of tensor quantizers (OliVe and all baselines)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.quantizer import OVPQuantizerConfig, OVPTensorQuantizer
+from repro.quant.adafloat import AdaptivFloatQuantizer
+from repro.quant.ant import AntMixedQuantizer, AntQuantizer
+from repro.quant.gobo import GoboQuantizer
+from repro.quant.olaccel import OLAccelQuantizer
+from repro.quant.outlier_suppression import OutlierSuppressionQuantizer
+from repro.quant.q8bert import Q8BertQuantizer
+from repro.quant.uniform import Int4Quantizer, Int6Quantizer, Int8Quantizer
+
+__all__ = ["QUANTIZER_FACTORIES", "create_quantizer", "available_quantizers"]
+
+
+QUANTIZER_FACTORIES: Dict[str, Callable[[], object]] = {
+    # OliVe (the paper's contribution)
+    "olive-4bit": lambda: OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype="int4")),
+    "olive-flint4": lambda: OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype="flint4")),
+    "olive-8bit": lambda: OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype="int8")),
+    # Uniform integer baselines
+    "int4": Int4Quantizer,
+    "int6": Int6Quantizer,
+    "int8": Int8Quantizer,
+    # Published baselines
+    "ant4": lambda: AntQuantizer(bits=4),
+    "ant8": lambda: AntQuantizer(bits=8),
+    "ant-mixed": AntMixedQuantizer,
+    "gobo": GoboQuantizer,
+    "olaccel": OLAccelQuantizer,
+    "os4": lambda: OutlierSuppressionQuantizer(bits=4),
+    "os6": lambda: OutlierSuppressionQuantizer(bits=6),
+    "q8bert": Q8BertQuantizer,
+    "adafloat8": lambda: AdaptivFloatQuantizer(bits=8),
+}
+
+
+def create_quantizer(name: str):
+    """Instantiate a fresh quantizer by registry name."""
+    try:
+        factory = QUANTIZER_FACTORIES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown quantizer {name!r}; expected one of {sorted(QUANTIZER_FACTORIES)}"
+        ) from exc
+    return factory()
+
+
+def available_quantizers():
+    """Sorted list of registered quantizer names."""
+    return sorted(QUANTIZER_FACTORIES)

@@ -1,0 +1,58 @@
+"""Uniform integer quantizers: the ``int4``/``int8`` baselines of the paper.
+
+These are the "indiscriminate" quantizers the paper argues against: a single
+symmetric scale covers the whole tensor, so either the scale is dominated by
+the outliers (destroying resolution for the 99.9 % of normal values) or the
+outliers are clipped (destroying the information the model actually relies
+on).  The MSE scale search picks whichever compromise is least bad — which is
+exactly what existing frameworks do and exactly what fails on LLMs
+(paper Table 9: ``int8`` collapses on OPT-6.7B, ``int4`` collapses everywhere).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.base import BaseQuantizer
+
+__all__ = ["UniformQuantizer", "Int4Quantizer", "Int8Quantizer", "Int6Quantizer"]
+
+
+class UniformQuantizer(BaseQuantizer):
+    """Symmetric uniform quantizer with ``bits`` of precision."""
+
+    def __init__(self, bits: int) -> None:
+        super().__init__()
+        if bits < 2 or bits > 16:
+            raise ValueError("bits must be between 2 and 16")
+        self.bits = int(bits)
+        self.name = f"int{bits}"
+        self._max_level = float((1 << (bits - 1)) - 1)
+
+    @property
+    def max_level(self) -> float:
+        return self._max_level
+
+    def _quantize_grid(self, grid: np.ndarray) -> np.ndarray:
+        return np.clip(np.round(grid), -self._max_level, self._max_level)
+
+
+class Int4Quantizer(UniformQuantizer):
+    """4-bit symmetric uniform quantizer."""
+
+    def __init__(self) -> None:
+        super().__init__(4)
+
+
+class Int6Quantizer(UniformQuantizer):
+    """6-bit symmetric uniform quantizer (Outlier Suppression's PTQ setting)."""
+
+    def __init__(self) -> None:
+        super().__init__(6)
+
+
+class Int8Quantizer(UniformQuantizer):
+    """8-bit symmetric uniform quantizer."""
+
+    def __init__(self) -> None:
+        super().__init__(8)

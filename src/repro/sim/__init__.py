@@ -1,0 +1,24 @@
+"""End-to-end performance/energy simulators (GPU and systolic-array accelerator)."""
+
+from repro.sim.accelerator import AcceleratorSimulator, simulate_accelerator_comparison
+from repro.sim.gpu import GPUSimulator, simulate_gpu_comparison
+from repro.sim.results import ComparisonTable, SimulationResult, geometric_mean
+from repro.sim.schemes import ACCEL_SCHEMES, GPU_SCHEMES, ExecutionScheme
+from repro.sim.workloads import GemmSpec, ModelWorkload, build_workload, transformer_gemms
+
+__all__ = [
+    "GemmSpec",
+    "ModelWorkload",
+    "transformer_gemms",
+    "build_workload",
+    "ExecutionScheme",
+    "GPU_SCHEMES",
+    "ACCEL_SCHEMES",
+    "GPUSimulator",
+    "simulate_gpu_comparison",
+    "AcceleratorSimulator",
+    "simulate_accelerator_comparison",
+    "SimulationResult",
+    "ComparisonTable",
+    "geometric_mean",
+]

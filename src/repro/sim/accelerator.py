@@ -1,0 +1,109 @@
+"""End-to-end systolic-array accelerator simulation (paper Fig. 10).
+
+All four designs (OliVe, ANT, OLAccel, AdaptivFloat) are modelled as the same
+64×64 output-stationary array (the paper implements all accelerators at a
+similar area) and differ only in
+
+* the precision their PEs compute in (4-bit native vs four-PE-ganged 8-bit),
+* the bytes per element they move through DRAM and the on-chip buffers,
+* sparse-index traffic and outlier-controller serialisation overheads.
+
+Runtime per GEMM is the larger of the systolic-array cycle count and the DRAM
+streaming time; energy follows the accelerator energy model's static/DRAM/
+buffer/core split (the stack of Fig. 10b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.hardware.config import SystolicArrayConfig
+from repro.hardware.energy import ACCEL_ENERGY_MODEL, EnergyModel
+from repro.hardware.memory import gemm_traffic
+from repro.hardware.systolic import SystolicArrayModel
+from repro.sim.results import ComparisonTable, SimulationResult
+from repro.sim.schemes import ACCEL_SCHEMES, ExecutionScheme
+from repro.sim.workloads import ModelWorkload, build_workload
+
+__all__ = ["AcceleratorSimulator", "simulate_accelerator_comparison"]
+
+
+class AcceleratorSimulator:
+    """Simulate transformer inference on the OliVe systolic-array accelerator."""
+
+    def __init__(
+        self,
+        config: SystolicArrayConfig = SystolicArrayConfig(),
+        energy_model: EnergyModel = ACCEL_ENERGY_MODEL,
+    ) -> None:
+        self.config = config
+        self.energy_model = energy_model
+        self.array = SystolicArrayModel(config)
+
+    def run(self, workload: ModelWorkload, scheme: ExecutionScheme) -> SimulationResult:
+        """Simulate one model forward pass under one execution scheme."""
+        total_seconds = 0.0
+        total_macs = 0.0
+        dram = buffer_bytes = 0.0
+        decoded = 0.0
+        dram_bw = self.config.dram_bandwidth_gbs * 1e9
+        for gemm in workload.gemms:
+            for phase in scheme.execution_phases():
+                weight_bytes = (
+                    phase.weight_bytes if gemm.weight_operand else phase.activation_bytes
+                )
+                traffic = gemm_traffic(
+                    gemm.m,
+                    gemm.k,
+                    gemm.n,
+                    activation_bytes=phase.activation_bytes,
+                    weight_bytes=weight_bytes,
+                    output_bytes=2.0,
+                    tile=self.config.rows,
+                    index_overhead=scheme.index_overhead if gemm.weight_operand else 0.0,
+                )
+                compute_seconds = self.array.gemm_seconds(
+                    gemm.m, gemm.k, gemm.n, bits=phase.compute_bits,
+                    outlier_serialisation=scheme.compute_overhead,
+                )
+                memory_seconds = traffic.dram_bytes / dram_bw
+                weight = gemm.count * phase.fraction
+                total_seconds += max(compute_seconds, memory_seconds) * weight
+                dram += traffic.dram_bytes * weight
+                buffer_bytes += traffic.l1_bytes * weight
+                if scheme.decode_per_element:
+                    decoded += (gemm.m * gemm.k + gemm.k * gemm.n) * weight
+            total_macs += gemm.macs
+        energy = self.energy_model.compute(
+            runtime_s=total_seconds,
+            macs=total_macs,
+            mac_bits=scheme.compute_bits,
+            dram_bytes=dram,
+            l2_bytes=0.0,
+            l1_bytes=buffer_bytes,
+            decoded_elements=decoded,
+        )
+        return SimulationResult(
+            model=workload.model,
+            scheme=scheme.name,
+            seconds=total_seconds,
+            energy=energy,
+            macs=total_macs,
+            dram_bytes=dram,
+        )
+
+
+def simulate_accelerator_comparison(
+    models: Iterable[str] = ("bert-base", "bert-large", "bart-base", "gpt2-xl", "bloom-7b1"),
+    schemes: Optional[Dict[str, ExecutionScheme]] = None,
+    baseline: str = "adafloat",
+) -> ComparisonTable:
+    """Run the full Fig. 10 comparison and return the speedup/energy table."""
+    schemes = schemes or ACCEL_SCHEMES
+    simulator = AcceleratorSimulator()
+    table = ComparisonTable(baseline=baseline)
+    for model in models:
+        workload = build_workload(model)
+        for scheme in schemes.values():
+            table.add(simulator.run(workload, scheme))
+    return table

@@ -1,0 +1,101 @@
+"""End-to-end GPU performance and energy simulation (paper Fig. 9).
+
+For every model workload and execution scheme, each GEMM is timed with the
+tensor-core roofline model and its memory traffic is converted to energy with
+the GPU energy model.  GOBO's special structure is honoured: only weight
+tensors are compressed, the compression lives in DRAM only (on-chip data and
+math stay FP16), and activation-activation GEMMs see no benefit at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.hardware.config import TuringGPUConfig
+from repro.hardware.energy import EnergyBreakdown, EnergyModel, GPU_ENERGY_MODEL
+from repro.hardware.memory import gemm_traffic
+from repro.hardware.tensor_core import TensorCoreModel
+from repro.sim.results import ComparisonTable, SimulationResult
+from repro.sim.schemes import ExecutionScheme, GPU_SCHEMES
+from repro.sim.workloads import ModelWorkload, build_workload
+
+__all__ = ["GPUSimulator", "simulate_gpu_comparison"]
+
+
+class GPUSimulator:
+    """Simulate transformer inference on the OliVe-extended Turing GPU."""
+
+    def __init__(
+        self,
+        config: TuringGPUConfig = TuringGPUConfig(),
+        energy_model: EnergyModel = GPU_ENERGY_MODEL,
+    ) -> None:
+        self.config = config
+        self.energy_model = energy_model
+        self.timing = TensorCoreModel(config)
+
+    def run(self, workload: ModelWorkload, scheme: ExecutionScheme) -> SimulationResult:
+        """Simulate one model forward pass under one execution scheme."""
+        total_seconds = 0.0
+        total_macs = 0.0
+        dram = l2 = l1 = 0.0
+        decoded = 0.0
+        for gemm in workload.gemms:
+            for phase in scheme.execution_phases():
+                weight_bytes = (
+                    phase.weight_bytes if gemm.weight_operand else phase.activation_bytes
+                )
+                traffic = gemm_traffic(
+                    gemm.m,
+                    gemm.k,
+                    gemm.n,
+                    activation_bytes=phase.activation_bytes,
+                    weight_bytes=weight_bytes,
+                    output_bytes=2.0,
+                    index_overhead=scheme.index_overhead if gemm.weight_operand else 0.0,
+                )
+                timing = self.timing.gemm(
+                    gemm.m, gemm.k, gemm.n, phase.compute_bits, traffic,
+                    compute_overhead=scheme.compute_overhead,
+                )
+                weight = gemm.count * phase.fraction
+                total_seconds += timing.seconds * weight
+                dram += traffic.dram_bytes * weight
+                l2 += traffic.l2_bytes * weight
+                l1 += traffic.l1_bytes * weight
+                if scheme.decode_per_element:
+                    decoded += (gemm.m * gemm.k + gemm.k * gemm.n) * weight
+            total_macs += gemm.macs
+        energy = self.energy_model.compute(
+            runtime_s=total_seconds,
+            macs=total_macs,
+            mac_bits=scheme.compute_bits,
+            dram_bytes=dram,
+            l2_bytes=l2,
+            l1_bytes=l1,
+            decoded_elements=decoded,
+        )
+        return SimulationResult(
+            model=workload.model,
+            scheme=scheme.name,
+            seconds=total_seconds,
+            energy=energy,
+            macs=total_macs,
+            dram_bytes=dram,
+        )
+
+
+def simulate_gpu_comparison(
+    models: Iterable[str] = ("bert-base", "bert-large", "bart-base", "gpt2-xl", "bloom-7b1"),
+    schemes: Optional[Dict[str, ExecutionScheme]] = None,
+    baseline: str = "gobo",
+) -> ComparisonTable:
+    """Run the full Fig. 9 comparison and return the speedup/energy table."""
+    schemes = schemes or GPU_SCHEMES
+    simulator = GPUSimulator()
+    table = ComparisonTable(baseline=baseline)
+    for model in models:
+        workload = build_workload(model)
+        for scheme in schemes.values():
+            table.add(simulator.run(workload, scheme))
+    return table

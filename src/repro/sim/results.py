@@ -1,0 +1,101 @@
+"""Result containers and aggregation helpers shared by the simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+import numpy as np
+
+from repro.hardware.energy import EnergyBreakdown
+
+__all__ = ["SimulationResult", "ComparisonTable", "geometric_mean"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the aggregation used by the paper's Figs. 9-10)."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    return float(np.exp(np.mean(np.log(np.maximum(values, 1e-30)))))
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Runtime + energy of one (model, scheme) simulation."""
+
+    model: str
+    scheme: str
+    seconds: float
+    energy: EnergyBreakdown
+    macs: float = 0.0
+    dram_bytes: float = 0.0
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy in joules."""
+        return self.energy.total
+
+
+@dataclass
+class ComparisonTable:
+    """Speedup/energy comparison across schemes for a set of models.
+
+    ``baseline`` is the scheme everything is normalised against (GOBO for the
+    GPU study, AdaFloat for the accelerator study — i.e. speedup > 1 means
+    faster than the baseline, normalised energy < 1 means less energy).
+    """
+
+    baseline: str
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def add(self, result: SimulationResult) -> None:
+        """Record one simulation result."""
+        self.results.setdefault(result.model, {})[result.scheme] = result
+
+    @property
+    def models(self) -> List[str]:
+        """Models present in insertion order."""
+        return list(self.results)
+
+    @property
+    def schemes(self) -> List[str]:
+        """Schemes present (from the first model)."""
+        if not self.results:
+            return []
+        return list(next(iter(self.results.values())))
+
+    def speedup(self, model: str, scheme: str) -> float:
+        """Speedup of ``scheme`` over the baseline on ``model``."""
+        base = self.results[model][self.baseline].seconds
+        return base / self.results[model][scheme].seconds
+
+    def normalized_energy(self, model: str, scheme: str) -> float:
+        """Energy of ``scheme`` normalised to the baseline on ``model``."""
+        base = self.results[model][self.baseline].energy_joules
+        return self.results[model][scheme].energy_joules / base
+
+    def geomean_speedup(self, scheme: str) -> float:
+        """Geometric-mean speedup of ``scheme`` across all models."""
+        return geometric_mean(self.speedup(m, scheme) for m in self.models)
+
+    def geomean_normalized_energy(self, scheme: str) -> float:
+        """Geometric-mean normalised energy of ``scheme`` across all models."""
+        return geometric_mean(self.normalized_energy(m, scheme) for m in self.models)
+
+    def speedup_table(self) -> Dict[str, Dict[str, float]]:
+        """Nested dict: model (plus "geomean") → scheme → speedup."""
+        table = {
+            model: {s: self.speedup(model, s) for s in self.schemes} for model in self.models
+        }
+        table["geomean"] = {s: self.geomean_speedup(s) for s in self.schemes}
+        return table
+
+    def energy_table(self) -> Dict[str, Dict[str, float]]:
+        """Nested dict: model (plus "geomean") → scheme → normalised energy."""
+        table = {
+            model: {s: self.normalized_energy(model, s) for s in self.schemes}
+            for model in self.models
+        }
+        table["geomean"] = {s: self.geomean_normalized_energy(s) for s in self.schemes}
+        return table

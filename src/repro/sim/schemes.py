@@ -1,0 +1,131 @@
+"""Execution schemes: how each accelerator design runs a quantized GEMM.
+
+An :class:`ExecutionScheme` captures the hardware-relevant properties of a
+quantization scheme — the storage width of weights and activations, the
+precision the math pipeline actually computes in, sparse-index overheads and
+outlier-controller serialisation — i.e. exactly the properties Table 1 of the
+paper contrasts.  The GPU and accelerator simulators consume these to produce
+Figs. 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ExecutionPhase", "ExecutionScheme", "GPU_SCHEMES", "ACCEL_SCHEMES"]
+
+
+@dataclass(frozen=True)
+class ExecutionPhase:
+    """One precision phase of a (possibly mixed-precision) execution scheme."""
+
+    fraction: float               # fraction of the workload run in this phase
+    weight_bits: float            # storage bits per weight element in DRAM
+    activation_bits: float        # storage bits per activation element
+    compute_bits: int             # precision of the math pipeline
+
+    @property
+    def weight_bytes(self) -> float:
+        """DRAM bytes per weight element."""
+        return self.weight_bits / 8.0
+
+    @property
+    def activation_bytes(self) -> float:
+        """DRAM bytes per activation element."""
+        return self.activation_bits / 8.0
+
+
+@dataclass(frozen=True)
+class ExecutionScheme:
+    """Hardware execution properties of one quantization scheme."""
+
+    name: str
+    weight_bits: float            # storage bits per weight element in DRAM
+    activation_bits: float        # storage bits per activation element
+    compute_bits: int             # precision of the math pipeline
+    onchip_weight_bits: float     # storage bits per weight once on chip
+    index_overhead: float = 0.0   # extra traffic for sparse outlier indices
+    compute_overhead: float = 0.0 # fractional math-pipeline slowdown (controllers)
+    decode_per_element: bool = False  # OVP/abfloat decode in the operand path
+    #: optional mixed-precision split; empty means a single phase at the
+    #: precisions above (ANT's PTQ needs ~80% of layers at int8, Sec. 5.3).
+    phases: Tuple[ExecutionPhase, ...] = ()
+
+    @property
+    def weight_bytes(self) -> float:
+        """DRAM bytes per weight element."""
+        return self.weight_bits / 8.0
+
+    @property
+    def activation_bytes(self) -> float:
+        """DRAM bytes per activation element."""
+        return self.activation_bits / 8.0
+
+    def execution_phases(self) -> Tuple[ExecutionPhase, ...]:
+        """The phases to simulate (a single phase when none were specified)."""
+        if self.phases:
+            return self.phases
+        return (
+            ExecutionPhase(
+                fraction=1.0,
+                weight_bits=self.weight_bits,
+                activation_bits=self.activation_bits,
+                compute_bits=self.compute_bits,
+            ),
+        )
+
+
+#: GPU comparison (paper Fig. 9): OliVe vs ANT vs int8 tensor cores vs GOBO.
+GPU_SCHEMES: Dict[str, ExecutionScheme] = {
+    # OliVe: 4-bit aligned weights *and* activations, 4-bit tensor-core math.
+    "olive": ExecutionScheme(
+        "olive", weight_bits=4, activation_bits=4, compute_bits=4,
+        onchip_weight_bits=4, decode_per_element=True,
+    ),
+    # ANT PTQ needs int8 for ~80% of the layers to preserve accuracy (Sec. 5.3).
+    "ant": ExecutionScheme(
+        "ant", weight_bits=0.8 * 8 + 0.2 * 4, activation_bits=0.8 * 8 + 0.2 * 4,
+        compute_bits=8, onchip_weight_bits=0.8 * 8 + 0.2 * 4,
+        phases=(
+            ExecutionPhase(0.8, 8, 8, 8),
+            ExecutionPhase(0.2, 4, 4, 4),
+        ),
+    ),
+    # Plain int8 tensor cores (accuracy is unacceptable; performance reference).
+    "int8": ExecutionScheme(
+        "int8", weight_bits=8, activation_bits=8, compute_bits=8, onchip_weight_bits=8,
+    ),
+    # GOBO: 3-bit weights + outlier list in DRAM only; FP16 on-chip and FP16 math.
+    "gobo": ExecutionScheme(
+        "gobo", weight_bits=4, activation_bits=16, compute_bits=16,
+        onchip_weight_bits=16, index_overhead=0.05,
+    ),
+}
+
+#: Accelerator comparison (paper Fig. 10): OliVe vs ANT vs OLAccel vs AdaFloat.
+ACCEL_SCHEMES: Dict[str, ExecutionScheme] = {
+    "olive": ExecutionScheme(
+        "olive", weight_bits=4, activation_bits=4, compute_bits=4,
+        onchip_weight_bits=4, decode_per_element=True,
+    ),
+    "ant": ExecutionScheme(
+        "ant", weight_bits=0.8 * 8 + 0.2 * 4, activation_bits=0.8 * 8 + 0.2 * 4,
+        compute_bits=8, onchip_weight_bits=0.8 * 8 + 0.2 * 4,
+        phases=(
+            ExecutionPhase(0.8, 8, 8, 8),
+            ExecutionPhase(0.2, 4, 4, 4),
+        ),
+    ),
+    # OLAccel: 4-bit dense values plus sparse high-precision outliers handled
+    # by a dedicated controller that serialises outlier MACs and inflates
+    # traffic with coordinate lists (its controller costs 71% of the PE array).
+    "olaccel": ExecutionScheme(
+        "olaccel", weight_bits=4.8, activation_bits=4.8, compute_bits=4,
+        onchip_weight_bits=4.8, index_overhead=0.12, compute_overhead=1.6,
+    ),
+    # AdaptivFloat: 8-bit float, no mixed precision.
+    "adafloat": ExecutionScheme(
+        "adafloat", weight_bits=8, activation_bits=8, compute_bits=8, onchip_weight_bits=8,
+    ),
+}

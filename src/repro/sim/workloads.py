@@ -1,0 +1,134 @@
+"""Transformer GEMM workload generator for the performance simulations.
+
+The GPU and accelerator experiments (paper Figs. 9-10) run inference of the
+*full-size* models (BERT-base/large, BART-base, GPT2-XL, BLOOM-7B1); only the
+GEMM dimensions matter for the timing model, so this module expands each
+model's architecture (from :data:`repro.models.configs.PAPER_CONFIGS`) into
+the list of matrix multiplications one forward pass performs:
+
+* QKV projections, attention output projection,
+* the two feed-forward GEMMs,
+* the attention score and context GEMMs (batched per head),
+
+for every layer, at the batch/sequence sizes the paper uses (batch 16 for
+BERT-like models, batch 2 for GPT-like models, Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import WorkloadError
+from repro.models.configs import ModelConfig, ModelFamily, paper_config
+
+__all__ = ["GemmSpec", "ModelWorkload", "transformer_gemms", "build_workload"]
+
+
+@dataclass(frozen=True)
+class GemmSpec:
+    """One GEMM of the workload: ``C[m, n] = A[m, k] @ B[k, n]``.
+
+    ``weight_operand`` is False for activation-activation GEMMs (attention
+    scores/context), which matters to weight-only schemes such as GOBO.
+    ``count`` collapses identical GEMMs (e.g. one per head / per layer).
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    weight_operand: bool = True
+
+    @property
+    def macs(self) -> float:
+        """Total multiply-accumulates across all repetitions."""
+        return float(self.m) * self.k * self.n * self.count
+
+
+@dataclass(frozen=True)
+class ModelWorkload:
+    """The full GEMM list of one model forward pass."""
+
+    model: str
+    batch: int
+    seq_len: int
+    gemms: List[GemmSpec]
+
+    @property
+    def total_macs(self) -> float:
+        """Total MACs of the forward pass."""
+        return sum(g.macs for g in self.gemms)
+
+    @property
+    def total_weight_bytes_fp16(self) -> float:
+        """Total weight footprint at FP16 (for sanity checks)."""
+        return sum(g.k * g.n * 2.0 * g.count for g in self.gemms if g.weight_operand)
+
+
+def transformer_gemms(config: ModelConfig, batch: int, seq_len: int) -> List[GemmSpec]:
+    """Expand one transformer architecture into its per-forward GEMM list."""
+    if batch <= 0 or seq_len <= 0:
+        raise WorkloadError("batch and sequence length must be positive")
+    tokens = batch * seq_len
+    h = config.hidden_size
+    ffn = config.intermediate_size
+    heads = config.num_heads
+    head_dim = h // heads
+
+    def layer_gemms(prefix: str) -> List[GemmSpec]:
+        return [
+            GemmSpec(f"{prefix}.qkv", tokens, h, 3 * h),
+            GemmSpec(f"{prefix}.attn_out", tokens, h, h),
+            GemmSpec(
+                f"{prefix}.attn_scores", seq_len, head_dim, seq_len,
+                count=batch * heads, weight_operand=False,
+            ),
+            GemmSpec(
+                f"{prefix}.attn_context", seq_len, seq_len, head_dim,
+                count=batch * heads, weight_operand=False,
+            ),
+            GemmSpec(f"{prefix}.ffn_in", tokens, h, ffn),
+            GemmSpec(f"{prefix}.ffn_out", tokens, ffn, h),
+        ]
+
+    gemms: List[GemmSpec] = []
+    encoder_layers = config.num_layers
+    if config.family == ModelFamily.ENCODER_DECODER:
+        for i in range(encoder_layers):
+            gemms.extend(layer_gemms(f"enc{i}"))
+        for i in range(encoder_layers):
+            gemms.extend(layer_gemms(f"dec{i}"))
+            # Cross-attention adds another projection + score/context set.
+            gemms.append(GemmSpec(f"dec{i}.cross_kv", tokens, h, 2 * h))
+            gemms.append(GemmSpec(f"dec{i}.cross_q", tokens, h, h))
+            gemms.append(
+                GemmSpec(f"dec{i}.cross_scores", seq_len, head_dim, seq_len,
+                         count=batch * heads, weight_operand=False)
+            )
+            gemms.append(
+                GemmSpec(f"dec{i}.cross_context", seq_len, seq_len, head_dim,
+                         count=batch * heads, weight_operand=False)
+            )
+    else:
+        for i in range(encoder_layers):
+            gemms.extend(layer_gemms(f"layer{i}"))
+    return gemms
+
+
+def build_workload(
+    model_name: str,
+    batch: Optional[int] = None,
+    seq_len: Optional[int] = None,
+) -> ModelWorkload:
+    """Build the default workload of a paper model (paper batch sizes by default)."""
+    config = paper_config(model_name)
+    batch = batch if batch is not None else config.default_batch
+    seq_len = seq_len if seq_len is not None else config.default_seq_len
+    return ModelWorkload(
+        model=model_name,
+        batch=batch,
+        seq_len=seq_len,
+        gemms=transformer_gemms(config, batch, seq_len),
+    )

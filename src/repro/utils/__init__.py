@@ -1,0 +1,5 @@
+"""Shared utilities (table rendering)."""
+
+from repro.utils.tables import format_nested_dict, format_table
+
+__all__ = ["format_table", "format_nested_dict"]

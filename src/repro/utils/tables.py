@@ -1,0 +1,42 @@
+"""Small helpers for rendering experiment results as text/markdown tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_nested_dict"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def format_nested_dict(table: Mapping[str, Mapping[str, float]], row_label: str = "model") -> str:
+    """Render a nested dict (row → column → value) as a markdown table."""
+    rows = list(table)
+    columns: List[str] = []
+    for row in rows:
+        for col in table[row]:
+            if col not in columns:
+                columns.append(col)
+    lines = [
+        "| " + row_label + " | " + " | ".join(columns) + " |",
+        "|" + "|".join(["---"] * (len(columns) + 1)) + "|",
+    ]
+    for row in rows:
+        values = [_fmt(table[row].get(col, "")) for col in columns]
+        lines.append("| " + row + " | " + " | ".join(values) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e4 or abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.3f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,138 @@
+"""Unit tests for the abfloat outlier data type (paper Sec. 3.3, Table 4, Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.abfloat import (
+    ABFLOAT_E0M3,
+    ABFLOAT_E1M2,
+    ABFLOAT_E2M1,
+    ABFLOAT_E3M0,
+    ABFLOAT_E4M3,
+    default_bias_for,
+    get_abfloat,
+)
+from repro.core.errors import DecodingError, EncodingError
+
+
+class TestE2M1Table4:
+    """The 3-bit unsigned E2M1 values of paper Table 4 (bias = 0)."""
+
+    def test_value_table(self):
+        expected = {0b000: 0, 0b001: 3, 0b010: 4, 0b011: 6,
+                    0b100: 8, 0b101: 12, 0b110: 16, 0b111: 24}
+        for code, value in expected.items():
+            assert ABFLOAT_E2M1.decode_magnitude(code, bias=0) == value
+
+    def test_bias_2_range_matches_paper(self):
+        # Paper Sec. 3.3: bias 2 extends E2M1 to {12, ..., 96}.
+        mags = ABFLOAT_E2M1.magnitude_values(2)
+        assert mags[0] == 12
+        assert mags[-1] == 96
+
+    def test_bias_3_range_matches_paper(self):
+        # Paper Sec. 3.3: bias 3 extends the range to {24, ..., 192} for flint4.
+        mags = ABFLOAT_E2M1.magnitude_values(3)
+        assert mags[0] == 24
+        assert mags[-1] == 192
+
+    def test_worked_example_from_section_4_2(self):
+        # Paper Sec. 4.2: with bias 2, the code 0101₂ decodes to 48.
+        assert ABFLOAT_E2M1.decode(0b0101, bias=2) == 48
+
+    def test_exponent_integer_pair(self):
+        exp, integer = ABFLOAT_E2M1.exponent_integer_pair(0b0101, bias=2)
+        assert (integer << exp) == 48
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip_on_grid(self):
+        for bias in (0, 2, 3):
+            for mag in ABFLOAT_E2M1.magnitude_values(bias):
+                for sign in (1, -1):
+                    code = ABFLOAT_E2M1.encode(sign * mag, bias)
+                    assert ABFLOAT_E2M1.decode(code, bias) == sign * mag
+
+    def test_small_values_saturate_to_min_code(self):
+        code = ABFLOAT_E2M1.encode(1.0, bias=2)
+        assert ABFLOAT_E2M1.decode(code, bias=2) == 12
+
+    def test_large_values_saturate_to_max(self):
+        code = ABFLOAT_E2M1.encode(1e6, bias=2)
+        assert ABFLOAT_E2M1.decode(code, bias=2) == 96
+
+    def test_zero_codes_never_produced(self):
+        # 0000 and 1000 are disabled for outliers (identifier conflict).
+        for value in (0.0, 0.5, 20.0, -13.0, 1e9):
+            code = ABFLOAT_E2M1.encode(value, bias=2)
+            assert code & 0b0111 != 0
+
+    def test_negative_sign_bit(self):
+        code = ABFLOAT_E2M1.encode(-48, bias=2)
+        assert code >> 3 == 1
+        assert ABFLOAT_E2M1.decode(code, bias=2) == -48
+
+    def test_out_of_range_code_raises(self):
+        with pytest.raises(DecodingError):
+            ABFLOAT_E2M1.decode(16, bias=0)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(EncodingError):
+            ABFLOAT_E2M1.encode_magnitude(-1.0, bias=0)
+
+    @given(st.floats(min_value=1.0, max_value=3.0e4), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=200, deadline=None)
+    def test_encode_is_near_nearest_grid_point(self, value, bias):
+        """Algorithm 2 lands on a representable value within one grid step of the input."""
+        grid = ABFLOAT_E2M1.magnitude_values(bias)
+        code = ABFLOAT_E2M1.encode(value, bias)
+        decoded = abs(ABFLOAT_E2M1.decode(code, bias))
+        # The decoded value must be a representable magnitude...
+        assert decoded in grid
+        # ...and no further from the input than the best grid point times a
+        # small slack for the algorithm's round-to-even behaviour on ties.
+        best = grid[np.argmin(np.abs(grid - min(max(value, grid[0]), grid[-1])))]
+        assert abs(decoded - value) <= abs(best - value) * 1.5 + 1e-9 or decoded == best
+
+
+class TestConfigurations:
+    def test_all_4bit_configs_have_4_bits(self):
+        for config in (ABFLOAT_E0M3, ABFLOAT_E1M2, ABFLOAT_E2M1, ABFLOAT_E3M0):
+            assert config.bits == 4
+
+    def test_e4m3_has_8_bits(self):
+        assert ABFLOAT_E4M3.bits == 8
+
+    def test_registry(self):
+        assert get_abfloat("E2M1") is ABFLOAT_E2M1
+        with pytest.raises(EncodingError):
+            get_abfloat("E5M2")
+
+    def test_default_bias_int4(self):
+        # Paper: bias 2 for int4 normals (max 7).
+        assert default_bias_for(7, ABFLOAT_E2M1) == 2
+
+    def test_default_bias_flint4(self):
+        # Paper: bias 3 for flint4 normals (max 16).
+        assert default_bias_for(16, ABFLOAT_E2M1) == 3
+
+    def test_default_bias_starts_above_normal_range(self):
+        for normal_max in (7.0, 16.0, 127.0):
+            for config in (ABFLOAT_E2M1, ABFLOAT_E4M3):
+                bias = default_bias_for(normal_max, config)
+                assert config.min_magnitude(bias) > normal_max
+
+    def test_mean_relative_error_zero_on_grid(self):
+        grid = ABFLOAT_E2M1.magnitude_values(2)
+        assert ABFLOAT_E2M1.mean_relative_error(grid, 2) == pytest.approx(0.0)
+
+    def test_e2m1_beats_e3m0_on_moderate_outliers(self):
+        """The Fig. 5 conclusion: E2M1 has lower error than the extreme layouts."""
+        rng = np.random.default_rng(0)
+        outliers = rng.uniform(20, 90, size=200)
+        e2m1 = ABFLOAT_E2M1.mean_relative_error(outliers, default_bias_for(7, ABFLOAT_E2M1))
+        e0m3 = ABFLOAT_E0M3.mean_relative_error(outliers, default_bias_for(7, ABFLOAT_E0M3))
+        e3m0 = ABFLOAT_E3M0.mean_relative_error(outliers, default_bias_for(7, ABFLOAT_E3M0))
+        assert e2m1 <= e0m3
+        assert e2m1 <= e3m0

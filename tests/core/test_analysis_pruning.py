@@ -1,0 +1,126 @@
+"""Tests for outlier analysis (Fig. 2 / Table 2 machinery) and pruning ablations (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    largest_outliers,
+    model_pair_census,
+    pair_census,
+    tensor_outlier_stats,
+)
+from repro.core.pruning import (
+    apply_to_tensors,
+    clip_outliers,
+    prune_random_normals,
+    prune_victims,
+)
+
+
+def _tensor_with_outliers(seed=0, n=10000, ratio=0.004, scale=30.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, size=n)
+    idx = rng.choice(n, int(n * ratio), replace=False)
+    x[idx] *= scale
+    return x
+
+
+class TestOutlierStats:
+    def test_gaussian_tensor_max_sigma_moderate(self):
+        stats = tensor_outlier_stats(np.random.default_rng(0).normal(0, 1, 100000))
+        assert 3.0 < stats.max_sigma < 7.0
+        assert stats.frac_gt_3sigma < 0.01
+
+    def test_outlier_tensor_max_sigma_large(self):
+        stats = tensor_outlier_stats(_tensor_with_outliers())
+        assert stats.max_sigma > 10.0
+
+    def test_empty_and_constant_tensors(self):
+        assert tensor_outlier_stats(np.array([])).num_elements == 0
+        assert tensor_outlier_stats(np.full(10, 5.0)).max_sigma == 0.0
+
+    def test_scale_invariance(self):
+        x = _tensor_with_outliers(seed=1)
+        a = tensor_outlier_stats(x)
+        b = tensor_outlier_stats(x * 123.0)
+        assert a.max_sigma == pytest.approx(b.max_sigma)
+        assert a.frac_gt_3sigma == pytest.approx(b.frac_gt_3sigma)
+
+
+class TestPairCensus:
+    def test_fractions_sum_to_one(self):
+        census = pair_census(_tensor_with_outliers())
+        fractions = census.fractions
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_outlier_outlier_rare_for_random_placement(self):
+        census = pair_census(_tensor_with_outliers(n=200000))
+        assert census.fractions["outlier-outlier"] < 0.001
+        assert census.fractions["normal-normal"] > 0.97
+
+    def test_merge(self):
+        a = pair_census(_tensor_with_outliers(seed=2))
+        b = pair_census(_tensor_with_outliers(seed=3))
+        merged = a.merged(b)
+        assert merged.total == a.total + b.total
+
+    def test_model_census(self):
+        tensors = {"a": _tensor_with_outliers(seed=4), "b": _tensor_with_outliers(seed=5)}
+        census = model_pair_census(tensors)
+        assert census.total == sum(pair_census(t).total for t in tensors.values())
+
+    def test_largest_outliers_positive(self):
+        tensors = {"a": _tensor_with_outliers(seed=6)}
+        top = largest_outliers(tensors, top_k=3)
+        assert top.shape == (3,)
+        assert np.all(top > 3.0)
+
+
+class TestPruning:
+    def test_clip_outliers_bounds_values(self):
+        x = _tensor_with_outliers(seed=7)
+        clipped = clip_outliers(x, 3.0)
+        sigma = np.std(x - x.mean())
+        assert np.max(np.abs(clipped - x.mean())) <= 3.0 * sigma + 1e-9
+
+    def test_prune_victims_zeroes_partner_of_outliers(self):
+        x = np.full(100, 0.1)
+        x[10] = 30.0    # outlier in pair (10, 11) → victim is index 11
+        x[55] = -30.0   # outlier in pair (54, 55) → victim is index 54
+        pruned = prune_victims(x, 3.0)
+        assert pruned[10] == 30.0 and pruned[11] == 0.0
+        assert pruned[55] == -30.0 and pruned[54] == 0.0
+        # Every other element is untouched.
+        untouched = np.delete(pruned, [10, 11, 54, 55])
+        np.testing.assert_array_equal(untouched, np.full(96, 0.1))
+
+    def test_prune_victims_preserves_count(self):
+        x = _tensor_with_outliers(seed=8)
+        assert prune_victims(x).shape == x.shape
+
+    def test_prune_random_normals_matches_outlier_count(self):
+        x = _tensor_with_outliers(seed=9, n=20000)
+        sigma = np.std(x - x.mean())
+        n_outliers = int(np.sum(np.abs(x - x.mean()) > 3 * sigma))
+        pruned = prune_random_normals(x, 3.0, np.random.default_rng(0))
+        n_new_zeros = int(np.sum((pruned == 0) & (x != 0)))
+        assert n_new_zeros == n_outliers
+
+    def test_victim_energy_much_smaller_than_outlier_energy(self):
+        """The Fig. 3 insight: what the victims carry is negligible next to the outliers."""
+        x = _tensor_with_outliers(seed=10, n=50000)
+        victim_loss = float(np.sum((x - prune_victims(x)) ** 2))
+        clip_loss = float(np.sum((x - clip_outliers(x)) ** 2))
+        assert victim_loss < clip_loss / 10.0
+
+    def test_apply_to_tensors_dispatch(self):
+        tensors = {"w": _tensor_with_outliers(seed=11)}
+        for method in ("source", "clip-outlier", "prune-victim", "prune-normal"):
+            out = apply_to_tensors(tensors, method)
+            assert out["w"].shape == tensors["w"].shape
+        with pytest.raises(ValueError):
+            apply_to_tensors(tensors, "unknown")
+
+    def test_source_is_identity(self):
+        tensors = {"w": _tensor_with_outliers(seed=12)}
+        np.testing.assert_array_equal(apply_to_tensors(tensors, "source")["w"], tensors["w"])

@@ -1,0 +1,92 @@
+"""Unit tests for the normal-value data types (paper Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import FLINT4, INT4, INT8, get_normal_dtype
+from repro.core.errors import DecodingError, EncodingError
+
+
+class TestInt4:
+    def test_value_range_matches_paper_table3(self):
+        assert INT4.values.min() == -7
+        assert INT4.values.max() == 7
+        assert len(INT4.values) == 15  # -7..7, no -8
+
+    def test_identifier_is_1000(self):
+        assert INT4.identifier_code == 0b1000
+
+    def test_identifier_not_a_valid_code(self):
+        with pytest.raises(DecodingError):
+            INT4.decode(0b1000)
+
+    def test_encode_decode_round_trip(self):
+        for value in INT4.values:
+            assert INT4.decode(INT4.encode(float(value))) == value
+
+    def test_quantize_rounds_to_nearest(self):
+        assert INT4.quantize(np.array([2.4]))[0] == 2
+        assert INT4.quantize(np.array([2.6]))[0] == 3
+        assert INT4.quantize(np.array([-6.7]))[0] == -7
+
+    def test_quantize_saturates(self):
+        assert INT4.quantize(np.array([100.0]))[0] == 7
+        assert INT4.quantize(np.array([-100.0]))[0] == -7
+
+    def test_encode_rejects_unrepresentable(self):
+        with pytest.raises(EncodingError):
+            INT4.encode(2.5)
+
+    def test_max_value(self):
+        assert INT4.max_value == 7
+
+
+class TestFlint4:
+    def test_value_set_matches_paper_table3(self):
+        expected = {0, 1, 2, 3, 4, 6, 8, 16, -1, -2, -3, -4, -6, -8, -16}
+        assert set(FLINT4.values.tolist()) == expected
+
+    def test_identifier_is_negative_zero_code(self):
+        assert FLINT4.identifier_code == 0b1000
+
+    def test_max_value(self):
+        assert FLINT4.max_value == 16
+
+    def test_round_trip_all_values(self):
+        for value in FLINT4.values:
+            assert FLINT4.decode(FLINT4.encode(float(value))) == value
+
+    def test_quantize_prefers_nearest_grid_point(self):
+        # 5 is equidistant from 4 and 6; either is acceptable, but 7 snaps to 6 or 8.
+        assert FLINT4.quantize(np.array([7.2]))[0] in (6, 8)
+        assert FLINT4.quantize(np.array([12.0]))[0] in (8, 16)
+
+
+class TestInt8:
+    def test_value_range_matches_paper_table3(self):
+        assert INT8.values.min() == -127
+        assert INT8.values.max() == 127
+        assert len(INT8.values) == 255
+
+    def test_identifier_is_10000000(self):
+        assert INT8.identifier_code == 0b1000_0000
+
+    def test_round_trip_sample(self):
+        for value in (-127, -1, 0, 1, 100, 127):
+            assert INT8.decode(INT8.encode(float(value))) == value
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_normal_dtype("int4") is INT4
+        assert get_normal_dtype("flint4") is FLINT4
+        assert get_normal_dtype("int8") is INT8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(EncodingError):
+            get_normal_dtype("int3")
+
+    def test_array_encode_decode(self):
+        values = INT4.quantize(np.array([[1.2, -3.4], [6.9, 0.1]]))
+        codes = INT4.encode_array(values)
+        assert np.array_equal(INT4.decode_array(codes), values)

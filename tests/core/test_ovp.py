@@ -1,0 +1,147 @@
+"""Unit and property tests for the OVP pair codec (paper Algorithm 1, Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.abfloat import ABFLOAT_E2M1, ABFLOAT_E4M3
+from repro.core.dtypes import FLINT4, INT4, INT8
+from repro.core.errors import EncodingError
+from repro.core.ovp import OVPairCodec, PairKind
+
+
+@pytest.fixture
+def codec4():
+    return OVPairCodec(INT4, ABFLOAT_E2M1, bias=2)
+
+
+@pytest.fixture
+def codec8():
+    return OVPairCodec(INT8, ABFLOAT_E4M3, bias=4)
+
+
+class TestPairClassification:
+    def test_normal_normal(self, codec4):
+        assert codec4.classify_pair(1.0, -3.0, threshold=7) == PairKind.NORMAL_NORMAL
+
+    def test_outlier_normal(self, codec4):
+        assert codec4.classify_pair(20.0, 2.0, threshold=7) == PairKind.OUTLIER_NORMAL
+        assert codec4.classify_pair(2.0, -20.0, threshold=7) == PairKind.OUTLIER_NORMAL
+
+    def test_outlier_outlier(self, codec4):
+        assert codec4.classify_pair(20.0, -30.0, threshold=7) == PairKind.OUTLIER_OUTLIER
+
+
+class TestEncodePair:
+    def test_normal_pair_round_trip(self, codec4):
+        c1, c2 = codec4.encode_pair(3.0, -5.0, threshold=7)
+        assert codec4.decode_pair(c1, c2) == (3.0, -5.0)
+
+    def test_left_outlier_gets_right_victim(self, codec4):
+        c1, c2 = codec4.encode_pair(40.0, 2.0, threshold=7)
+        assert c2 == INT4.identifier_code
+        v1, v2 = codec4.decode_pair(c1, c2)
+        assert v2 == 0.0           # victim pruned to zero
+        assert v1 in ABFLOAT_E2M1.magnitude_values(2)
+
+    def test_right_outlier_gets_left_victim(self, codec4):
+        c1, c2 = codec4.encode_pair(2.0, -40.0, threshold=7)
+        assert c1 == INT4.identifier_code
+        v1, v2 = codec4.decode_pair(c1, c2)
+        assert v1 == 0.0
+        assert -v2 in ABFLOAT_E2M1.magnitude_values(2)
+
+    def test_outlier_outlier_keeps_larger(self, codec4):
+        c1, c2 = codec4.encode_pair(20.0, -50.0, threshold=7)
+        v1, v2 = codec4.decode_pair(c1, c2)
+        assert v1 == 0.0            # the smaller outlier becomes the victim
+        assert v2 != 0.0
+
+    def test_codes_fit_in_4_bits(self, codec4):
+        for pair in [(3.0, 2.0), (40.0, 1.0), (1.0, -90.0), (50.0, 60.0)]:
+            c1, c2 = codec4.encode_pair(*pair, threshold=7)
+            assert 0 <= c1 <= 0xF and 0 <= c2 <= 0xF
+
+    def test_normal_codes_never_equal_identifier(self, codec4):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = rng.uniform(-7, 7, size=2)
+            c1, c2 = codec4.encode_pair(a, b, threshold=7)
+            assert c1 != INT4.identifier_code
+            assert c2 != INT4.identifier_code
+
+
+class TestFakeQuantGrid:
+    def test_matches_bit_accurate_path(self, codec4):
+        rng = np.random.default_rng(1)
+        grid = rng.normal(0, 2.5, size=512)
+        grid[::50] *= 15
+        fake = codec4.fake_quantize_grid(grid, threshold=7)
+        packed = codec4.encode_tensor(grid, scale=1.0, threshold=7)
+        decoded = codec4.decode_tensor(packed)
+        np.testing.assert_allclose(fake, decoded, atol=1e-9)
+
+    def test_odd_length_preserved(self, codec4):
+        grid = np.array([1.0, 2.0, 30.0])
+        out = codec4.fake_quantize_grid(grid, threshold=7)
+        assert out.shape == (3,)
+
+    def test_shape_preserved(self, codec4):
+        grid = np.zeros((6, 10))
+        assert codec4.fake_quantize_grid(grid, threshold=7).shape == (6, 10)
+
+    def test_victims_are_zero(self, codec4):
+        grid = np.array([40.0, 3.0, 2.0, -1.0])
+        out = codec4.fake_quantize_grid(grid, threshold=7)
+        assert out[1] == 0.0          # victim of the left outlier
+        assert out[2] == 2.0 and out[3] == -1.0
+
+    @given(st.lists(st.floats(min_value=-200, max_value=200), min_size=2, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_fake_quant_idempotent_on_normals(self, values):
+        """Quantizing twice gives the same result as quantizing once."""
+        codec = OVPairCodec(INT4, ABFLOAT_E2M1, bias=2)
+        grid = np.asarray(values, dtype=np.float64)
+        once = codec.fake_quantize_grid(grid, threshold=7)
+        twice = codec.fake_quantize_grid(once, threshold=7)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+class TestPackedTensor:
+    def test_memory_is_aligned_half_byte_per_element(self, codec4):
+        tensor = np.random.default_rng(2).normal(0, 1, size=(32, 32))
+        packed = codec4.encode_tensor(tensor, scale=0.5, threshold=7)
+        # 4-bit OVP: exactly one byte per pair, no side tables.
+        assert packed.nbytes == tensor.size // 2
+
+    def test_8bit_packing_one_byte_per_element(self, codec8):
+        tensor = np.random.default_rng(3).normal(0, 20, size=256)
+        packed = codec8.encode_tensor(tensor, scale=1.0, threshold=127)
+        assert packed.nbytes == tensor.size
+
+    def test_round_trip_error_bounded_by_scale(self, codec4):
+        rng = np.random.default_rng(4)
+        tensor = rng.normal(0, 1.0, size=1000)
+        scale = 3.0 * np.std(tensor) / 7.0
+        packed = codec4.encode_tensor(tensor, scale=scale, threshold=7)
+        decoded = codec4.decode_tensor(packed)
+        normal_mask = np.abs(tensor / scale) <= 7
+        assert np.max(np.abs(decoded[normal_mask] - tensor[normal_mask])) <= scale
+
+    def test_invalid_scale_raises(self, codec4):
+        with pytest.raises(EncodingError):
+            codec4.encode_tensor(np.ones(4), scale=0.0, threshold=7)
+
+    def test_mismatched_widths_rejected(self):
+        with pytest.raises(EncodingError):
+            OVPairCodec(INT4, ABFLOAT_E4M3, bias=4)
+
+    def test_flint4_codec_round_trip(self):
+        codec = OVPairCodec(FLINT4, ABFLOAT_E2M1, bias=3)
+        grid = np.array([1.0, 16.0, 40.0, 2.0, -3.0, 6.0])
+        packed = codec.encode_tensor(grid, scale=1.0, threshold=16)
+        decoded = codec.decode_tensor(packed)
+        assert decoded.shape == grid.shape
+        # 40 is an outlier; its partner (2.0) becomes the victim.
+        assert decoded[2] in ABFLOAT_E2M1.magnitude_values(3)
+        assert decoded[3] == 0.0

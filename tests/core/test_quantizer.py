@@ -1,0 +1,140 @@
+"""Tests for the tensor-level OVP quantizer and its MSE threshold search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import QuantizationError
+from repro.core.quantizer import OVPQuantizerConfig, OVPTensorQuantizer, make_quantizer
+from repro.quant.uniform import Int4Quantizer
+
+
+def _outlier_tensor(seed=0, n=8192, outlier_every=512, outlier_scale=40.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1.0, size=n)
+    x[::outlier_every] *= outlier_scale
+    return x
+
+
+class TestFitAndQuantize:
+    def test_fit_required_before_scale(self):
+        q = make_quantizer(4)
+        with pytest.raises(QuantizationError):
+            _ = q.scale
+
+    def test_fit_sets_threshold_near_3_sigma(self):
+        q = make_quantizer(4).fit(np.random.default_rng(0).normal(0, 1, 4096))
+        assert 1.0 <= q.threshold_sigma <= 12.0
+
+    def test_empty_tensor_rejected(self):
+        with pytest.raises(QuantizationError):
+            make_quantizer(4).fit(np.array([]))
+
+    def test_quantize_preserves_shape_and_dtype(self):
+        q = make_quantizer(4)
+        x = _outlier_tensor().reshape(64, 128)
+        out = q.quantize(x, fit=True)
+        assert out.shape == x.shape
+
+    def test_constant_tensor_handled(self):
+        q = make_quantizer(4)
+        out = q.quantize(np.full(16, 3.0), fit=True)
+        assert out.shape == (16,)
+
+    def test_olive_beats_int4_on_outlier_tensor(self):
+        """The core claim: OVP handles outliers far better than uniform int4."""
+        x = _outlier_tensor()
+        olive = make_quantizer(4)
+        olive_mse = olive.quantization_mse(x)
+        int4_mse = Int4Quantizer().fit(x).quantization_mse(x)
+        assert olive_mse < int4_mse / 3.0
+
+    def test_8bit_quantizer_more_accurate_than_4bit(self):
+        x = _outlier_tensor(seed=1)
+        mse4 = make_quantizer(4).quantization_mse(x)
+        mse8 = make_quantizer(8).quantization_mse(x)
+        assert mse8 < mse4
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(QuantizationError):
+            make_quantizer(6)
+
+    def test_flint4_variant(self):
+        q = OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype="flint4"))
+        x = _outlier_tensor(seed=2)
+        assert q.quantization_mse(x) < np.var(x)
+
+
+class TestEncodeDecode:
+    def test_encode_decode_matches_fake_quant(self):
+        x = _outlier_tensor(seed=3, n=2048)
+        q = make_quantizer(4)
+        fake = q.quantize(x, fit=True)
+        decoded = q.decode(q.encode(x))
+        np.testing.assert_allclose(decoded, fake, atol=1e-9)
+
+    def test_encoded_size_is_half_byte_per_element(self):
+        x = _outlier_tensor(seed=4, n=4096)
+        q = make_quantizer(4)
+        packed = q.encode(x)
+        assert packed.nbytes == x.size // 2
+
+    def test_8bit_encoded_size(self):
+        x = _outlier_tensor(seed=5, n=1024)
+        q = make_quantizer(8)
+        packed = q.encode(x)
+        assert packed.nbytes == x.size
+
+
+class TestPairStatistics:
+    def test_fractions_sum_to_one(self):
+        q = make_quantizer(4)
+        stats = q.pair_statistics(_outlier_tensor(seed=6))
+        assert sum(stats.values()) == pytest.approx(1.0)
+
+    def test_outlier_outlier_pairs_rare(self):
+        """Paper Table 2: outlier-outlier pairs are well below 1%."""
+        q = make_quantizer(4)
+        stats = q.pair_statistics(_outlier_tensor(seed=7))
+        assert stats["outlier-outlier"] < 0.01
+        assert stats["normal-normal"] > 0.9
+
+
+class TestPerChannel:
+    def test_per_channel_quantization(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(0, 1, size=(8, 256))
+        x[3] *= 50.0  # one channel with a wildly different scale
+        per_channel = OVPTensorQuantizer(OVPQuantizerConfig(per_channel_axis=0))
+        per_channel.fit(x)
+        out = per_channel.quantize(x)
+        assert out.shape == x.shape
+        assert np.all(np.isfinite(out))
+        # One scale per channel, and the amplified channel gets a larger scale.
+        scales = np.asarray(per_channel.scale).ravel()
+        assert scales.shape == (8,)
+        assert scales[3] > 5 * np.median(np.delete(scales, 3))
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=2, max_value=256),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_error_bounded(self, n, sigma, seed):
+        """Normal-range error is bounded by one grid step; no NaNs ever appear."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, sigma, size=n)
+        q = make_quantizer(4)
+        out = q.quantize(x, fit=True)
+        assert np.all(np.isfinite(out))
+        scale = float(np.asarray(q.scale).ravel()[0])
+        normal_mask = np.abs(x / scale) <= 7
+        if np.any(normal_mask):
+            # A normal value is either rounded (error ≤ one grid step) or, when it
+            # sits next to an outlier, pruned as a victim (error = its own magnitude).
+            errors = np.abs(out[normal_mask] - x[normal_mask])
+            bound = np.maximum(scale, np.abs(x[normal_mask])) + 1e-9
+            assert np.all(errors <= bound)

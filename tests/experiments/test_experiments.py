@@ -1,0 +1,115 @@
+"""Tests for the per-table/figure experiment modules (small configurations)."""
+
+import pytest
+
+from repro.experiments.fig2_outliers import format_fig2, run_fig2
+from repro.experiments.fig3_pruning import FIG3_METHODS, format_fig3, run_fig3
+from repro.experiments.fig5_abfloat_error import format_fig5, run_fig5
+from repro.experiments.fig9_gpu import format_fig9, run_fig9
+from repro.experiments.fig10_accel import format_fig10, run_fig10
+from repro.experiments.table2_pairs import format_table2, run_table2
+from repro.experiments.table6_glue import format_table6, run_table6
+from repro.experiments.table7_gobo import format_table7, run_table7
+from repro.experiments.table8_squad import format_table8, run_table8
+from repro.experiments.table9_llm import format_table9, run_table9
+from repro.experiments.tables_area import (
+    format_table10,
+    format_table11,
+    run_table10,
+    run_table11,
+)
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestMotivationExperiments:
+    def test_fig2_transformer_outliers_dominate(self):
+        result = run_fig2()
+        assert result.max_sigma_ratio > 2.0
+        assert "transformer_max_sigma" in format_fig2(result)
+
+    def test_table2_pair_fractions(self):
+        result = run_table2(models=("bert-base", "opt-6.7b"))
+        for fractions in result.fractions().values():
+            assert fractions["normal-normal"] > 0.95
+            assert fractions["outlier-outlier"] < 0.01
+        assert "normal-normal" in format_table2(result)
+
+    def test_fig3_clipping_outliers_hurts_most(self):
+        result = run_fig3(tasks=("SST-2",), num_examples=32, oversample=8)
+        assert result.average_drop("clip-outlier") > result.average_drop("prune-victim")
+        assert result.average_drop("clip-outlier") > result.average_drop("prune-normal")
+        assert abs(result.average_drop("prune-victim")) < 15.0
+        assert set(FIG3_METHODS) <= set(next(iter(result.scores.values())))
+        assert "clip-outlier" in format_fig3(result)
+
+    def test_fig5_e2m1_wins(self):
+        result = run_fig5(models=("bert-base", "gpt2-xl"))
+        assert result.best_overall() == "E2M1"
+        assert "E2M1" in format_fig5(result)
+
+
+class TestAccuracyExperiments:
+    def test_table6_shape(self):
+        result = run_table6(models=("bert-base",), tasks=("SST-2",),
+                            schemes=("fp32", "olive-4bit", "int4"), num_examples=32)
+        assert result.accuracy_drop("bert-base", "olive-4bit") < result.accuracy_drop("bert-base", "int4")
+        assert "olive-4bit" in format_table6(result)
+
+    def test_table7_runs(self):
+        result = run_table7(tasks=("MNLI",), num_examples=32, oversample=8)
+        scores = result.scores["MNLI"]
+        assert scores["olive-4bit-weights"] > 0
+        assert "gobo" in format_table7(result)
+
+    def test_table8_f1_at_least_em(self):
+        result = run_table8(models=("bert-base",), variants=("squad-v1.1",),
+                            schemes=("fp32", "olive-4bit"), num_examples=16)
+        for per_scheme in result.scores.values():
+            for f1, em in per_scheme.values():
+                assert f1 >= em
+        assert "squad-v1.1" in format_table8(result)
+
+    def test_table9_shape(self):
+        result = run_table9(models=("gpt2-xl",), corpora=("wikitext",),
+                            schemes=("fp32", "olive-8bit", "int4"), num_sequences=4)
+        row = result.perplexities[("gpt2-xl", "wikitext")]
+        assert row["fp32"] <= row["olive-8bit"] < row["int4"]
+        assert "wikitext" in format_table9(result)
+
+
+class TestHardwareExperiments:
+    def test_fig9_geomeans(self):
+        result = run_fig9(models=("bert-base", "gpt2-xl"))
+        assert result.geomean_speedup("olive") > 3.0
+        assert result.geomean_energy("olive") < 0.5
+        assert "Speedup over GOBO" in format_fig9(result)
+
+    def test_fig10_geomeans(self):
+        result = run_fig10(models=("bert-base", "gpt2-xl"))
+        assert result.geomean_speedup("olive") > 3.0
+        assert result.geomean_energy("olive") < 0.5
+        assert "AdaFloat" in format_fig10(result)
+
+    def test_table10_overhead_below_one_percent(self):
+        result = run_table10()
+        assert result.total_overhead_ratio < 0.01
+        assert "0.250%" in format_table10(result)
+
+    def test_table11_decoder_overhead_small(self):
+        result = run_table11()
+        ratios = result.ratios()
+        assert ratios["4-bit PE"] > 0.9
+        assert ratios["4-bit decoder"] < 0.05
+        assert "4-bit PE" in format_table11(result)
+
+
+class TestRunner:
+    def test_registry_covers_all_paper_results(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "table2", "fig3", "fig5", "table6", "table7", "table8",
+            "table9", "fig9", "fig10", "table10", "table11",
+        }
+
+    def test_run_all_subset(self):
+        report = run_all(quick=True, only=["fig2", "table10"])
+        assert "## fig2" in report and "## table10" in report

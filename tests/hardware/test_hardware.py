@@ -1,0 +1,191 @@
+"""Tests for the hardware substrate: decoders, MAC units, area, timing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.abfloat import ABFLOAT_E2M1
+from repro.core.dtypes import INT4
+from repro.core.errors import DecodingError, SimulationError
+from repro.core.ovp import OVPairCodec
+from repro.hardware.area import gpu_decoder_area, systolic_area_breakdown
+from repro.hardware.config import SYSTOLIC_64X64, TURING_2080TI
+from repro.hardware.decoder import ExponentIntegerPair, OVPDecoder
+from repro.hardware.isa import MMA_S4, execute_mma_ovp, mma_ovp_for
+from repro.hardware.mac import FourPEInt8Multiplier, Int32Accumulator, OliveMacUnit
+from repro.hardware.memory import gemm_traffic
+from repro.hardware.systolic import SystolicArrayModel
+from repro.hardware.tensor_core import TensorCoreModel
+
+
+class TestConfigs:
+    def test_turing_table5_numbers(self):
+        assert TURING_2080TI.num_sms == 68
+        assert TURING_2080TI.total_tensor_cores == 544
+        assert TURING_2080TI.fp16_multipliers == 34_816
+        assert TURING_2080TI.int8_multipliers == 69_632
+        assert TURING_2080TI.int4_multipliers == 139_264
+
+    def test_throughput_scales_with_precision(self):
+        assert TURING_2080TI.peak_macs_per_second(4) == 2 * TURING_2080TI.peak_macs_per_second(8)
+        assert TURING_2080TI.peak_macs_per_second(8) == 2 * TURING_2080TI.peak_macs_per_second(16)
+
+    def test_systolic_config(self):
+        assert SYSTOLIC_64X64.num_pes == 4096
+        assert SYSTOLIC_64X64.num_edge_decoders == 128
+        assert SYSTOLIC_64X64.peak_macs_per_second(8) == SYSTOLIC_64X64.peak_macs_per_second(4) / 4
+
+
+class TestOVPDecoder:
+    def test_decoder_matches_codec(self):
+        """The hardware decoder and the software codec must agree bit for bit."""
+        codec = OVPairCodec(INT4, ABFLOAT_E2M1, bias=2)
+        decoder = OVPDecoder(bits=4, bias=2)
+        rng = np.random.default_rng(0)
+        grid = rng.normal(0, 3, size=256)
+        grid[::17] *= 20
+        packed = codec.encode_tensor(grid, scale=1.0, threshold=7)
+        hw_values = decoder.decode_stream_values(packed.data)
+        sw_values = codec.decode_tensor(packed)
+        np.testing.assert_allclose(hw_values[: sw_values.size], sw_values, atol=1e-9)
+
+    def test_identifier_slot_decodes_to_zero(self):
+        decoder = OVPDecoder(bits=4, bias=2)
+        outlier, victim = decoder.decode_pair(0b0101, 0b1000)
+        assert victim.value == 0
+        assert outlier.value == 48  # the Sec. 4.2 worked example
+
+    def test_decode_byte_nibble_order(self):
+        decoder = OVPDecoder(bits=4, bias=2)
+        a, b = decoder.decode_byte((0b0101 << 4) | 0b1000)
+        assert (a.value, b.value) == (48, 0)
+
+    def test_normal_values_have_zero_exponent(self):
+        decoder = OVPDecoder(bits=4, bias=2)
+        a, b = decoder.decode_pair(INT4.encode(3), INT4.encode(-5))
+        assert (a.exponent, b.exponent) == (0, 0)
+        assert (a.integer, b.integer) == (3, -5)
+
+    def test_invalid_inputs(self):
+        decoder = OVPDecoder(bits=4)
+        with pytest.raises(DecodingError):
+            decoder.decode_byte(300)
+        with pytest.raises(DecodingError):
+            OVPDecoder(bits=5)
+
+    def test_area_lookup(self):
+        assert OVPDecoder(bits=4).area_um2(22) == 37.22
+        assert OVPDecoder(bits=8).area_um2(12) == 18.00
+
+
+class TestMacUnits:
+    def test_exponent_integer_multiply(self):
+        # <2, 3> x <4, 2> = (3*2) << 6 = 384 (paper Sec. 4.4 algebra).
+        a = ExponentIntegerPair(2, 3)
+        b = ExponentIntegerPair(4, 2)
+        assert OliveMacUnit.multiply(a, b) == 384
+
+    def test_dot_product_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        ints = rng.integers(-7, 8, size=16)
+        exps = rng.integers(0, 3, size=16)
+        lhs = [ExponentIntegerPair(int(e), int(i)) for e, i in zip(exps, ints)]
+        rhs = [ExponentIntegerPair(0, int(i)) for i in ints]
+        expected = int(np.sum((ints << exps) * ints))
+        assert OliveMacUnit().dot_product(lhs, rhs) == expected
+
+    def test_overflow_detection(self):
+        with pytest.raises(SimulationError):
+            OliveMacUnit.multiply(ExponentIntegerPair(20, 127), ExponentIntegerPair(20, 127))
+
+    def test_accumulator_wraps_like_int32(self):
+        acc = Int32Accumulator(value=2 ** 31 - 1)
+        assert acc.add(1) == -(2 ** 31)
+
+    @given(st.integers(min_value=-128, max_value=127), st.integers(min_value=-128, max_value=127))
+    @settings(max_examples=200, deadline=None)
+    def test_four_pe_int8_multiply_exact(self, x, y):
+        """Paper Sec. 4.5: four 4-bit PEs reproduce the exact int8 product."""
+        assert FourPEInt8Multiplier.multiply_int8(x, y) == x * y
+
+    def test_four_pe_abfloat8(self):
+        x = ExponentIntegerPair(3, 9)
+        y = ExponentIntegerPair(2, -5)
+        assert FourPEInt8Multiplier.multiply_abfloat8(x, y) == (9 * -5) << 5
+
+
+class TestISA:
+    def test_mnemonics(self):
+        assert MMA_S4.render() == "mma.s32.s4.s4.s32"
+        assert mma_ovp_for("int4", 2).render() == "mmaovp.s32.ovpi4.ovpi4.s32.s4"
+
+    def test_execute_matches_software_dot_product(self):
+        codec = OVPairCodec(INT4, ABFLOAT_E2M1, bias=2)
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 3, size=64)
+        b = rng.normal(0, 3, size=64)
+        a[::9] *= 15
+        pa = codec.encode_tensor(a, scale=1.0, threshold=7)
+        pb = codec.encode_tensor(b, scale=1.0, threshold=7)
+        expected = int(np.round(np.dot(codec.decode_tensor(pa), codec.decode_tensor(pb))))
+        result = execute_mma_ovp(mma_ovp_for("int4", 2), pa.data, pb.data)
+        assert result == expected
+
+    def test_non_ovp_instruction_rejected(self):
+        with pytest.raises(SimulationError):
+            execute_mma_ovp(MMA_S4, np.zeros(2, dtype=np.uint8), np.zeros(2, dtype=np.uint8))
+
+
+class TestAreaTables:
+    def test_table10_ratios(self):
+        entries = gpu_decoder_area()
+        ratios = {e.component: e.ratio_of(TURING_2080TI.die_area_mm2) for e in entries}
+        assert ratios["4-bit decoder"] == pytest.approx(0.0025, rel=0.05)
+        assert ratios["8-bit decoder"] == pytest.approx(0.00166, rel=0.05)
+
+    def test_table11_pe_dominates(self):
+        entries = systolic_area_breakdown()
+        total = sum(e.total_mm2 for e in entries)
+        pe = next(e for e in entries if e.component == "4-bit PE")
+        assert pe.ratio_of(total) > 0.9
+
+
+class TestTimingModels:
+    def test_systolic_cycles_scale_with_work(self):
+        model = SystolicArrayModel()
+        small = model.gemm(64, 64, 64).cycles
+        large = model.gemm(256, 64, 256).cycles
+        assert large == pytest.approx(small * 16, rel=0.01)
+
+    def test_8bit_uses_four_pes_and_slows_down(self):
+        model = SystolicArrayModel()
+        assert model.gemm(256, 256, 256, bits=8).cycles > model.gemm(256, 256, 256, bits=4).cycles
+
+    def test_utilization_bounded(self):
+        result = SystolicArrayModel().gemm(1024, 1024, 1024)
+        assert 0 < result.utilization <= 1.0
+
+    def test_invalid_gemm(self):
+        with pytest.raises(SimulationError):
+            SystolicArrayModel().gemm(0, 1, 1)
+
+    def test_tensor_core_roofline(self):
+        model = TensorCoreModel()
+        traffic = gemm_traffic(4096, 4096, 4096, 0.5, 0.5)
+        big = model.gemm(4096, 4096, 4096, 4, traffic)
+        assert not big.is_memory_bound
+        small_traffic = gemm_traffic(16, 4096, 4096, 2, 2)
+        small = model.gemm(16, 4096, 4096, 16, small_traffic)
+        assert small.is_memory_bound
+
+    def test_lower_precision_never_slower(self):
+        model = TensorCoreModel()
+        t4 = model.gemm(2048, 2048, 2048, 4, gemm_traffic(2048, 2048, 2048, 0.5, 0.5)).seconds
+        t8 = model.gemm(2048, 2048, 2048, 8, gemm_traffic(2048, 2048, 2048, 1, 1)).seconds
+        t16 = model.gemm(2048, 2048, 2048, 16, gemm_traffic(2048, 2048, 2048, 2, 2)).seconds
+        assert t4 < t8 < t16
+
+    def test_traffic_index_overhead(self):
+        base = gemm_traffic(128, 128, 128, 1, 1)
+        inflated = gemm_traffic(128, 128, 128, 1, 1, index_overhead=0.1)
+        assert inflated.dram_bytes == pytest.approx(base.dram_bytes * 1.1)

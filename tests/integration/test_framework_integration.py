@@ -1,0 +1,100 @@
+"""Integration tests: model-level PTQ framework → task metrics (the paper's headline claims)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import SCHEMES, get_scheme, quantize_model, quantize_tensors
+from repro.data.glue import GLUE_TASKS, evaluate_classifier, make_glue_dataset
+from repro.data.lm import evaluate_perplexity, make_lm_dataset
+from repro.models import build_causal_lm, build_classifier
+from repro.nn.fakequant import iter_quantized_linears
+
+
+@pytest.fixture(scope="module")
+def bert_and_dataset():
+    model = build_classifier("bert-base", num_classes=2, seed=0)
+    dataset = make_glue_dataset(
+        GLUE_TASKS["SST-2"], model, vocab_size=model.config.vocab_size,
+        num_examples=48, seq_len=24, seed=1, oversample=12,
+    )
+    return model, dataset
+
+
+class TestQuantizeModel:
+    def test_linears_are_wrapped(self, bert_and_dataset):
+        model, dataset = bert_and_dataset
+        quantized = quantize_model(model, get_scheme("olive-4bit"), dataset.calibration_batch())
+        assert len(list(iter_quantized_linears(quantized))) > 10
+
+    def test_original_model_untouched(self, bert_and_dataset):
+        model, dataset = bert_and_dataset
+        before = model.state_dict()
+        quantize_model(model, get_scheme("olive-4bit"), dataset.calibration_batch())
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_fp32_scheme_is_identity(self, bert_and_dataset):
+        model, dataset = bert_and_dataset
+        clone = quantize_model(model, get_scheme("fp32"))
+        np.testing.assert_allclose(clone(dataset.inputs[:4]), model(dataset.inputs[:4]))
+
+    def test_activation_scheme_requires_calibration(self, bert_and_dataset):
+        model, _ = bert_and_dataset
+        with pytest.raises(ValueError):
+            quantize_model(model, get_scheme("olive-4bit"), calibration_inputs=None)
+
+    def test_all_registered_schemes_run(self, bert_and_dataset):
+        model, dataset = bert_and_dataset
+        for name in SCHEMES:
+            quantized = quantize_model(model, get_scheme(name), dataset.calibration_batch())
+            logits = quantized(dataset.inputs[:4])
+            assert logits.shape == (4, 2)
+            assert np.all(np.isfinite(logits))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            get_scheme("fp4")
+
+    def test_quantize_tensors_helper(self):
+        tensors = {"a": np.random.default_rng(0).normal(0, 1, 128)}
+        out = quantize_tensors(tensors, "int8")
+        assert out["a"].shape == (128,)
+
+
+class TestPaperAccuracyShape:
+    """The qualitative accuracy claims of Tables 6 and 9."""
+
+    def test_olive_4bit_close_to_fp32_and_beats_baselines(self, bert_and_dataset):
+        model, dataset = bert_and_dataset
+        fp32 = evaluate_classifier(model, dataset)
+        scores = {}
+        for name in ("olive-4bit", "int4", "ant-4bit", "os-4bit"):
+            quantized = quantize_model(model, get_scheme(name), dataset.calibration_batch())
+            scores[name] = evaluate_classifier(quantized, dataset)
+        # OliVe 4-bit stays within a few points of full precision...
+        assert scores["olive-4bit"] >= fp32 - 12.0
+        # ...and clearly beats every other 4-bit PTQ baseline.
+        assert scores["olive-4bit"] > scores["int4"]
+        assert scores["olive-4bit"] > scores["ant-4bit"]
+        assert scores["olive-4bit"] > scores["os-4bit"]
+
+    def test_olive_8bit_matches_fp32(self, bert_and_dataset):
+        model, dataset = bert_and_dataset
+        fp32 = evaluate_classifier(model, dataset)
+        quantized = quantize_model(model, get_scheme("olive-8bit"), dataset.calibration_batch())
+        assert evaluate_classifier(quantized, dataset) >= fp32 - 3.0
+
+    def test_llm_perplexity_ordering(self):
+        """Table 9 shape on the OPT analogue: OliVe-8bit << int8; 4-bit baselines collapse."""
+        lm = build_causal_lm("opt-6.7b", seed=0)
+        dataset = make_lm_dataset("wikitext", lm, lm.config.vocab_size,
+                                  num_sequences=6, seq_len=24, seed=1)
+        fp32 = evaluate_perplexity(lm, dataset)
+        ppl = {}
+        for name in ("int8", "olive-8bit", "int4"):
+            quantized = quantize_model(lm, get_scheme(name), dataset.calibration_batch())
+            ppl[name] = evaluate_perplexity(quantized, dataset)
+        assert ppl["olive-8bit"] < ppl["int8"]          # OliVe-8bit survives OPT's outliers
+        assert ppl["olive-8bit"] < 20 * fp32            # and stays in a usable range
+        assert ppl["int4"] > 10 * fp32                  # plain int4 collapses

@@ -1,0 +1,189 @@
+"""Tests for the synthetic model zoo and the workload/data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.glue import GLUE_TASKS, evaluate_classifier, make_glue_dataset
+from repro.data.lm import evaluate_perplexity, make_lm_dataset
+from repro.data.metrics import (
+    accuracy,
+    exact_match,
+    f1_score,
+    matthews_corrcoef,
+    pearson_corrcoef,
+    perplexity_from_nll,
+    span_f1,
+)
+from repro.data.squad import evaluate_span_model, make_squad_dataset
+from repro.core.analysis import model_outlier_profile, model_pair_census
+from repro.models import (
+    ACCURACY_MODELS,
+    LLM_MODELS,
+    PAPER_CONFIGS,
+    analogue_config,
+    build_causal_lm,
+    build_classifier,
+    build_span_model,
+    inject_tensor_outliers,
+    model_weight_tensors,
+    paper_config,
+    resnet18_tensors,
+    transformer_analogue_tensors,
+)
+
+
+class TestConfigs:
+    def test_paper_configs_cover_evaluated_models(self):
+        for name in ("bert-base", "bert-large", "bart-base", "gpt2-xl", "bloom-7b1", "opt-6.7b"):
+            assert name in PAPER_CONFIGS
+
+    def test_bert_base_dimensions(self):
+        cfg = paper_config("bert-base")
+        assert (cfg.hidden_size, cfg.num_layers, cfg.num_heads) == (768, 12, 12)
+
+    def test_model_size_ordering(self):
+        # The analogues preserve the parameter-count ordering of the originals.
+        assert paper_config("opt-6.7b").approx_parameters > paper_config("gpt2-xl").approx_parameters
+        assert paper_config("bert-large").approx_parameters > paper_config("bert-base").approx_parameters
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError):
+            paper_config("llama-7b")
+        with pytest.raises(KeyError):
+            analogue_config("llama-7b")
+
+
+class TestOutlierInjection:
+    def test_injection_reaches_target_sigma(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, size=100000)
+        injected = inject_tensor_outliers(x, ratio=0.003, max_sigma=60.0, rng=rng)
+        normalized = np.abs(injected - injected.mean()) / x.std()
+        assert normalized.max() > 10.0
+
+    def test_injection_deterministic(self):
+        x = np.random.default_rng(1).normal(0, 1, size=1000)
+        a = inject_tensor_outliers(x, 0.01, 30, np.random.default_rng(42))
+        b = inject_tensor_outliers(x, 0.01, 30, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_ratio_is_identity(self):
+        x = np.random.default_rng(2).normal(0, 1, size=100)
+        np.testing.assert_array_equal(
+            inject_tensor_outliers(x, 0.0, 30, np.random.default_rng(0)), x
+        )
+
+
+class TestZoo:
+    def test_builders_are_deterministic(self):
+        a = build_classifier("bert-base", 2, seed=7)
+        b = build_classifier("bert-base", 2, seed=7)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_transformer_outliers_exceed_cnn_outliers(self):
+        """The Fig. 2 contrast is built into the zoo."""
+        cnn = model_outlier_profile(resnet18_tensors(0))
+        bert = model_outlier_profile(transformer_analogue_tensors("bert-base", 0))
+        assert max(s.max_sigma for s in bert) > 2 * max(s.max_sigma for s in cnn)
+
+    def test_pair_census_matches_paper_shape(self):
+        """Table 2 shape: ~99% normal-normal, <0.1% outlier-outlier."""
+        census = model_pair_census(transformer_analogue_tensors("bert-base", 0))
+        fractions = census.fractions
+        assert fractions["normal-normal"] > 0.97
+        assert fractions["outlier-outlier"] < 0.002
+
+    def test_causal_lm_only_for_decoder_models(self):
+        with pytest.raises(ValueError):
+            build_causal_lm("bert-base")
+
+    def test_weight_tensor_collection(self):
+        model = build_classifier("bert-base", 2, seed=0)
+        tensors = model_weight_tensors(model)
+        assert len(tensors) > 10
+        assert all(t.ndim == 2 for t in tensors.values())
+
+    def test_all_accuracy_and_llm_models_build(self):
+        for name in ACCURACY_MODELS:
+            assert build_classifier(name, 2, seed=0)(np.zeros((1, 4), dtype=int)).shape == (1, 2)
+        for name in LLM_MODELS:
+            lm = build_causal_lm(name, seed=0)
+            out = lm(np.zeros((1, 4), dtype=int))
+            assert out.shape == (1, 4, lm.config.vocab_size)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(66.67, abs=0.1)
+
+    def test_matthews_perfect_and_random(self):
+        labels = np.array([0, 1] * 20)
+        assert matthews_corrcoef(labels, labels) == 100.0
+        assert matthews_corrcoef(1 - labels, labels) == -100.0
+
+    def test_pearson(self):
+        x = np.arange(10.0)
+        assert pearson_corrcoef(x, 2 * x + 1) == pytest.approx(100.0)
+        assert pearson_corrcoef(x, -x) == pytest.approx(-100.0)
+
+    def test_f1(self):
+        assert f1_score(np.array([1, 1, 0]), np.array([1, 0, 0])) == pytest.approx(66.67, abs=0.1)
+
+    def test_span_metrics(self):
+        pred = [(1, 3), (5, 6)]
+        gold = [(1, 3), (0, 1)]
+        assert exact_match(pred, gold) == 50.0
+        assert span_f1(pred, gold) == pytest.approx(50.0)
+
+    def test_perplexity_cap(self):
+        assert perplexity_from_nll(1000.0) == pytest.approx(1e9, rel=1e-6)
+        assert perplexity_from_nll(0.0) == 1.0
+
+
+class TestDatasets:
+    def test_glue_dataset_shapes_and_determinism(self):
+        model = build_classifier("bert-base", 2, seed=0)
+        a = make_glue_dataset(GLUE_TASKS["SST-2"], model, 96, num_examples=16, seq_len=8,
+                              seed=3, oversample=2)
+        b = make_glue_dataset(GLUE_TASKS["SST-2"], model, 96, num_examples=16, seq_len=8,
+                              seed=3, oversample=2)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert a.num_examples == 16
+
+    def test_fp32_model_scores_well_on_its_own_dataset(self):
+        model = build_classifier("bert-base", 2, seed=0)
+        ds = make_glue_dataset(GLUE_TASKS["SST-2"], model, model.config.vocab_size,
+                               num_examples=32, seq_len=16, seed=1, oversample=4)
+        assert evaluate_classifier(model, ds) > 80.0
+
+    def test_regression_task_labels_are_float(self):
+        model = build_classifier("bert-base", 1, seed=0)
+        ds = make_glue_dataset(GLUE_TASKS["STS-B"], model, model.config.vocab_size,
+                               num_examples=16, seq_len=8, seed=1, oversample=2)
+        assert ds.labels.dtype == np.float64
+
+    def test_squad_dataset_and_eval(self):
+        model = build_span_model("bert-base", seed=0)
+        ds = make_squad_dataset("squad-v1.1", model, model.config.vocab_size,
+                                num_examples=16, seq_len=16, seed=1)
+        f1, em = evaluate_span_model(model, ds)
+        assert 0.0 <= em <= f1 <= 100.0
+        assert f1 > 60.0
+
+    def test_unknown_squad_variant(self):
+        model = build_span_model("bert-base", seed=0)
+        with pytest.raises(ValueError):
+            make_squad_dataset("squad-v3", model, 96)
+
+    def test_lm_dataset_and_perplexity(self):
+        lm = build_causal_lm("gpt2-xl", seed=0)
+        ds = make_lm_dataset("wikitext", lm, lm.config.vocab_size, num_sequences=4, seq_len=16, seed=1)
+        ppl = evaluate_perplexity(lm, ds)
+        assert 1.0 <= ppl < lm.config.vocab_size
+
+    def test_unknown_corpus(self):
+        lm = build_causal_lm("gpt2-xl", seed=0)
+        with pytest.raises(ValueError):
+            make_lm_dataset("the-pile", lm, lm.config.vocab_size)

@@ -1,0 +1,181 @@
+"""Tests for the baseline quantizers (ANT, GOBO, OLAccel, AdaptivFloat, OS, Q8BERT, int)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant import (
+    AdaptivFloatQuantizer,
+    AntMixedQuantizer,
+    AntQuantizer,
+    GoboQuantizer,
+    Int4Quantizer,
+    Int8Quantizer,
+    OLAccelQuantizer,
+    OutlierSuppressionQuantizer,
+    Q8BertQuantizer,
+    UniformQuantizer,
+    available_quantizers,
+    create_quantizer,
+)
+
+
+def _gaussian(seed=0, n=4096, sigma=1.0):
+    return np.random.default_rng(seed).normal(0, sigma, size=n)
+
+
+def _with_outliers(seed=0, n=4096, scale=40.0):
+    x = _gaussian(seed, n)
+    x[::256] *= scale
+    return x
+
+
+class TestUniform:
+    def test_int8_much_better_than_int4_on_gaussian(self):
+        x = _gaussian()
+        assert Int8Quantizer().fit(x).quantization_mse(x) < Int4Quantizer().fit(x).quantization_mse(x) / 4
+
+    def test_int4_degrades_badly_with_outliers(self):
+        clean_mse = Int4Quantizer().fit(_gaussian()).quantization_mse(_gaussian())
+        outlier_mse = Int4Quantizer().fit(_with_outliers()).quantization_mse(_with_outliers())
+        assert outlier_mse > clean_mse * 5
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(1)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_quantized_values_on_uniform_grid(self, bits, seed):
+        x = _gaussian(seed, n=256)
+        q = UniformQuantizer(bits)
+        out = q.quantize(x)
+        grid = np.round(out / q.scale)
+        np.testing.assert_allclose(out, grid * q.scale, atol=1e-9)
+        assert np.max(np.abs(grid)) <= (1 << (bits - 1)) - 1
+
+
+class TestAnt:
+    def test_selects_a_dtype(self):
+        q = AntQuantizer(bits=4).fit(_gaussian())
+        assert q.selected_dtype is not None
+        assert q.selected_dtype.name in ("int4", "flint4")
+
+    def test_flint_preferred_for_heavy_tailed(self):
+        # A strongly heavy-tailed (Laplacian-like) tensor favours flint's log spacing.
+        rng = np.random.default_rng(0)
+        x = rng.laplace(0, 1.0, size=8192) ** 3
+        q = AntQuantizer(bits=4).fit(x)
+        assert q.selected_dtype.name == "flint4"
+
+    def test_mixed_falls_back_to_8bit_on_outliers(self):
+        q = AntMixedQuantizer(snr_threshold=20.0)
+        q.fit(_with_outliers())
+        assert q.selected_bits == 8
+
+    def test_mixed_keeps_4bit_on_gaussian(self):
+        q = AntMixedQuantizer(snr_threshold=10.0)
+        q.fit(_gaussian())
+        assert q.selected_bits == 4
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            AntQuantizer(bits=5)
+
+
+class TestGobo:
+    def test_outliers_kept_exact(self):
+        x = _with_outliers(seed=1)
+        q = GoboQuantizer(bits=3).fit(x)
+        out = q.quantize(x)
+        sigma = np.std(x)
+        outlier_mask = np.abs(x - x.mean()) > 3 * sigma
+        np.testing.assert_array_equal(out[outlier_mask], x[outlier_mask])
+
+    def test_normals_snap_to_centroids(self):
+        x = _with_outliers(seed=2)
+        q = GoboQuantizer(bits=3).fit(x)
+        out = q.quantize(x)
+        normal_mask = np.abs(x - x.mean()) <= q.outlier_sigma * np.std(x)
+        assert set(np.round(out[normal_mask], 9)).issubset(set(np.round(q.centroids, 9)))
+
+    def test_centroid_count_bounded(self):
+        q = GoboQuantizer(bits=3).fit(_gaussian(seed=3))
+        assert len(q.centroids) <= 8
+
+    def test_low_mse_despite_3_bits(self):
+        x = _with_outliers(seed=4)
+        assert GoboQuantizer(bits=3).fit(x).quantization_mse(x) < Int4Quantizer().fit(x).quantization_mse(x)
+
+    def test_outlier_fraction_small(self):
+        x = _with_outliers(seed=5)
+        assert GoboQuantizer().fit(x).outlier_fraction(x) < 0.05
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            GoboQuantizer(bits=8)
+
+
+class TestOLAccel:
+    def test_outliers_get_higher_precision(self):
+        x = _with_outliers(seed=6)
+        q = OLAccelQuantizer().fit(x)
+        out = q.quantize(x)
+        outlier_mask = np.abs(x) > np.quantile(np.abs(x), 0.99)
+        rel_err_outliers = np.abs(out[outlier_mask] - x[outlier_mask]) / np.abs(x[outlier_mask])
+        assert np.mean(rel_err_outliers) < 0.05
+
+    def test_better_than_int4_on_outlier_tensor(self):
+        x = _with_outliers(seed=7)
+        assert OLAccelQuantizer().fit(x).quantization_mse(x) < Int4Quantizer().fit(x).quantization_mse(x)
+
+
+class TestAdaptivFloat:
+    def test_bias_covers_max(self):
+        x = _with_outliers(seed=8)
+        q = AdaptivFloatQuantizer(bits=8).fit(x)
+        out = q.quantize(x)
+        assert np.max(np.abs(out)) <= np.max(np.abs(x)) * 1.1
+        assert np.max(np.abs(out)) >= np.max(np.abs(x)) * 0.5
+
+    def test_relative_error_bounded_for_large_values(self):
+        x = _with_outliers(seed=9)
+        q = AdaptivFloatQuantizer(bits=8).fit(x)
+        out = q.quantize(x)
+        big = np.abs(x) > np.std(x)
+        rel = np.abs(out[big] - x[big]) / np.abs(x[big])
+        assert np.max(rel) < 0.1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AdaptivFloatQuantizer(bits=4, exp_bits=4)
+
+
+class TestOutlierSuppressionAndQ8:
+    def test_os6_better_than_os4(self):
+        x = _with_outliers(seed=10)
+        mse6 = OutlierSuppressionQuantizer(bits=6).fit(x).quantization_mse(x)
+        mse4 = OutlierSuppressionQuantizer(bits=4).fit(x).quantization_mse(x)
+        assert mse6 <= mse4
+
+    def test_q8bert_ema_updates(self):
+        q = Q8BertQuantizer(ema_decay=0.5)
+        q.fit(_gaussian(seed=11))
+        first = q.scale
+        q.fit(_gaussian(seed=12, sigma=10.0))
+        assert q.scale > first
+
+
+class TestRegistry:
+    def test_all_registered_quantizers_work(self):
+        x = _with_outliers(seed=13, n=512)
+        for name in available_quantizers():
+            q = create_quantizer(name)
+            q.fit(x)
+            out = q.quantize(x)
+            assert out.shape == x.shape
+            assert np.all(np.isfinite(out))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            create_quantizer("fp4")

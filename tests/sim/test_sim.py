@@ -1,0 +1,118 @@
+"""Tests for the workload generator, execution schemes and end-to-end simulators."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.sim import (
+    ACCEL_SCHEMES,
+    GPU_SCHEMES,
+    build_workload,
+    geometric_mean,
+    simulate_accelerator_comparison,
+    simulate_gpu_comparison,
+    transformer_gemms,
+)
+from repro.models.configs import paper_config
+
+
+class TestWorkloads:
+    def test_bert_base_gemm_count(self):
+        workload = build_workload("bert-base")
+        # 12 layers × 6 GEMM kinds.
+        assert len(workload.gemms) == 12 * 6
+
+    def test_macs_scale_with_model_size(self):
+        assert build_workload("bloom-7b1").total_macs > build_workload("gpt2-xl").total_macs
+        assert build_workload("bert-large").total_macs > build_workload("bert-base").total_macs
+
+    def test_default_batches_match_paper(self):
+        # Paper Sec. 5.3: batch 16 for BERT-like models, 2 for GPT-like models.
+        assert build_workload("bert-base").batch == 16
+        assert build_workload("gpt2-xl").batch == 2
+
+    def test_encoder_decoder_has_cross_attention_gemms(self):
+        names = [g.name for g in build_workload("bart-base").gemms]
+        assert any("cross" in n for n in names)
+
+    def test_attention_gemms_marked_activation_only(self):
+        workload = build_workload("bert-base")
+        score_gemms = [g for g in workload.gemms if "attn_scores" in g.name]
+        assert score_gemms and all(not g.weight_operand for g in score_gemms)
+
+    def test_invalid_batch(self):
+        with pytest.raises(WorkloadError):
+            transformer_gemms(paper_config("bert-base"), batch=0, seq_len=128)
+
+
+class TestSchemes:
+    def test_gpu_schemes_cover_fig9(self):
+        assert set(GPU_SCHEMES) == {"olive", "ant", "int8", "gobo"}
+
+    def test_accel_schemes_cover_fig10(self):
+        assert set(ACCEL_SCHEMES) == {"olive", "ant", "olaccel", "adafloat"}
+
+    def test_olive_is_fully_4bit_and_aligned(self):
+        olive = GPU_SCHEMES["olive"]
+        assert olive.weight_bits == 4 and olive.activation_bits == 4
+        assert olive.index_overhead == 0.0
+
+    def test_gobo_computes_in_fp16(self):
+        assert GPU_SCHEMES["gobo"].compute_bits == 16
+
+    def test_ant_phases_sum_to_one(self):
+        phases = GPU_SCHEMES["ant"].execution_phases()
+        assert sum(p.fraction for p in phases) == pytest.approx(1.0)
+
+
+class TestGeomean:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestGpuComparison:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return simulate_gpu_comparison(models=("bert-base", "gpt2-xl"))
+
+    def test_olive_fastest(self, table):
+        speedups = table.speedup_table()["geomean"]
+        assert speedups["olive"] > speedups["ant"] > 1.0
+        assert speedups["olive"] > speedups["int8"] > 1.0
+        assert speedups["gobo"] == pytest.approx(1.0)
+
+    def test_paper_shape_olive_vs_gobo(self, table):
+        """Fig. 9a: OliVe beats GOBO by a large factor (paper: 4.5x, here >3x)."""
+        assert table.geomean_speedup("olive") > 3.0
+
+    def test_olive_lowest_energy(self, table):
+        energies = table.energy_table()["geomean"]
+        assert energies["olive"] < energies["ant"] < 1.0
+        assert energies["olive"] < energies["int8"] < 1.0
+
+    def test_energy_breakdown_positive(self, table):
+        result = table.results["bert-base"]["olive"]
+        breakdown = result.energy.as_dict()
+        assert all(v >= 0 for v in breakdown.values())
+        assert breakdown["total"] > 0
+
+
+class TestAcceleratorComparison:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return simulate_accelerator_comparison(models=("bert-base", "bloom-7b1"))
+
+    def test_fig10_ordering(self, table):
+        speedups = table.speedup_table()["geomean"]
+        assert speedups["olive"] > speedups["olaccel"] > 1.0
+        assert speedups["olive"] > speedups["ant"] > 1.0
+        assert speedups["adafloat"] == pytest.approx(1.0)
+
+    def test_olive_speedup_magnitude(self, table):
+        """Fig. 10a: OliVe's advantage over AdaFloat is close to 4x (paper: 4.8x)."""
+        assert 3.0 < table.geomean_speedup("olive") < 6.0
+
+    def test_energy_ordering(self, table):
+        energies = table.energy_table()["geomean"]
+        assert energies["olive"] < energies["olaccel"] < energies["adafloat"]
+        assert energies["olive"] < energies["ant"]
