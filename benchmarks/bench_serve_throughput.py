@@ -1,0 +1,112 @@
+"""Benchmark: serving throughput and the vectorized OVP codec hot path.
+
+Two perf properties guard the serving subsystem:
+
+* the vectorized codec must decode a 1M-element int4 tensor at least 20x
+  faster than the scalar per-pair oracle (decode-on-demand viability);
+* the serving engine must sustain batched traffic across all three workload
+  families and report latency/throughput stats.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.abfloat import ABFLOAT_E2M1
+from repro.core.dtypes import INT4
+from repro.core.ovp import OVPairCodec
+from repro.serve import InferenceRequest, ServingEngine, WorkloadFamily
+
+
+def _best_of(func, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_codec_decode_speedup(run_once, benchmark):
+    codec = OVPairCodec(INT4, ABFLOAT_E2M1, bias=2)
+    rng = np.random.default_rng(0)
+    tensor = rng.normal(0.0, 2.5, size=1_000_000)
+    tensor[::300] *= 15.0  # transformer-style outliers
+    packed = codec.encode_tensor(tensor, scale=1.0, threshold=7.0)
+
+    vec_seconds = _best_of(lambda: codec.decode_tensor(packed), repeats=5)
+    scalar_seconds = _best_of(lambda: codec.decode_tensor_scalar(packed), repeats=2)
+    speedup = scalar_seconds / vec_seconds
+    decoded_gb_per_s = tensor.size * 8 / vec_seconds / 1e9  # float64 produced
+
+    encode_vec = _best_of(lambda: codec.encode_tensor(tensor, 1.0, 7.0), repeats=3)
+    result = run_once(codec.decode_tensor, packed)
+    np.testing.assert_array_equal(result, codec.decode_tensor_scalar(packed))
+
+    benchmark.extra_info.update(
+        {
+            "decode_speedup_vs_scalar": round(speedup, 1),
+            "decode_ms_1m_elements": round(vec_seconds * 1e3, 2),
+            "decode_gb_per_s_f64_out": round(decoded_gb_per_s, 2),
+            "encode_ms_1m_elements": round(encode_vec * 1e3, 2),
+        }
+    )
+    assert speedup >= 20.0, f"vectorized decode only {speedup:.1f}x faster than scalar"
+
+
+def test_bench_serve_mixed_workloads(run_once, benchmark):
+    engine = ServingEngine(max_batch_size=8, max_wait=0.002)
+    models = {
+        WorkloadFamily.CLASSIFY: "bert-base",
+        WorkloadFamily.SPAN: "bert-base",
+        WorkloadFamily.LM: "gpt2-xl",
+    }
+    for family, model in models.items():
+        engine.warm(model, family)
+
+    rng = np.random.default_rng(1)
+    requests = [
+        InferenceRequest(
+            model=models[family],
+            family=family,
+            token_ids=rng.integers(0, 96, size=32),
+        )
+        for _ in range(16)
+        for family in models
+    ]
+
+    results = run_once(engine.serve, requests)
+
+    assert len(results) == len(requests)
+    assert {r.family for r in results} == set(models)
+    summary = engine.stats.summary()
+    assert summary.requests == len(requests)
+    assert summary.throughput_rps > 0
+    assert summary.latency_p95_ms >= summary.latency_p50_ms > 0
+    assert summary.mean_batch_fill > 0.5
+    benchmark.extra_info.update(summary.as_dict())
+
+
+def test_bench_repository_quantize_once(run_once, benchmark):
+    engine = ServingEngine(max_batch_size=8, max_wait=0.0)
+    entry = engine.warm("bert-base", WorkloadFamily.CLASSIFY)
+
+    rng = np.random.default_rng(2)
+    requests = [
+        InferenceRequest("bert-base", WorkloadFamily.CLASSIFY, rng.integers(0, 96, 32))
+        for _ in range(32)
+    ]
+    run_once(engine.serve, requests)
+
+    stats = engine.repository.stats
+    assert stats.misses == 1  # quantized exactly once
+    assert stats.hits >= 4
+    benchmark.extra_info.update(
+        {
+            "quantize_seconds": round(entry.quantize_seconds, 3),
+            "decode_seconds": round(entry.decode_seconds, 4),
+            "packed_kb": round(entry.packed_bytes / 1e3, 1),
+            "compression_vs_fp32": round(entry.compression_ratio, 2),
+            "cache_hit_rate": round(stats.hit_rate, 3),
+        }
+    )

@@ -124,6 +124,32 @@ class OVPairCodec:
         self._outlier_grid = mags[mags <= self.max_outlier_magnitude]
         if self._outlier_grid.size == 0:
             raise EncodingError("abfloat bias leaves no representable outlier values")
+        self._build_vector_tables()
+
+    def _build_vector_tables(self) -> None:
+        """Precompute the lookup tables the vectorized codec paths use.
+
+        * ``_normal_value_codes`` maps the index of a value in the sorted
+          ``normal_dtype.values`` array to its bit pattern;
+        * ``_normal_decode_lut`` maps every possible code to its normal value
+          (identifier/invalid slots hold 0 and are overwritten by the pair
+          logic before use);
+        * ``_outlier_decode_lut`` maps every possible code to its clipped
+          abfloat value.
+        """
+        dtype = self.normal_dtype
+        self._normal_value_codes = np.array(
+            [dtype.code_of_value[float(v)] for v in dtype.values], dtype=np.uint8
+        )
+        normal_lut = np.zeros(dtype.num_codes, dtype=np.float64)
+        for code, value in dtype.value_of_code.items():
+            normal_lut[code] = value
+        self._normal_decode_lut = normal_lut
+        outlier_lut = np.array(
+            [self._decode_outlier(code) for code in range(1 << self.abfloat_type.bits)],
+            dtype=np.float64,
+        )
+        self._outlier_decode_lut = outlier_lut
 
     # ------------------------------------------------------------------ #
     # Scalar pair paths (Algorithm 1)
@@ -180,6 +206,105 @@ class OVPairCodec:
         return float(np.clip(value, -self.max_outlier_magnitude, self.max_outlier_magnitude))
 
     # ------------------------------------------------------------------ #
+    # Vectorised element paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _pair_outlier_masks(a: np.ndarray, b: np.ndarray, threshold: float):
+        """Vectorised Algorithm-1 pair classification.
+
+        Returns ``(a_is_outlier, b_is_outlier)``; at most one is True per
+        pair (the larger magnitude wins an outlier-outlier tie, matching
+        :meth:`encode_pair`).  Both the fake-quantization path and the
+        bit-packed encoder share this single predicate so the
+        ``decode(encode(x)) == fake_quantize(x)`` invariant cannot drift.
+        """
+        abs_a, abs_b = np.abs(a), np.abs(b)
+        a_is_outlier = (abs_a > threshold) & (abs_a > abs_b)
+        b_is_outlier = (abs_b > threshold) & ~a_is_outlier
+        return a_is_outlier, b_is_outlier
+
+    def _encode_normal_values(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised normal-value encode: quantize, then map value → code."""
+        quantized = self.normal_dtype.quantize(values)
+        idx = np.searchsorted(self.normal_dtype.values, quantized)
+        return self._normal_value_codes[idx]
+
+    def _encode_outlier_values(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised abfloat outlier encode (Algorithm 2, bit-exact).
+
+        Mirrors :meth:`AbfloatType.encode` exactly, including banker's
+        rounding of the mantissa and the renormalisation step, so the
+        vectorized encoder emits the same bit patterns as the scalar oracle.
+        """
+        abf = self.abfloat_type
+        clipped = np.clip(
+            np.asarray(values, dtype=np.float64),
+            -self.max_outlier_magnitude,
+            self.max_outlier_magnitude,
+        )
+        magnitude = np.abs(clipped)
+        mb = abf.man_bits
+        min_code = 1
+        max_code = (1 << abf.magnitude_bits) - 1
+        codes = np.full(magnitude.shape, min_code, dtype=np.int64)
+        positive = magnitude > 0
+        if np.any(positive):
+            mag = magnitude[positive]
+            exp = np.floor(np.log2(mag)).astype(np.int64) - mb
+            base_int = np.rint(mag / np.exp2(exp.astype(np.float64))).astype(np.int64)
+            renorm = base_int == (1 << (mb + 1))
+            exp = np.where(renorm, exp + 1, exp)
+            base_int = np.where(renorm, base_int >> 1, base_int)
+            exp_field = exp - self.bias
+            man_field = base_int & abf.max_mantissa_field
+            code = np.maximum((exp_field << mb) | man_field, min_code)
+            code = np.where(exp_field < 0, min_code, code)
+            code = np.where(exp_field > abf.max_exponent_field, max_code, code)
+            codes[positive] = code
+        sign_bit = (clipped < 0).astype(np.int64)
+        return ((sign_bit << abf.magnitude_bits) | codes).astype(np.uint8)
+
+    def _encode_grid(self, grid: np.ndarray, threshold: float) -> np.ndarray:
+        """Encode an even-length grid array into one code per element."""
+        pairs = grid.reshape(-1, 2)
+        a, b = pairs[:, 0], pairs[:, 1]
+        a_is_outlier, b_is_outlier = self._pair_outlier_masks(a, b, threshold)
+
+        identifier = np.uint8(self.normal_dtype.identifier_code)
+        codes = np.empty(pairs.shape, dtype=np.uint8)
+        codes[:, 0] = self._encode_normal_values(a)
+        codes[:, 1] = self._encode_normal_values(b)
+        if np.any(a_is_outlier):
+            codes[a_is_outlier, 0] = self._encode_outlier_values(a[a_is_outlier])
+            codes[a_is_outlier, 1] = identifier
+        if np.any(b_is_outlier):
+            codes[b_is_outlier, 0] = identifier
+            codes[b_is_outlier, 1] = self._encode_outlier_values(b[b_is_outlier])
+        return codes.reshape(-1)
+
+    def _decode_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Decode one-code-per-element arrays back into grid values.
+
+        One contiguous gather covers the (vastly dominant) normal values;
+        identifier slots gather 0 (the victim value) for free because the
+        normal LUT holds 0 at the identifier code.  The sparse outlier slots
+        — the pair partners of the identifiers, found with ``position ^ 1`` —
+        are then patched through the outlier LUT.
+        """
+        identifier = self.normal_dtype.identifier_code
+        grid = self._normal_decode_lut[codes]
+        victim_pos = np.flatnonzero(codes == identifier)
+        if victim_pos.size:
+            partner_pos = victim_pos ^ 1
+            partner_codes = codes[partner_pos]
+            # An identifier partner means an outlier-outlier degenerate pair
+            # (both pruned); every other partner slot holds an abfloat code.
+            holds_outlier = partner_codes != identifier
+            outlier_pos = partner_pos[holds_outlier]
+            grid[outlier_pos] = self._outlier_decode_lut[partner_codes[holds_outlier]]
+        return grid
+
+    # ------------------------------------------------------------------ #
     # Vectorised fake quantization (grid in → grid out, no bit packing)
     # ------------------------------------------------------------------ #
     def fake_quantize_grid(self, grid: np.ndarray, threshold: float) -> np.ndarray:
@@ -191,17 +316,10 @@ class OVPairCodec:
         nearest normal-data-type value.
         """
         grid = np.asarray(grid, dtype=np.float64)
-        flat = grid.ravel()
-        padded = False
-        if flat.size % 2 == 1:
-            flat = np.concatenate([flat, np.zeros(1)])
-            padded = True
+        flat, padded = self._grid_of(grid, 1.0)
         pairs = flat.reshape(-1, 2)
         a, b = pairs[:, 0], pairs[:, 1]
-        abs_a, abs_b = np.abs(a), np.abs(b)
-
-        a_is_outlier = (abs_a > threshold) & (abs_a > abs_b)
-        b_is_outlier = (np.abs(b) > threshold) & ~a_is_outlier
+        a_is_outlier, b_is_outlier = self._pair_outlier_masks(a, b, threshold)
 
         out = np.empty_like(pairs)
         # Normal path for everything first, then overwrite outlier/victim slots.
@@ -220,19 +338,14 @@ class OVPairCodec:
         return result.reshape(grid.shape)
 
     def _quantize_outlier_values(self, values: np.ndarray) -> np.ndarray:
-        """Snap outlier grid values to the nearest representable abfloat value."""
-        mags = np.abs(values)
-        grid = self._outlier_grid
-        idx = np.searchsorted(grid, mags)
-        idx = np.clip(idx, 1, len(grid) - 1)
-        left = grid[idx - 1]
-        right = grid[idx]
-        nearest = np.where(np.abs(mags - left) <= np.abs(right - mags), left, right)
-        # Values below the smallest representable outlier saturate upward,
-        # values above the largest saturate downward (handled by clip above).
-        nearest = np.where(mags <= grid[0], grid[0], nearest)
-        nearest = np.where(mags >= grid[-1], grid[-1], nearest)
-        return np.sign(values) * nearest
+        """Snap outlier grid values to what the bit-packed stream stores.
+
+        Implemented as a literal encode→decode round trip so the
+        fake-quantization path agrees with ``decode_tensor(encode_tensor(x))``
+        *by construction* — including Algorithm 2's mantissa rounding at
+        exact midpoints, where a plain nearest-value search diverges.
+        """
+        return self._outlier_decode_lut[self._encode_outlier_values(values)]
 
     # ------------------------------------------------------------------ #
     # Bit-packed tensor paths
@@ -240,42 +353,44 @@ class OVPairCodec:
     def encode_tensor(
         self, tensor: np.ndarray, scale: float, threshold: float
     ) -> PackedOVPTensor:
-        """Encode a real-valued tensor into a memory-aligned byte stream."""
+        """Encode a real-valued tensor into a memory-aligned byte stream.
+
+        This is the vectorized hot path (mask-based pair classification and
+        nibble packing); :meth:`encode_tensor_scalar` keeps the per-pair
+        Algorithm 1 loop as the bit-accuracy oracle.
+        """
         tensor = np.asarray(tensor, dtype=np.float64)
         if scale <= 0:
             raise EncodingError("scale must be positive")
-        grid = tensor.ravel() / scale
-        padded = False
-        if grid.size % 2 == 1:
-            grid = np.concatenate([grid, np.zeros(1)])
-            padded = True
+        grid, padded = self._grid_of(tensor, scale)
+        codes = self._encode_grid(grid, threshold)
+        return self._pack(codes, tensor.shape, scale, padded)
+
+    def encode_tensor_scalar(
+        self, tensor: np.ndarray, scale: float, threshold: float
+    ) -> PackedOVPTensor:
+        """Per-pair scalar encoder (Algorithm 1), kept as the bit oracle."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if scale <= 0:
+            raise EncodingError("scale must be positive")
+        grid, padded = self._grid_of(tensor, scale)
         codes = np.empty(grid.size, dtype=np.uint8)
         for i in range(0, grid.size, 2):
             c1, c2 = self.encode_pair(grid[i], grid[i + 1], threshold)
             codes[i] = c1
             codes[i + 1] = c2
-        if self.normal_dtype.bits == 4:
-            packed = ((codes[0::2] << 4) | codes[1::2]).astype(np.uint8)
-        else:
-            packed = codes
-        return PackedOVPTensor(
-            data=packed,
-            shape=tuple(tensor.shape),
-            scale=float(scale),
-            normal_dtype=self.normal_dtype.name,
-            abfloat_name=self.abfloat_type.name,
-            bias=self.bias,
-            padded=padded,
-        )
+        return self._pack(codes, tensor.shape, scale, padded)
 
     def decode_tensor(self, packed: PackedOVPTensor) -> np.ndarray:
-        """Decode a packed OVP tensor back into real values."""
-        if self.normal_dtype.bits == 4:
-            codes = np.empty(packed.data.size * 2, dtype=np.uint8)
-            codes[0::2] = packed.data >> 4
-            codes[1::2] = packed.data & 0x0F
-        else:
-            codes = packed.data
+        """Decode a packed OVP tensor back into real values (vectorized)."""
+        grid = self._decode_codes(self._unpack(packed))
+        if packed.padded:
+            grid = grid[:-1]
+        return (grid * packed.scale).reshape(packed.shape)
+
+    def decode_tensor_scalar(self, packed: PackedOVPTensor) -> np.ndarray:
+        """Per-pair scalar decoder, kept as the bit oracle."""
+        codes = self._unpack(packed)
         grid = np.empty(codes.size, dtype=np.float64)
         for i in range(0, codes.size, 2):
             v1, v2 = self.decode_pair(int(codes[i]), int(codes[i + 1]))
@@ -284,3 +399,48 @@ class OVPairCodec:
         if packed.padded:
             grid = grid[:-1]
         return (grid * packed.scale).reshape(packed.shape)
+
+    # ------------------------------------------------------------------ #
+    # Packing helpers shared by the scalar and vectorized paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _grid_of(tensor: np.ndarray, scale: float) -> Tuple[np.ndarray, bool]:
+        """Scale a tensor onto the integer grid, padding odd lengths.
+
+        ``scale == 1.0`` skips the division (the fake-quantization path runs
+        once per fit candidate, so the no-op copy would be paid 24× per
+        weight tensor at model-load time).
+        """
+        grid = tensor.ravel() if scale == 1.0 else tensor.ravel() / scale
+        padded = False
+        if grid.size % 2 == 1:
+            grid = np.concatenate([grid, np.zeros(1)])
+            padded = True
+        return grid, padded
+
+    def _pack(
+        self, codes: np.ndarray, shape: Tuple[int, ...], scale: float, padded: bool
+    ) -> PackedOVPTensor:
+        """Nibble-pack (4-bit) or pass through (8-bit) a code stream."""
+        if self.normal_dtype.bits == 4:
+            packed = ((codes[0::2] << 4) | codes[1::2]).astype(np.uint8)
+        else:
+            packed = codes
+        return PackedOVPTensor(
+            data=packed,
+            shape=tuple(shape),
+            scale=float(scale),
+            normal_dtype=self.normal_dtype.name,
+            abfloat_name=self.abfloat_type.name,
+            bias=self.bias,
+            padded=padded,
+        )
+
+    def _unpack(self, packed: PackedOVPTensor) -> np.ndarray:
+        """Expand a byte stream back into one code per element."""
+        if self.normal_dtype.bits == 4:
+            codes = np.empty(packed.data.size * 2, dtype=np.uint8)
+            codes[0::2] = packed.data >> 4
+            codes[1::2] = packed.data & 0x0F
+            return codes
+        return packed.data

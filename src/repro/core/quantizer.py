@@ -221,11 +221,24 @@ class OVPTensorQuantizer:
     # Bit-packed encode/decode
     # ------------------------------------------------------------------ #
     def encode(self, tensor: np.ndarray) -> PackedOVPTensor:
-        """Encode ``tensor`` into a memory-aligned OVP byte stream."""
+        """Encode ``tensor`` into a memory-aligned OVP byte stream.
+
+        Only per-tensor quantizers can produce a single packed stream; a
+        per-channel fit would silently mis-pack every channel after the
+        first, so it is rejected — encode each channel slice through
+        ``codec.encode_tensor`` with its own scale instead.
+        """
         tensor = np.asarray(tensor, dtype=np.float64)
         if not self.is_fitted:
             self.fit(tensor)
-        scale = float(np.asarray(self._fitted.scale).ravel()[0])
+        scales = np.asarray(self._fitted.scale)
+        if scales.size > 1:
+            raise QuantizationError(
+                "per-channel quantizers cannot encode to one packed stream; "
+                "encode each channel slice with codec.encode_tensor and its "
+                "channel scale"
+            )
+        scale = float(scales.ravel()[0])
         return self.codec.encode_tensor(tensor, scale, self.normal_dtype.max_value)
 
     def decode(self, packed: PackedOVPTensor) -> np.ndarray:
@@ -240,17 +253,31 @@ class OVPTensorQuantizer:
         tensor = np.asarray(tensor, dtype=np.float64)
         if not self.is_fitted:
             self.fit(tensor)
-        scale = float(np.asarray(self._fitted.scale).ravel()[0])
-        grid = tensor.ravel() / scale
-        if grid.size % 2 == 1:
-            grid = grid[:-1]
-        pairs = np.abs(grid.reshape(-1, 2)) > self.normal_dtype.max_value
-        n_out = pairs.sum(axis=1)
-        total = max(len(n_out), 1)
+        if tensor.size == 0:
+            raise QuantizationError("cannot compute pair statistics of an empty tensor")
+        # _grid_of pads the odd trailing element with a zero, exactly like
+        # encode_tensor, so the census matches the encoded stream.  With a
+        # per-channel fit every channel is scaled (and padded) independently,
+        # matching how its slice would be encoded.
+        scales = np.asarray(self._fitted.scale)
+        threshold = self.normal_dtype.max_value
+        axis = self.config.per_channel_axis
+        if axis is not None and scales.size > 1:
+            moved = np.moveaxis(tensor, axis, 0)
+            flat_scales = scales.ravel()
+            outlier_counts = [
+                (np.abs(self.codec._grid_of(moved[c], flat_scales[c])[0].reshape(-1, 2))
+                 > threshold).sum(axis=1)
+                for c in range(moved.shape[0])
+            ]
+            n_out = np.concatenate(outlier_counts)
+        else:
+            grid, _ = self.codec._grid_of(tensor, float(scales.ravel()[0]))
+            n_out = (np.abs(grid.reshape(-1, 2)) > threshold).sum(axis=1)
         return {
-            "normal-normal": float(np.mean(n_out == 0)) if total else 0.0,
-            "outlier-normal": float(np.mean(n_out == 1)) if total else 0.0,
-            "outlier-outlier": float(np.mean(n_out == 2)) if total else 0.0,
+            "normal-normal": float(np.mean(n_out == 0)),
+            "outlier-normal": float(np.mean(n_out == 1)),
+            "outlier-outlier": float(np.mean(n_out == 2)),
         }
 
     def _require_fitted(self) -> None:
@@ -264,8 +291,14 @@ def make_quantizer(bits: int = 4, normal_dtype: Optional[str] = None) -> OVPTens
     ``bits=4`` → int4 normals + E2M1 abfloat outliers (the headline 4-bit PTQ),
     ``bits=8`` → int8 normals + E4M3 abfloat outliers.
     """
-    if normal_dtype is None:
-        normal_dtype = "int4" if bits == 4 else "int8"
     if bits not in (4, 8):
         raise QuantizationError("OliVe supports 4- and 8-bit quantization")
+    if normal_dtype is None:
+        normal_dtype = "int4" if bits == 4 else "int8"
+    resolved = get_normal_dtype(normal_dtype)
+    if resolved.bits != bits:
+        raise QuantizationError(
+            f"normal_dtype {normal_dtype!r} is {resolved.bits}-bit but bits={bits} "
+            "was requested"
+        )
     return OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype=normal_dtype))

@@ -1,0 +1,46 @@
+"""``repro.serve`` — batched quantized-inference serving.
+
+The serving subsystem turns the repo's one-shot experiment scripts into a
+request/response engine:
+
+* :mod:`repro.serve.repository` — quantize-once/serve-many model store
+  holding weights as memory-aligned packed OVP byte streams;
+* :mod:`repro.serve.batcher` — dynamic micro-batching with a max-batch /
+  max-wait policy;
+* :mod:`repro.serve.engine` — batched forward passes for the three workload
+  families (GLUE classification, SQuAD span extraction, LM next-token) plus
+  the synchronous scheduler;
+* :mod:`repro.serve.aio` — asyncio front-end for concurrent clients;
+* :mod:`repro.serve.stats` — throughput, p50/p95 latency, batch fill and
+  DRAM-byte accounting aligned with the performance simulators.
+"""
+
+from repro.serve.aio import AsyncServer
+from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.engine import InferenceEngine, ServingEngine
+from repro.serve.repository import ModelRepository, PackedModel, RepositoryStats
+from repro.serve.requests import (
+    InferenceRequest,
+    InferenceResult,
+    ServingError,
+    WorkloadFamily,
+)
+from repro.serve.stats import BatchRecord, ServingStats, ServingSummary
+
+__all__ = [
+    "AsyncServer",
+    "BatchRecord",
+    "InferenceEngine",
+    "InferenceRequest",
+    "InferenceResult",
+    "MicroBatcher",
+    "ModelRepository",
+    "PackedModel",
+    "QueuedRequest",
+    "RepositoryStats",
+    "ServingEngine",
+    "ServingError",
+    "ServingStats",
+    "ServingSummary",
+    "WorkloadFamily",
+]

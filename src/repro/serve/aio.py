@@ -1,0 +1,139 @@
+"""asyncio front-end over the synchronous serving engine.
+
+Concurrent client coroutines ``await server.infer(request)``; a single
+scheduler task coalesces their requests through the shared
+:class:`~repro.serve.batcher.MicroBatcher` and resolves one future per
+request when its micro-batch completes.  Compute runs inline on the event
+loop (the NumPy models are small and release-free), so ordering is
+deterministic: requests queued within one ``max_wait`` window of the same
+batch key share a forward pass.
+
+Usage::
+
+    async with AsyncServer(ServingEngine(...)) as server:
+        results = await asyncio.gather(*(server.infer(r) for r in requests))
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.serve.engine import ServingEngine
+from repro.serve.requests import InferenceRequest, InferenceResult, ServingError
+
+__all__ = ["AsyncServer"]
+
+
+class AsyncServer:
+    """Async façade: one scheduler task, one future per in-flight request."""
+
+    def __init__(self, engine: Optional[ServingEngine] = None) -> None:
+        self.engine = engine or ServingEngine()
+        self._futures: Dict[str, "asyncio.Future[InferenceResult]"] = {}
+        self._wake: Optional[asyncio.Event] = None
+        self._scheduler: Optional["asyncio.Task[None]"] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "AsyncServer":
+        """Start the scheduler task (idempotent)."""
+        if self._scheduler is None:
+            self._wake = asyncio.Event()
+            self._scheduler = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        """Drain outstanding requests, then cancel the scheduler."""
+        if self._scheduler is None:
+            return
+        while self._futures:
+            await asyncio.sleep(0)
+            self._drain_ready(force=True)
+        self._scheduler.cancel()
+        try:
+            await self._scheduler
+        except asyncio.CancelledError:
+            pass
+        self._scheduler = None
+        self._wake = None
+
+    async def __aenter__(self) -> "AsyncServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+    async def infer(self, request: InferenceRequest) -> InferenceResult:
+        """Queue ``request`` and await its result."""
+        if self._scheduler is None:
+            raise ServingError("AsyncServer is not started; use 'async with' or start()")
+        if request.request_id in self._futures:
+            raise ServingError(
+                f"request id {request.request_id!r} is already in flight"
+            )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[InferenceResult]" = loop.create_future()
+        self._futures[request.request_id] = future
+        self.engine.submit(request)
+        self._wake.set()
+        return await future
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet resolved."""
+        return len(self._futures)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        while True:
+            try:
+                if self.engine.pending == 0:
+                    self._wake.clear()
+                    await self._wake.wait()
+                # Let every coroutine that is ready to submit do so before the
+                # batch window is measured — this is what coalesces concurrent
+                # clients into one forward pass.
+                await asyncio.sleep(0)
+                wait = self.engine.batcher.next_wait()
+                if wait:
+                    await asyncio.sleep(wait)
+                self._drain_ready(force=False)
+                # Anything still queued is younger than max_wait; the loop
+                # comes back around and sleeps out the rest of its window.
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive guard
+                # A scheduler bug must never strand clients on futures that
+                # will never resolve: fail everything in flight and carry on.
+                error = ServingError(f"serving scheduler error: {exc}")
+                for future in self._futures.values():
+                    if not future.done():
+                        future.set_exception(error)
+                self._futures.clear()
+
+    def _drain_ready(self, force: bool) -> None:
+        while True:
+            results = self.engine.step(force=force)
+            failures = self.engine.take_failures()
+            if not results and not failures:
+                return
+            for result in results:
+                # Pop from the sync registry too, so async serving does not
+                # accumulate results nobody will fetch via engine.result().
+                self.engine.discard_result(result.request_id)
+                future = self._futures.pop(result.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(result)
+            for request_id, exc in failures:
+                future = self._futures.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_exception(
+                        ServingError(f"request {request_id!r} failed: {exc}")
+                    )

@@ -1,0 +1,299 @@
+"""Batched quantized-inference engine and the synchronous serving scheduler.
+
+:class:`InferenceEngine` turns one homogeneous micro-batch into per-request
+results: it stacks the token-id rows, fetches the packed model from the
+repository and runs a single batched forward pass through the quantized NumPy
+transformer — one pass per batch, however many requests rode along.
+
+:class:`ServingEngine` is the synchronous front door: ``submit`` queues
+requests into the micro-batcher, ``step`` processes one ready batch, and
+``serve`` is the submit-all/drain-all convenience used by benchmarks and
+tests.  The asyncio front-end (:mod:`repro.serve.aio`) wraps the same engine
+for concurrent clients.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.memory import gemm_traffic
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.repository import ModelRepository, PackedModel
+from repro.serve.requests import (
+    InferenceRequest,
+    InferenceResult,
+    ServingError,
+    WorkloadFamily,
+)
+from repro.serve.stats import BatchRecord, ServingStats
+
+__all__ = ["InferenceEngine", "ServingEngine"]
+
+
+class InferenceEngine:
+    """Run batched forward passes for the three workload families."""
+
+    def __init__(self, repository: ModelRepository) -> None:
+        self.repository = repository
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+    def run_batch(
+        self,
+        batch: Sequence[QueuedRequest],
+        clock=time.monotonic,
+        max_batch_size: Optional[int] = None,
+    ):
+        """Execute one homogeneous batch; returns ``(results, BatchRecord)``.
+
+        All requests must share one ``batch_key`` (the micro-batcher
+        guarantees this); mixing keys is a programming error.
+        """
+        if not batch:
+            raise ServingError("cannot run an empty batch")
+        keys = {q.request.batch_key for q in batch}
+        if len(keys) != 1:
+            raise ServingError(f"batch mixes incompatible requests: {sorted(keys)}")
+        first = batch[0].request
+        entry = self.repository.get(first.model, first.family, first.num_classes)
+        inputs = np.stack([q.request.token_ids for q in batch])
+
+        start = clock()
+        if first.family == WorkloadFamily.CLASSIFY:
+            outputs = self._run_classify(entry, inputs, first.num_classes)
+        elif first.family == WorkloadFamily.SPAN:
+            outputs = self._run_span(entry, inputs)
+        else:
+            # top_k is per-request (it does not affect the forward pass, so
+            # requests with different top_k still share the batch).
+            outputs = self._run_lm(entry, inputs, [q.request.top_k for q in batch])
+        compute_seconds = clock() - start
+
+        completed_at = clock()
+        results = [
+            InferenceResult(
+                request_id=q.request.request_id,
+                model=first.model,
+                family=first.family,
+                output=output,
+                batch_size=len(batch),
+                enqueued_at=q.enqueued_at,
+                completed_at=completed_at,
+                scheme=entry.scheme,
+            )
+            for q, output in zip(batch, outputs)
+        ]
+        record = BatchRecord(
+            batch_size=len(batch),
+            max_batch_size=int(max_batch_size or len(batch)),
+            compute_seconds=compute_seconds,
+            tokens=int(inputs.size),
+            weight_stream_bytes=entry.packed_bytes,
+            dram_bytes=self._dram_bytes(entry, int(inputs.size)),
+            latencies=tuple(completed_at - q.enqueued_at for q in batch),
+        )
+        return results, record
+
+    # ------------------------------------------------------------------ #
+    # Families
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _run_classify(entry: PackedModel, inputs: np.ndarray, num_classes: int) -> List[dict]:
+        logits = np.asarray(entry.model(inputs))
+        if num_classes == 1:
+            return [{"score": float(row[0])} for row in logits]
+        probs = F.softmax(logits, axis=-1)
+        labels = np.argmax(logits, axis=-1)
+        return [
+            {"label": int(label), "probs": [float(p) for p in prob_row]}
+            for label, prob_row in zip(labels, probs)
+        ]
+
+    @staticmethod
+    def _run_span(entry: PackedModel, inputs: np.ndarray) -> List[dict]:
+        start_logits, end_logits = entry.model(inputs)
+        start_logits = np.asarray(start_logits)
+        end_logits = np.asarray(end_logits)
+        outputs = []
+        for s_row, e_row in zip(start_logits, end_logits):
+            start = int(np.argmax(s_row))
+            end_candidates = e_row.copy()
+            end_candidates[:start] = -np.inf
+            end = int(np.argmax(end_candidates))
+            outputs.append(
+                {"start": start, "end": end, "score": float(s_row[start] + end_candidates[end])}
+            )
+        return outputs
+
+    @staticmethod
+    def _run_lm(
+        entry: PackedModel, inputs: np.ndarray, top_ks: Sequence[int]
+    ) -> List[dict]:
+        log_probs = np.asarray(entry.model.log_probs(inputs))[:, -1, :]
+        outputs = []
+        for row_lp, top_k in zip(log_probs, top_ks):
+            k = min(int(top_k), row_lp.shape[-1])
+            row_top = np.argsort(row_lp)[::-1][:k]
+            outputs.append(
+                {
+                    "next_tokens": [int(t) for t in row_top],
+                    "log_probs": [float(row_lp[t]) for t in row_top],
+                }
+            )
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # Traffic accounting (ties into the repro.sim memory model)
+    # ------------------------------------------------------------------ #
+    def _dram_bytes(self, entry: PackedModel, batch_tokens: int) -> float:
+        """Modelled DRAM traffic of one batched pass at the served precision.
+
+        Every Linear GEMM is charged with the tile-reuse DRAM model the
+        performance simulators use; operands are byte-aligned OVP streams
+        (``bits/8`` bytes per element), outputs FP16.  Head layers that see
+        fewer than ``batch_tokens`` rows are charged at the full row count,
+        making this a slight over-estimate.
+        """
+        operand_bytes = self.repository.bits / 8.0
+        total = 0.0
+        for _, module in entry.model.named_modules():
+            if not isinstance(module, Linear):
+                continue
+            m, k, n = module.gemm_shape(batch_tokens)
+            total += gemm_traffic(
+                m, k, n, activation_bytes=operand_bytes, weight_bytes=operand_bytes
+            ).dram_bytes
+        return total
+
+
+class ServingEngine:
+    """Synchronous serving scheduler: micro-batcher + engine + stats."""
+
+    def __init__(
+        self,
+        repository: Optional[ModelRepository] = None,
+        max_batch_size: int = 8,
+        max_wait: float = 0.005,
+        clock=time.monotonic,
+        result_buffer: int = 4096,
+    ) -> None:
+        self.repository = repository or ModelRepository()
+        self.clock = clock
+        self.batcher = MicroBatcher(
+            max_batch_size=max_batch_size, max_wait=max_wait, clock=clock
+        )
+        self.engine = InferenceEngine(self.repository)
+        self.stats = ServingStats(clock=clock)
+        # step() also returns its results, so callers that consume the return
+        # value never call result(); the registries are therefore bounded
+        # (oldest evicted first) to keep long-running serving loops leak-free.
+        self.result_buffer = int(result_buffer)
+        self._completed: "OrderedDict[str, InferenceResult]" = OrderedDict()
+        self._failed: "OrderedDict[str, Exception]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Request lifecycle
+    # ------------------------------------------------------------------ #
+    def submit(self, request: InferenceRequest) -> str:
+        """Queue a request; returns its id for :meth:`result` lookup."""
+        self.batcher.submit(request)
+        return request.request_id
+
+    def warm(self, model: str, family: str, num_classes: int = 2) -> PackedModel:
+        """Pre-quantize a model so first-request latency excludes the build."""
+        return self.repository.get(model, family, num_classes)
+
+    def step(self, force: bool = False) -> List[InferenceResult]:
+        """Process at most one ready micro-batch; returns its results.
+
+        A batch that fails to execute (unknown model, malformed input that
+        slipped past request validation, …) does not take the scheduler
+        down: its requests are marked failed and the error re-raises from
+        :meth:`result` (or resolves the client future on the async path).
+        """
+        batch = self.batcher.next_batch(force=force)
+        if batch is None:
+            return []
+        try:
+            results, record = self.engine.run_batch(
+                batch, clock=self.clock, max_batch_size=self.batcher.max_batch_size
+            )
+        except Exception as exc:
+            for queued in batch:
+                self._failed[queued.request.request_id] = exc
+            while len(self._failed) > self.result_buffer:
+                self._failed.popitem(last=False)
+            return []
+        self.stats.record_batch(record)
+        for result in results:
+            self._completed[result.request_id] = result
+        while len(self._completed) > self.result_buffer:
+            self._completed.popitem(last=False)
+        return results
+
+    def run_until_idle(self) -> List[InferenceResult]:
+        """Drain the queue completely (forcing partial batches)."""
+        results: List[InferenceResult] = []
+        while len(self.batcher):
+            results.extend(self.step(force=True))
+        return results
+
+    def take_failures(self) -> List:
+        """Pop and return ``(request_id, exception)`` pairs of failed requests."""
+        failures = list(self._failed.items())
+        self._failed.clear()
+        return failures
+
+    def serve(self, requests: Sequence[InferenceRequest]) -> List[InferenceResult]:
+        """Submit, batch and run a request list; results in request order.
+
+        Results are collected as batches complete (not via the bounded
+        :meth:`result` registry), so the request list may be arbitrarily
+        large.  A failed request raises :class:`ServingError` here.
+        """
+        for request in requests:
+            self.submit(request)
+        collected = {}
+        while len(self.batcher):
+            for result in self.step(force=True):
+                collected[result.request_id] = result
+        output = []
+        for request in requests:
+            result = collected.get(request.request_id)
+            if result is None:
+                result = self.result(request.request_id)  # raises for failures
+            else:
+                self._completed.pop(request.request_id, None)
+            output.append(result)
+        return output
+
+    def discard_result(self, request_id: str) -> None:
+        """Drop a stored result/failure without raising (async path cleanup)."""
+        self._completed.pop(request_id, None)
+        self._failed.pop(request_id, None)
+
+    def result(self, request_id: str) -> InferenceResult:
+        """Fetch (and forget) the result of a completed request.
+
+        Raises :class:`ServingError` (chained to the original exception) when
+        the request's batch failed to execute.
+        """
+        failure = self._failed.pop(request_id, None)
+        if failure is not None:
+            raise ServingError(f"request {request_id!r} failed: {failure}") from failure
+        try:
+            return self._completed.pop(request_id)
+        except KeyError as exc:
+            raise ServingError(f"no completed result for request {request_id!r}") from exc
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet executed."""
+        return len(self.batcher)

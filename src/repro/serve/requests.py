@@ -1,0 +1,139 @@
+"""Request/response types of the serving engine.
+
+A request names a model from :mod:`repro.models.zoo`, one of the three
+workload families the paper evaluates (GLUE-style classification, SQuAD-style
+span extraction, LM next-token prediction) and a token-id sequence.  Requests
+are only batchable together when their :attr:`InferenceRequest.batch_key`
+matches: the micro-batcher never mixes models, families or sequence lengths
+inside one forward pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "ServingError",
+    "WorkloadFamily",
+    "InferenceRequest",
+    "InferenceResult",
+    "normalized_num_classes",
+]
+
+
+class ServingError(ReproError):
+    """Raised for malformed requests or serving-engine misuse."""
+
+
+class WorkloadFamily:
+    """The three workload families the serving engine supports."""
+
+    CLASSIFY = "classify"   # GLUE-style sequence classification
+    SPAN = "span"           # SQuAD-style span extraction
+    LM = "lm"               # next-token prediction / scoring
+
+    ALL = (CLASSIFY, SPAN, LM)
+
+
+def normalized_num_classes(family: str, num_classes: int) -> int:
+    """``num_classes`` shapes only classification models; normalize to 0 elsewhere.
+
+    Shared by the request batch key and the repository cache key so the
+    batcher's homogeneity rule and the model cache can never disagree.
+    """
+    return int(num_classes) if family == WorkloadFamily.CLASSIFY else 0
+
+
+_REQUEST_COUNTER = itertools.count()
+
+
+def _next_request_id() -> str:
+    return f"req-{next(_REQUEST_COUNTER)}"
+
+
+@dataclass
+class InferenceRequest:
+    """One inference request.
+
+    Parameters
+    ----------
+    model:
+        Zoo model name (e.g. ``"bert-base"`` or ``"gpt2-xl"``).
+    family:
+        One of :class:`WorkloadFamily`.
+    token_ids:
+        1-D array of input token ids.
+    num_classes:
+        Output classes for the classification family (ignored otherwise).
+    top_k:
+        Number of next-token candidates returned by the LM family.
+    """
+
+    model: str
+    family: str
+    token_ids: np.ndarray
+    num_classes: int = 2
+    top_k: int = 1
+    request_id: str = field(default_factory=_next_request_id)
+
+    def __post_init__(self) -> None:
+        if self.family not in WorkloadFamily.ALL:
+            raise ServingError(
+                f"unknown workload family {self.family!r}; "
+                f"expected one of {sorted(WorkloadFamily.ALL)}"
+            )
+        self.token_ids = np.asarray(self.token_ids, dtype=np.int64)
+        if self.token_ids.ndim != 1 or self.token_ids.size == 0:
+            raise ServingError("token_ids must be a non-empty 1-D array")
+        if self.num_classes < 1:
+            raise ServingError("num_classes must be >= 1")
+        if self.top_k < 1:
+            raise ServingError("top_k must be >= 1")
+
+    @property
+    def seq_len(self) -> int:
+        """Number of input tokens."""
+        return int(self.token_ids.size)
+
+    @property
+    def batch_key(self) -> Tuple[str, str, int, int]:
+        """Requests with equal keys can share one batched forward pass.
+
+        ``num_classes`` is normalized through the same helper the model
+        repository keys on, so span/LM batches are not fragmented by a field
+        their families ignore.
+        """
+        num_classes = normalized_num_classes(self.family, self.num_classes)
+        return (self.model, self.family, num_classes, self.seq_len)
+
+
+@dataclass
+class InferenceResult:
+    """The answer to one :class:`InferenceRequest`.
+
+    ``output`` is family-specific:
+
+    * classify — ``label`` (int), ``probs`` (per-class list);
+    * span — ``start``/``end`` (ints), ``score`` (float);
+    * lm — ``next_tokens``/``log_probs`` (top-k lists).
+    """
+
+    request_id: str
+    model: str
+    family: str
+    output: Dict[str, Any]
+    batch_size: int
+    enqueued_at: float
+    completed_at: float
+    scheme: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        """Seconds from enqueue to completion (queueing + compute)."""
+        return self.completed_at - self.enqueued_at

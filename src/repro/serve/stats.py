@@ -1,0 +1,150 @@
+"""Serving metrics: latency percentiles, throughput, batch fill, bytes served.
+
+Every processed batch is recorded with its size, duration, token count and
+traffic estimate; :meth:`ServingStats.summary` reduces the log into the
+numbers a serving dashboard would show.  The byte accounting uses the same
+tile-reuse DRAM model as the performance simulators
+(:func:`repro.hardware.memory.gemm_traffic`), so requests/sec and decode GB/s
+line up with the paper's memory-traffic methodology.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BatchRecord", "ServingSummary", "ServingStats"]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Measurements of one processed micro-batch."""
+
+    batch_size: int
+    max_batch_size: int
+    compute_seconds: float
+    tokens: int
+    weight_stream_bytes: int   # packed OVP bytes streamed for this batch
+    dram_bytes: float          # modelled DRAM traffic (weights + activations)
+    latencies: tuple           # per-request seconds, enqueue → completion
+
+    @property
+    def fill(self) -> float:
+        """Fraction of the batch budget used."""
+        return self.batch_size / self.max_batch_size if self.max_batch_size else 0.0
+
+
+@dataclass(frozen=True)
+class ServingSummary:
+    """Aggregated serving metrics over a stats window."""
+
+    requests: int
+    batches: int
+    wall_seconds: float
+    compute_seconds: float
+    tokens: int
+    throughput_rps: float
+    tokens_per_second: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    mean_batch_fill: float
+    weight_stream_bytes: int
+    dram_bytes: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (for logging / benchmark extra_info)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "compute_seconds": round(self.compute_seconds, 6),
+            "tokens": self.tokens,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "tokens_per_second": round(self.tokens_per_second, 1),
+            "latency_mean_ms": round(self.latency_mean_ms, 3),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "mean_batch_fill": round(self.mean_batch_fill, 4),
+            "weight_stream_bytes": self.weight_stream_bytes,
+            "dram_bytes": round(self.dram_bytes, 1),
+        }
+
+
+class ServingStats:
+    """Thread-safe accumulator of per-batch serving measurements.
+
+    The record log is a sliding window bounded by ``max_records`` (oldest
+    batches evicted first), so a long-running serving loop neither leaks
+    memory nor makes :meth:`summary` cost grow with server lifetime; the
+    summary covers the retained window.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        max_records: int = 4096,
+    ) -> None:
+        self.clock = clock
+        self._lock = threading.Lock()
+        # (recorded_at, record) pairs; timestamps make the wall-clock window
+        # well-defined even after old records have been evicted.
+        self._records: Deque[Tuple[float, BatchRecord]] = deque(maxlen=int(max_records))
+
+    def record_batch(self, record: BatchRecord) -> None:
+        """Append one batch record (stamps the wall-clock window)."""
+        now = self.clock()
+        with self._lock:
+            self._records.append((now, record))
+
+    def reset(self) -> None:
+        """Clear the window."""
+        with self._lock:
+            self._records.clear()
+
+    @property
+    def num_batches(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def summary(self) -> ServingSummary:
+        """Reduce the retained record window into aggregate metrics."""
+        with self._lock:
+            stamped = list(self._records)
+        if not stamped:
+            return ServingSummary(
+                requests=0, batches=0, wall_seconds=0.0, compute_seconds=0.0,
+                tokens=0, throughput_rps=0.0, tokens_per_second=0.0,
+                latency_mean_ms=0.0, latency_p50_ms=0.0, latency_p95_ms=0.0,
+                mean_batch_fill=0.0, weight_stream_bytes=0, dram_bytes=0.0,
+            )
+        records = [record for _, record in stamped]
+        # The window opens when the first retained batch *started* computing
+        # and closes when the last one was recorded.
+        started_at = stamped[0][0] - stamped[0][1].compute_seconds
+        last_at = stamped[-1][0]
+        latencies = np.concatenate([np.asarray(r.latencies, dtype=np.float64) for r in records])
+        requests = int(latencies.size)
+        tokens = sum(r.tokens for r in records)
+        compute = sum(r.compute_seconds for r in records)
+        wall = max(float(last_at - started_at), compute, 1e-12)
+        return ServingSummary(
+            requests=requests,
+            batches=len(records),
+            wall_seconds=wall,
+            compute_seconds=compute,
+            tokens=tokens,
+            throughput_rps=requests / wall,
+            tokens_per_second=tokens / wall,
+            latency_mean_ms=float(np.mean(latencies) * 1e3),
+            latency_p50_ms=float(np.percentile(latencies, 50) * 1e3),
+            latency_p95_ms=float(np.percentile(latencies, 95) * 1e3),
+            mean_batch_fill=float(np.mean([r.fill for r in records])),
+            weight_stream_bytes=sum(r.weight_stream_bytes for r in records),
+            dram_bytes=sum(r.dram_bytes for r in records),
+        )

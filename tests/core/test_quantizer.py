@@ -59,6 +59,21 @@ class TestFitAndQuantize:
         with pytest.raises(QuantizationError):
             make_quantizer(6)
 
+    def test_invalid_bits_rejected_even_with_explicit_dtype(self):
+        """bits is validated before the dtype default is derived."""
+        with pytest.raises(QuantizationError):
+            make_quantizer(bits=16, normal_dtype="int4")
+
+    def test_bits_dtype_mismatch_rejected(self):
+        with pytest.raises(QuantizationError):
+            make_quantizer(bits=8, normal_dtype="int4")
+        with pytest.raises(QuantizationError):
+            make_quantizer(bits=4, normal_dtype="int8")
+
+    def test_explicit_matching_dtype_accepted(self):
+        q = make_quantizer(bits=4, normal_dtype="flint4")
+        assert q.normal_dtype.name == "flint4"
+
     def test_flint4_variant(self):
         q = OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype="flint4"))
         x = _outlier_tensor(seed=2)
@@ -92,6 +107,39 @@ class TestPairStatistics:
         stats = q.pair_statistics(_outlier_tensor(seed=6))
         assert sum(stats.values()) == pytest.approx(1.0)
 
+    def test_odd_length_pads_like_encode(self):
+        """The trailing odd element is padded with a zero, not dropped."""
+        x = np.array([1.0, 2.0, 50.0])  # the outlier lands in the padded pair
+        q = make_quantizer(4)
+        q.fit(_outlier_tensor(seed=9))
+        stats = q.pair_statistics(x)
+        assert sum(stats.values()) == pytest.approx(1.0)
+        # Two pairs: (1, 2) normal-normal and (50, pad-zero) outlier-normal —
+        # the dropped-element bug reported zero outlier-normal pairs here.
+        assert stats["outlier-normal"] == pytest.approx(0.5)
+
+    def test_empty_tensor_rejected(self):
+        q = make_quantizer(4)
+        q.fit(_outlier_tensor(seed=11))
+        with pytest.raises(QuantizationError):
+            q.pair_statistics(np.array([]))
+
+    def test_statistics_match_encoded_stream_pair_count(self):
+        x = _outlier_tensor(seed=10, n=1001)
+        q = make_quantizer(4)
+        q.fit(x)
+        stats = q.pair_statistics(x)
+        packed = q.encode(x)
+        # 4-bit packing stores one pair per byte; the census must use the
+        # same pair count as the encoded stream (the padded (size+1)//2, not
+        # the dropped size//2), so fraction × stream-pairs are whole pairs.
+        n_pairs = packed.nbytes
+        assert n_pairs == (x.size + 1) // 2
+        counts = {kind: fraction * n_pairs for kind, fraction in stats.items()}
+        for count in counts.values():
+            assert count == pytest.approx(round(count), abs=1e-9)
+        assert sum(counts.values()) == pytest.approx(n_pairs)
+
     def test_outlier_outlier_pairs_rare(self):
         """Paper Table 2: outlier-outlier pairs are well below 1%."""
         q = make_quantizer(4)
@@ -101,6 +149,27 @@ class TestPairStatistics:
 
 
 class TestPerChannel:
+    def test_per_channel_pair_statistics_use_channel_scales(self):
+        """Each channel is classified against its own scale, not channel 0's."""
+        rng = np.random.default_rng(13)
+        x = np.stack([rng.normal(0, 0.01, 256), rng.normal(0, 1.0, 256)])
+        q = OVPTensorQuantizer(OVPQuantizerConfig(per_channel_axis=0))
+        q.fit(x)
+        stats = q.pair_statistics(x)
+        assert sum(stats.values()) == pytest.approx(1.0)
+        # With channel-0's tiny scale applied globally, channel 1 would be
+        # ~50% outlier-outlier; per-channel scaling keeps the census sane.
+        assert stats["outlier-outlier"] < 0.01
+        assert stats["normal-normal"] > 0.9
+
+    def test_per_channel_encode_rejected(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(0, 1, size=(4, 64))
+        q = OVPTensorQuantizer(OVPQuantizerConfig(per_channel_axis=0))
+        q.fit(x)
+        with pytest.raises(QuantizationError):
+            q.encode(x)
+
     def test_per_channel_quantization(self):
         rng = np.random.default_rng(8)
         x = rng.normal(0, 1, size=(8, 256))

@@ -1,0 +1,138 @@
+"""Micro-batcher tests with an injected fake clock."""
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.requests import InferenceRequest, ServingError, WorkloadFamily
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_request(model="bert-base", family=WorkloadFamily.CLASSIFY, seq_len=16, seed=0):
+    tokens = np.random.default_rng(seed).integers(0, 96, size=seq_len)
+    return InferenceRequest(model, family, tokens)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def batcher(clock):
+    return MicroBatcher(max_batch_size=4, max_wait=0.010, clock=clock)
+
+
+class TestReadiness:
+    def test_empty_queue_yields_no_batch(self, batcher):
+        assert batcher.next_batch() is None
+
+    def test_full_batch_released_immediately(self, batcher):
+        for i in range(4):
+            batcher.submit(make_request(seed=i))
+        batch = batcher.next_batch()
+        assert batch is not None and len(batch) == 4
+        assert len(batcher) == 0
+
+    def test_partial_batch_waits_for_max_wait(self, batcher, clock):
+        batcher.submit(make_request())
+        assert batcher.next_batch() is None
+        clock.advance(0.005)
+        assert batcher.next_batch() is None
+        clock.advance(0.006)  # 11 ms total > max_wait
+        batch = batcher.next_batch()
+        assert batch is not None and len(batch) == 1
+
+    def test_force_releases_partial_batch(self, batcher):
+        batcher.submit(make_request())
+        batch = batcher.next_batch(force=True)
+        assert batch is not None and len(batch) == 1
+
+    def test_oversized_group_split_across_batches(self, batcher):
+        for i in range(7):
+            batcher.submit(make_request(seed=i))
+        assert len(batcher.next_batch()) == 4
+        # The remaining three are below max size and must wait again.
+        assert batcher.next_batch() is None
+        assert len(batcher.next_batch(force=True)) == 3
+
+
+class TestGrouping:
+    def test_incompatible_requests_never_mix(self, batcher, clock):
+        batcher.submit(make_request(model="bert-base"))
+        batcher.submit(make_request(model="bert-large"))
+        batcher.submit(make_request(model="bert-base", family=WorkloadFamily.SPAN))
+        batcher.submit(make_request(model="bert-base", seq_len=8))
+        assert batcher.num_groups == 4
+        clock.advance(1.0)
+        seen = []
+        while True:
+            batch = batcher.next_batch()
+            if batch is None:
+                break
+            keys = {q.request.batch_key for q in batch}
+            assert len(keys) == 1
+            seen.append(batch)
+        assert len(seen) == 4
+
+    def test_oldest_group_served_first(self, batcher, clock):
+        batcher.submit(make_request(model="bert-base"))
+        clock.advance(0.002)
+        batcher.submit(make_request(model="bert-large"))
+        clock.advance(0.020)
+        first = batcher.next_batch()
+        assert first[0].request.model == "bert-base"
+
+    def test_fifo_within_group(self, batcher, clock):
+        ids = [batcher.submit(make_request(seed=i)).request.request_id for i in range(4)]
+        batch = batcher.next_batch()
+        assert [q.request.request_id for q in batch] == ids
+
+
+class TestNextWait:
+    def test_none_when_empty(self, batcher):
+        assert batcher.next_wait() is None
+
+    def test_zero_when_full_batch_ready(self, batcher):
+        for i in range(4):
+            batcher.submit(make_request(seed=i))
+        assert batcher.next_wait() == 0.0
+
+    def test_remaining_window_for_partial_batch(self, batcher, clock):
+        batcher.submit(make_request())
+        clock.advance(0.004)
+        assert batcher.next_wait() == pytest.approx(0.006)
+        clock.advance(0.007)
+        assert batcher.next_wait() == 0.0
+
+    def test_drain_empties_everything(self, batcher):
+        for i in range(3):
+            batcher.submit(make_request(seed=i))
+        batcher.submit(make_request(model="bert-large"))
+        batches = batcher.drain()
+        assert sum(len(b) for b in batches) == 4
+        assert len(batcher) == 0
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, clock):
+        with pytest.raises(ServingError):
+            MicroBatcher(max_batch_size=0, clock=clock)
+        with pytest.raises(ServingError):
+            MicroBatcher(max_wait=-1.0, clock=clock)
+
+    def test_bad_request_rejected(self):
+        with pytest.raises(ServingError):
+            InferenceRequest("bert-base", "draw-a-picture", np.arange(4))
+        with pytest.raises(ServingError):
+            InferenceRequest("bert-base", WorkloadFamily.CLASSIFY, np.array([]))

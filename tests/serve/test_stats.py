@@ -1,0 +1,87 @@
+"""Serving-stats aggregation tests (synthetic batch records, fake clock)."""
+
+import pytest
+
+from repro.serve.stats import BatchRecord, ServingStats
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def record(batch_size=4, compute=0.010, latencies=(0.011, 0.012, 0.013, 0.014)):
+    return BatchRecord(
+        batch_size=batch_size,
+        max_batch_size=8,
+        compute_seconds=compute,
+        tokens=batch_size * 16,
+        weight_stream_bytes=1000,
+        dram_bytes=5000.0,
+        latencies=latencies[:batch_size],
+    )
+
+
+class TestSummary:
+    def test_empty_summary_is_zeroed(self):
+        summary = ServingStats().summary()
+        assert summary.requests == 0
+        assert summary.throughput_rps == 0.0
+        assert summary.latency_p95_ms == 0.0
+
+    def test_aggregation(self):
+        clock = FakeClock()
+        stats = ServingStats(clock=clock)
+        stats.record_batch(record())
+        clock.now += 0.05
+        stats.record_batch(record(batch_size=2, latencies=(0.020, 0.030)))
+        summary = stats.summary()
+        assert summary.requests == 6
+        assert summary.batches == 2
+        assert summary.tokens == 6 * 16
+        assert summary.compute_seconds == pytest.approx(0.020)
+        # Window: first record back-dates its compute time, then +0.05 s.
+        assert summary.wall_seconds == pytest.approx(0.060)
+        assert summary.throughput_rps == pytest.approx(6 / 0.060)
+        assert summary.mean_batch_fill == pytest.approx((4 / 8 + 2 / 8) / 2)
+        assert summary.weight_stream_bytes == 2000
+        assert summary.dram_bytes == pytest.approx(10000.0)
+
+    def test_percentiles_ordered(self):
+        stats = ServingStats(clock=FakeClock())
+        stats.record_batch(record(latencies=(0.001, 0.002, 0.003, 0.100)))
+        summary = stats.summary()
+        assert summary.latency_p50_ms < summary.latency_p95_ms
+        assert summary.latency_mean_ms == pytest.approx(26.5)
+
+    def test_record_window_is_bounded(self):
+        clock = FakeClock()
+        stats = ServingStats(clock=clock, max_records=3)
+        for _ in range(10):
+            clock.now += 0.01
+            stats.record_batch(record(batch_size=2, latencies=(0.01, 0.02)))
+        assert stats.num_batches == 3  # oldest evicted
+        summary = stats.summary()
+        assert summary.batches == 3
+        assert summary.requests == 6
+        # Window spans the three retained records only: 2 × 0.01 s gaps plus
+        # the first retained record's compute time.
+        assert summary.wall_seconds == pytest.approx(0.02 + 0.010)
+
+    def test_reset_clears_window(self):
+        stats = ServingStats(clock=FakeClock())
+        stats.record_batch(record())
+        stats.reset()
+        assert stats.summary().requests == 0
+        assert stats.num_batches == 0
+
+    def test_as_dict_round_trips_fields(self):
+        stats = ServingStats(clock=FakeClock())
+        stats.record_batch(record())
+        d = stats.summary().as_dict()
+        assert d["requests"] == 4
+        assert d["batches"] == 1
+        assert d["mean_batch_fill"] == 0.5
