@@ -1,9 +1,11 @@
 """Benchmark: serving throughput and the vectorized OVP codec hot path.
 
-Two perf properties guard the serving subsystem:
+Three perf properties guard the serving subsystem:
 
 * the vectorized codec must decode a 1M-element int4 tensor at least 20x
   faster than the scalar per-pair oracle (decode-on-demand viability);
+* the quantizer's stacked candidate sweep must not lose to the per-candidate
+  reference loop on serving-sized weight tensors (model-load/warm latency);
 * the serving engine must sustain batched traffic across all three workload
   families and report latency/throughput stats.
 """
@@ -15,31 +17,23 @@ import numpy as np
 from repro.core.abfloat import ABFLOAT_E2M1
 from repro.core.dtypes import INT4
 from repro.core.ovp import OVPairCodec
+from repro.core.quantizer import OVPQuantizerConfig, OVPTensorQuantizer
 from repro.serve import InferenceRequest, ServingEngine, WorkloadFamily
 
 
-def _best_of(func, repeats):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def test_bench_codec_decode_speedup(run_once, benchmark):
+def test_bench_codec_decode_speedup(run_once, best_of, benchmark):
     codec = OVPairCodec(INT4, ABFLOAT_E2M1, bias=2)
     rng = np.random.default_rng(0)
     tensor = rng.normal(0.0, 2.5, size=1_000_000)
     tensor[::300] *= 15.0  # transformer-style outliers
     packed = codec.encode_tensor(tensor, scale=1.0, threshold=7.0)
 
-    vec_seconds = _best_of(lambda: codec.decode_tensor(packed), repeats=5)
-    scalar_seconds = _best_of(lambda: codec.decode_tensor_scalar(packed), repeats=2)
+    vec_seconds = best_of(lambda: codec.decode_tensor(packed), repeats=5)
+    scalar_seconds = best_of(lambda: codec.decode_tensor_scalar(packed), repeats=2)
     speedup = scalar_seconds / vec_seconds
     decoded_gb_per_s = tensor.size * 8 / vec_seconds / 1e9  # float64 produced
 
-    encode_vec = _best_of(lambda: codec.encode_tensor(tensor, 1.0, 7.0), repeats=3)
+    encode_vec = best_of(lambda: codec.encode_tensor(tensor, 1.0, 7.0), repeats=3)
     result = run_once(codec.decode_tensor, packed)
     np.testing.assert_array_equal(result, codec.decode_tensor_scalar(packed))
 
@@ -52,6 +46,46 @@ def test_bench_codec_decode_speedup(run_once, benchmark):
         }
     )
     assert speedup >= 20.0, f"vectorized decode only {speedup:.1f}x faster than scalar"
+
+
+def test_bench_quantizer_fit_vectorized_sweep(run_once, best_of, benchmark):
+    """The stacked threshold sweep must beat the per-candidate loop.
+
+    The workload mirrors what ``warm()`` pays at model-load time: one MSE
+    threshold search per serving-sized Linear weight.  Identical results are
+    asserted alongside the timing so the fast path can never drift.
+    """
+    rng = np.random.default_rng(0)
+    weights = [
+        rng.normal(0.0, 1.0 / np.sqrt(shape[1]), size=shape).ravel()
+        for shape in [(64, 64)] * 12 + [(128, 64), (64, 128), (96, 64), (160, 80)]
+    ]
+    quantizer = OVPTensorQuantizer(OVPQuantizerConfig(search_points=12))
+
+    vectorized_seconds = best_of(
+        lambda: [quantizer._fit_flat(w) for w in weights], repeats=7
+    )
+    reference_seconds = best_of(
+        lambda: [quantizer._fit_flat_reference(w) for w in weights], repeats=7
+    )
+    fits = run_once(lambda: [quantizer._fit_flat(w) for w in weights])
+    assert fits == [quantizer._fit_flat_reference(w) for w in weights]
+
+    speedup = reference_seconds / vectorized_seconds
+    engine = ServingEngine(max_batch_size=8)
+    warm_start = time.perf_counter()
+    entry = engine.warm("gpt2-xl", WorkloadFamily.LM)
+    warm_seconds = time.perf_counter() - warm_start
+    benchmark.extra_info.update(
+        {
+            "fit_sweep_speedup": round(speedup, 2),
+            "fit_vectorized_ms": round(vectorized_seconds * 1e3, 2),
+            "fit_reference_ms": round(reference_seconds * 1e3, 2),
+            "warm_gpt2xl_ms": round(warm_seconds * 1e3, 1),
+            "warm_quantize_ms": round(entry.quantize_seconds * 1e3, 1),
+        }
+    )
+    assert speedup >= 1.05, f"stacked sweep only {speedup:.2f}x vs per-candidate loop"
 
 
 def test_bench_serve_mixed_workloads(run_once, benchmark):

@@ -6,6 +6,8 @@ of interest is the experiment's *result*, which each benchmark also attaches
 to ``benchmark.extra_info`` so the numbers appear in the saved benchmark JSON.
 """
 
+import time
+
 import pytest
 
 
@@ -17,3 +19,18 @@ def run_once(benchmark):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture
+def best_of():
+    """Best-of-N wall-clock timer shared by the perf-assertion benchmarks."""
+
+    def _best(func, repeats):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            func()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return _best

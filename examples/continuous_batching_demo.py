@@ -1,0 +1,116 @@
+"""Continuous-batching demo: mixed-length LM generation over OVP KV caches.
+
+Run with ``python examples/continuous_batching_demo.py``.  The demo submits a
+stream of LM generation requests with wildly mixed token budgets and shows
+
+1. sequences being **admitted and retired mid-flight** — every time a short
+   sequence finishes, a queued request takes over its slot in the very next
+   decode round (the whole-batch baseline would leave that slot idle until
+   the round's longest sequence finishes);
+2. the **KV-cache memory story**: each sequence's K/V pages are sealed into
+   memory-aligned OVP byte streams as it decodes, printed next to the bytes
+   an fp32 cache would need for the same tokens;
+3. the throughput gap against whole-batch release on the same stream.
+"""
+
+import time
+
+import numpy as np
+
+from repro.serve import (
+    InferenceRequest,
+    KVCacheConfig,
+    ServingEngine,
+    WorkloadFamily,
+)
+
+MODEL = "gpt2-xl"
+NUM_SLOTS = 4
+KV_CONFIG = KVCacheConfig(bits=4, page_size=8)
+
+
+def make_stream(seed: int = 0):
+    """Mixed-length generation stream: stragglers riding with quick ones."""
+    rng = np.random.default_rng(seed)
+    budgets = [48, 4, 8, 4, 40, 4, 8, 4, 48, 8, 4, 4]
+    return [
+        InferenceRequest(
+            MODEL,
+            WorkloadFamily.LM,
+            rng.integers(0, 96, size=8),
+            max_new_tokens=budget,
+            top_k=3,
+        )
+        for budget in budgets
+    ]
+
+
+def watch_rounds(engine: ServingEngine, requests) -> float:
+    """Drive the engine round by round, narrating admissions/retirements."""
+    for request in requests:
+        engine.submit(request)
+    scheduler = engine.lm_scheduler
+    print(f"== {len(requests)} generation requests over {NUM_SLOTS} slots ==")
+    print(f"{'round':>5} {'active':>6} {'queued':>6} {'done':>4}  "
+          f"{'KV packed':>10} {'KV fp32':>10}  retired this round")
+    rounds = 0
+    start = time.perf_counter()
+    while engine.pending:
+        retired = engine.step(force=True)
+        rounds += 1
+        if rounds % 8 == 0 or retired:
+            names = ", ".join(
+                f"{r.request_id}(+{len(r.output['generated_tokens'])} tok)"
+                for r in retired
+            )
+            print(f"{rounds:>5} {scheduler.num_active:>6} {scheduler.num_queued:>6} "
+                  f"{scheduler.retired:>4}  {scheduler.kv_cache_bytes:>9,}B "
+                  f"{scheduler.kv_fp32_bytes:>9,}B  {names}")
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    engine = ServingEngine(
+        max_batch_size=NUM_SLOTS,
+        max_wait=0.0,
+        num_slots=NUM_SLOTS,
+        kv_cache_config=KV_CONFIG,
+    )
+    print("== warm: quantize the model once into packed OVP streams ==")
+    entry = engine.warm(MODEL, WorkloadFamily.LM)
+    print(f"  {MODEL}: {entry.num_weight_tensors} weight tensors, "
+          f"{entry.packed_bytes / 1e3:.0f} kB packed "
+          f"({entry.compression_ratio:.1f}x vs fp32)\n")
+
+    continuous_seconds = watch_rounds(engine, make_stream())
+    summary = engine.stats.summary()
+    generated = summary.generated_tokens
+
+    print("\n== KV cache memory (before/after OVP packing) ==")
+    print(f"  fp32 cache at peak   : {summary.kv_fp32_bytes_peak:,} bytes")
+    print(f"  OVP-paged cache      : {summary.kv_cache_bytes_peak:,} bytes "
+          f"({summary.kv_compression:.1f}x smaller)")
+    print(f"  mean slot occupancy  : {summary.mean_slot_occupancy * 100:.0f}%")
+
+    whole_batch = ServingEngine(
+        repository=engine.repository,
+        max_batch_size=NUM_SLOTS,
+        max_wait=0.0,
+        kv_cache_config=KV_CONFIG,
+        continuous_batching=False,
+    )
+    start = time.perf_counter()
+    whole_batch.serve(make_stream())
+    whole_seconds = time.perf_counter() - start
+
+    print("\n== continuous batching vs whole-batch release ==")
+    print(f"  continuous : {generated / continuous_seconds:>6.0f} tokens/s "
+          f"({continuous_seconds * 1e3:.0f} ms)")
+    print(f"  whole-batch: {generated / whole_seconds:>6.0f} tokens/s "
+          f"({whole_seconds * 1e3:.0f} ms)")
+    print(f"  speedup    : {whole_seconds / continuous_seconds:.2f}x on a "
+          f"mixed-length stream")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,9 @@ class NormalDataType:
     identifier_code: int
     code_of_value: Dict[float, int] = field(repr=False)
     value_of_code: Dict[int, float] = field(repr=False)
+    #: True when ``values`` are the consecutive integers ``-max … max``,
+    #: unlocking the closed-form rounding fast path in :meth:`quantize`.
+    uniform_int_grid: bool = field(default=False, repr=False)
 
     # ------------------------------------------------------------------ #
     # Derived properties
@@ -91,8 +94,15 @@ class NormalDataType:
         """Round ``x`` (already on the integer grid) to the nearest value.
 
         Values beyond the representable range saturate to ``±max_value``.
+        Exact midpoints round to the lower neighbouring value.
         """
         x = np.asarray(x, dtype=np.float64)
+        if self.uniform_int_grid:
+            # Consecutive-integer grid: nearest-with-ties-to-lower is
+            # ``ceil(x - 0.5)`` in closed form, which skips the searchsorted
+            # walk below — the dominant cost of the quantizer threshold sweep.
+            max_value = float(self.values[-1])
+            return np.clip(np.ceil(x - 0.5), -max_value, max_value)
         sorted_vals = self.values
         idx = np.searchsorted(sorted_vals, x)
         idx = np.clip(idx, 1, len(sorted_vals) - 1)
@@ -177,6 +187,7 @@ def _build_int_type(name: str, bits: int) -> NormalDataType:
         identifier_code=identifier,
         code_of_value=code_of_value,
         value_of_code=value_of_code,
+        uniform_int_grid=True,
     )
 
 

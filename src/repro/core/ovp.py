@@ -381,12 +381,88 @@ class OVPairCodec:
             codes[i + 1] = c2
         return self._pack(codes, tensor.shape, scale, padded)
 
+    def encode_tensor_batch(self, tensors, scales, threshold: float):
+        """Encode several even-sized tensors in one vectorized pass.
+
+        Each tensor gets its own scale but they share one threshold (in grid
+        units) and one trip through the pair classifier — the per-call
+        overhead matters when many small tensors are encoded at once (the KV
+        cache seals a K page and a V page together on the append path).
+        Odd-sized tensors are rejected: their zero pad would shift the pair
+        alignment of every stream that follows.  Returns one
+        :class:`PackedOVPTensor` per input.
+        """
+        if len(tensors) != len(scales):
+            raise EncodingError("encode_tensor_batch needs one scale per tensor")
+        if not tensors:
+            raise EncodingError("encode_tensor_batch needs at least one tensor")
+        tensors = [np.asarray(t, dtype=np.float64) for t in tensors]
+        for tensor, scale in zip(tensors, scales):
+            if scale <= 0:
+                raise EncodingError("scale must be positive")
+            if tensor.size % 2:
+                raise EncodingError(
+                    "encode_tensor_batch supports even-sized tensors only; "
+                    "use encode_tensor for odd sizes"
+                )
+        grid = np.concatenate(
+            [tensor.ravel() / float(scale) for tensor, scale in zip(tensors, scales)]
+        )
+        codes = self._encode_grid(grid, threshold)
+        packed, offset = [], 0
+        for tensor, scale in zip(tensors, scales):
+            stop = offset + tensor.size
+            packed.append(
+                self._pack(codes[offset:stop], tensor.shape, float(scale), padded=False)
+            )
+            offset = stop
+        return packed
+
     def decode_tensor(self, packed: PackedOVPTensor) -> np.ndarray:
         """Decode a packed OVP tensor back into real values (vectorized)."""
         grid = self._decode_codes(self._unpack(packed))
         if packed.padded:
             grid = grid[:-1]
         return (grid * packed.scale).reshape(packed.shape)
+
+    def decode_tensor_batch(self, packed_list) -> np.ndarray:
+        """Decode same-shape packed tensors in one vectorized pass.
+
+        The per-call overhead of :meth:`decode_tensor` dominates when many
+        small tensors are decoded at once (the KV-cache attend path decodes
+        every sealed page of a sequence per step), so the byte streams are
+        concatenated and run through the unpack/LUT machinery together.
+        Returns an array of shape ``(len(packed_list), *shape)``.
+
+        All tensors must share this codec's dtype configuration and one
+        common shape.
+        """
+        if not packed_list:
+            raise EncodingError("decode_tensor_batch needs at least one tensor")
+        first = packed_list[0]
+        for packed in packed_list:
+            if packed.shape != first.shape:
+                raise EncodingError("decode_tensor_batch requires identical shapes")
+            if (
+                packed.normal_dtype != self.normal_dtype.name
+                or packed.abfloat_name != self.abfloat_type.name
+                or packed.bias != self.bias
+            ):
+                raise EncodingError("packed tensor does not match this codec")
+        data = np.concatenate([packed.data for packed in packed_list])
+        if self.normal_dtype.bits == 4:
+            codes = np.empty(data.size * 2, dtype=np.uint8)
+            codes[0::2] = data >> 4
+            codes[1::2] = data & 0x0F
+        else:
+            codes = data
+        # Equal shapes mean equal (padded) stream lengths, so every stream
+        # boundary falls on a pair boundary and one decode pass is safe.
+        grid = self._decode_codes(codes).reshape(len(packed_list), -1)
+        if first.padded:
+            grid = grid[:, :-1]
+        scales = np.array([packed.scale for packed in packed_list], dtype=np.float64)
+        return (grid * scales[:, None]).reshape((len(packed_list),) + tuple(first.shape))
 
     def decode_tensor_scalar(self, packed: PackedOVPTensor) -> np.ndarray:
         """Per-pair scalar decoder, kept as the bit oracle."""

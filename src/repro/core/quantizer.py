@@ -154,10 +154,61 @@ class OVPTensorQuantizer:
             self._fitted = self._fit_per_channel(tensor, axis)
         return self
 
+    #: Cap on elements fake-quantized per vectorized sweep block.  Small
+    #: (serving-sized) tensors stack every candidate into one pass, which is
+    #: where the per-call overhead dominates; tensors beyond the cap fall
+    #: back towards one candidate at a time, whose working set still fits in
+    #: cache — stacking megabyte-scale grids thrashes it and runs *slower*.
+    _SWEEP_BLOCK_ELEMENTS = 1_000_000
+
     def _fit_flat(self, flat: np.ndarray) -> Tuple[float, float, float]:
+        """Vectorized MSE threshold sweep: all candidates in one codec pass.
+
+        Each candidate threshold only rescales the same flat tensor, so the
+        sweep stacks ``(candidates, elements)`` grids and runs
+        :meth:`~repro.core.ovp.OVPairCodec.fake_quantize_grid` once per block
+        instead of once per candidate — the model-load hot path (one fit per
+        Linear weight).  Rows are padded to even length so pair boundaries
+        never cross candidate rows.  Candidate selection matches
+        :meth:`_fit_flat_reference` bitwise: same grids, same MSE reduction
+        order, first minimum wins.
+        """
+        if flat.size > self._SWEEP_BLOCK_ELEMENTS:
+            # Beyond cache scale the stacked sweep loses to plain scalar-scale
+            # arithmetic; the per-candidate loop is already compute-bound.
+            return self._fit_flat_reference(flat)
         sigma = float(np.std(flat))
         if sigma == 0.0:
             # Degenerate constant tensor: any positive scale works.
+            return max(abs(float(flat[0])), 1.0) / self.normal_dtype.max_value, 3.0, 0.0
+        candidates = np.linspace(
+            self.config.search_low, self.config.search_high, self.config.search_points
+        )
+        scales = 3.0 * sigma * candidates / self.normal_dtype.max_value
+        padded = np.concatenate([flat, np.zeros(1)]) if flat.size % 2 else flat
+        block = max(1, min(len(scales), self._SWEEP_BLOCK_ELEMENTS // max(padded.size, 1)))
+        best = (np.inf, 3.0, sigma * 3.0 / self.normal_dtype.max_value)
+        for start in range(0, len(scales), block):
+            block_scales = scales[start:start + block]
+            grids = padded[None, :] / block_scales[:, None]
+            deq = self.codec.fake_quantize_grid(grids, self.normal_dtype.max_value)
+            # The pad slot round-trips to 0 exactly, but the mean must run
+            # over the real elements only to match the reference loop.
+            errors = deq * block_scales[:, None] - padded[None, :]
+            mses = np.mean(errors[:, : flat.size] ** 2, axis=1)
+            row = int(np.argmin(mses))
+            if float(mses[row]) < best[0]:
+                best = (
+                    float(mses[row]),
+                    3.0 * float(candidates[start + row]),
+                    float(block_scales[row]),
+                )
+        return best[2], best[1], best[0]
+
+    def _fit_flat_reference(self, flat: np.ndarray) -> Tuple[float, float, float]:
+        """Per-candidate sweep kept as the oracle for the vectorized path."""
+        sigma = float(np.std(flat))
+        if sigma == 0.0:
             return max(abs(float(flat[0])), 1.0) / self.normal_dtype.max_value, 3.0, 0.0
         candidates = np.linspace(
             self.config.search_low, self.config.search_high, self.config.search_points

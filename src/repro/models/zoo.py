@@ -83,6 +83,24 @@ class CausalLM(Module):
         """Log-probabilities over the vocabulary at every position."""
         return self.head.log_probs(self.backbone(token_ids))
 
+    def log_probs_incremental(
+        self, token_ids: np.ndarray, caches, last_only: bool = False
+    ) -> np.ndarray:
+        """Log-probabilities of new tokens only, via per-sequence KV caches.
+
+        ``token_ids`` is ``(num_seqs, t_new)`` (or 1-D for one sequence) and
+        ``caches`` one :class:`~repro.serve.kvcache.SequenceKVCache` per row;
+        the prefix K/V come from the caches instead of being recomputed.
+        ``last_only`` runs the LM head on the final position alone — what a
+        prefill needs for next-token selection — skipping an
+        O(prompt × vocab) head GEMM; the returned array then has one
+        position.
+        """
+        hidden = self.backbone.forward_incremental(token_ids, caches)
+        if last_only:
+            hidden = hidden[:, -1:]
+        return self.head.log_probs(hidden)
+
 
 def build_backbone(config: AnalogueConfig, rng: np.random.Generator) -> Module:
     """Build the transformer backbone matching the analogue's family."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -85,3 +85,85 @@ class MultiHeadAttention(Module):
         weights = F.softmax(scores, axis=-1)
         attended = weights @ v
         return self.out_proj(self._merge_heads(attended))
+
+    def forward_incremental(
+        self, hidden: np.ndarray, layer_caches: Sequence
+    ) -> np.ndarray:
+        """Causal self-attention over cached K/V plus the new tokens.
+
+        Parameters
+        ----------
+        hidden:
+            New-token hidden states of shape ``(num_seqs, t_new, hidden)``.
+            Each row is an independent sequence: row ``i``'s K/V are appended
+            to ``layer_caches[i]`` and attention runs over that sequence's
+            full cached history.  Prefill passes one row with the whole
+            prompt; a continuous-batching decode round passes one single-token
+            row per active slot.
+        layer_caches:
+            One per-sequence cache (``append``/``kv``/``seq_len``, e.g.
+            :class:`~repro.serve.kvcache.LayerKVCache`) per row of ``hidden``.
+
+        The four projections are computed for the new tokens only — one
+        batched GEMM across all rows — so a decode step costs O(1) GEMM work
+        per token instead of recomputing the whole prefix.
+        """
+        hidden = np.asarray(hidden, dtype=np.float64)
+        if hidden.ndim != 3:
+            raise ValueError("incremental attention expects (num_seqs, t_new, hidden)")
+        if len(layer_caches) != hidden.shape[0]:
+            raise ValueError(
+                f"got {hidden.shape[0]} sequences but {len(layer_caches)} layer caches"
+            )
+        q = self._split_heads(self.q_proj(hidden))
+        k_new = self._split_heads(self.k_proj(hidden))
+        v_new = self._split_heads(self.v_proj(hidden))
+        num_seqs, t_new = hidden.shape[0], hidden.shape[1]
+
+        if t_new == 1 and num_seqs > 1:
+            return self.out_proj(
+                self._merge_heads(self._attend_round(q, k_new, v_new, layer_caches))
+            )
+        attended = np.empty_like(q)
+        for i, cache in enumerate(layer_caches):
+            past = cache.seq_len
+            cache.append(k_new[i], v_new[i])
+            k, v = cache.kv()  # (heads, past + t_new, head_dim)
+            scores = q[i] @ k.transpose(0, 2, 1) / np.sqrt(self.head_dim)
+            if t_new > 1:
+                scores = scores + F.incremental_causal_mask(past, t_new)[None]
+            attended[i] = F.softmax(scores, axis=-1) @ v
+        return self.out_proj(self._merge_heads(attended))
+
+    def _attend_round(
+        self, q: np.ndarray, k_new: np.ndarray, v_new: np.ndarray, layer_caches: Sequence
+    ) -> np.ndarray:
+        """Single-token attend across sequences, padded to one batched GEMM.
+
+        Sequences in a decode round have ragged cached lengths; their K/V are
+        right-padded to the round's longest and the padding masked to
+        ``-inf``, so the scores/softmax/attend chain runs as one batched op
+        instead of a per-slot loop.  Mathematically identical to the per-slot
+        path (softmax sends masked columns to exactly zero weight).
+        """
+        num_seqs, num_heads, _, head_dim = q.shape
+        for i, cache in enumerate(layer_caches):
+            cache.append(k_new[i], v_new[i])
+        # Caches that support it decode every slot's sealed pages in one
+        # batched pass (duck-typed so this module stays serve-agnostic).
+        kv_many = getattr(type(layer_caches[0]), "kv_many", None)
+        if kv_many is not None:
+            kvs = kv_many(layer_caches)
+        else:
+            kvs = [cache.kv() for cache in layer_caches]
+        lengths = [k.shape[1] for k, _ in kvs]
+        max_len = max(lengths)
+        k_pad = np.zeros((num_seqs, num_heads, max_len, head_dim))
+        v_pad = np.zeros((num_seqs, num_heads, max_len, head_dim))
+        mask = np.full((num_seqs, 1, 1, max_len), -np.inf)
+        for i, (k, v) in enumerate(kvs):
+            k_pad[i, :, : lengths[i]] = k
+            v_pad[i, :, : lengths[i]] = v
+            mask[i, ..., : lengths[i]] = 0.0
+        scores = q @ k_pad.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim) + mask
+        return F.softmax(scores, axis=-1) @ v_pad

@@ -15,6 +15,7 @@ __all__ = [
     "cross_entropy",
     "one_hot",
     "causal_mask",
+    "incremental_causal_mask",
 ]
 
 
@@ -85,3 +86,15 @@ def causal_mask(seq_len: int) -> np.ndarray:
     """
     mask = np.triu(np.ones((seq_len, seq_len), dtype=np.float64), k=1)
     return np.where(mask > 0, -np.inf, 0.0)
+
+
+def incremental_causal_mask(past_len: int, new_len: int) -> np.ndarray:
+    """Additive causal mask for ``new_len`` tokens appended after ``past_len``.
+
+    Shape ``(new_len, past_len + new_len)``: new token ``i`` (global position
+    ``past_len + i``) may attend to every key up to its own position.  With
+    ``past_len == 0`` this reduces to :func:`causal_mask`.
+    """
+    key_positions = np.arange(past_len + new_len)
+    query_positions = past_len + np.arange(new_len)
+    return np.where(key_positions[None, :] > query_positions[:, None], -np.inf, 0.0)

@@ -97,9 +97,28 @@ class PositionalEmbedding(Module):
         rng = rng or np.random.default_rng(0)
         self.weight = Parameter(rng.normal(0.0, 0.02, size=(max_positions, embedding_dim)))
 
-    def forward(self, seq_len: int) -> np.ndarray:
-        if seq_len > self.max_positions:
+    def forward(self, seq_len: int, offset: int = 0) -> np.ndarray:
+        if offset < 0:
+            raise ValueError("position offset must be >= 0")
+        if offset + seq_len > self.max_positions:
             raise ValueError(
-                f"sequence length {seq_len} exceeds max positions {self.max_positions}"
+                f"sequence length {offset + seq_len} exceeds max positions "
+                f"{self.max_positions}"
             )
-        return self.weight.data[:seq_len]
+        return self.weight.data[offset:offset + seq_len]
+
+    def at(self, positions: np.ndarray) -> np.ndarray:
+        """Embedding rows of explicit ``positions`` (incremental decode path).
+
+        Each sequence of a decode round sits at a different past length, so
+        the batched incremental step gathers one position row per sequence.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size and (
+            int(positions.min()) < 0 or int(positions.max()) >= self.max_positions
+        ):
+            raise ValueError(
+                f"position index out of range [0, {self.max_positions}); "
+                "the sequence outgrew the model's positional table"
+            )
+        return self.weight.data[positions]

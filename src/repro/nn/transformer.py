@@ -10,7 +10,7 @@ the paper:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -105,6 +105,21 @@ class TransformerDecoderLayer(Module):
         x = x + self.ffn(self.norm_ffn(x))
         return x
 
+    def forward_incremental(self, x: np.ndarray, layer_caches: Sequence) -> np.ndarray:
+        """Decode new tokens against per-sequence KV caches (decoder-only).
+
+        ``x`` is ``(num_seqs, t_new, hidden)`` with one cache per row; see
+        :meth:`MultiHeadAttention.forward_incremental`.
+        """
+        if self.cross_attention is not None:
+            raise ValueError(
+                "incremental decode supports decoder-only layers; "
+                "cross-attention layers recompute against encoder states"
+            )
+        x = x + self.self_attention.forward_incremental(self.norm_self(x), layer_caches)
+        x = x + self.ffn(self.norm_ffn(x))
+        return x
+
 
 class _EmbeddingFrontend(Module):
     """Shared token + positional embedding with a final LayerNorm."""
@@ -122,9 +137,21 @@ class _EmbeddingFrontend(Module):
         self.position_embedding = PositionalEmbedding(max_positions, hidden_size, rng=rng)
         self.norm = LayerNorm(hidden_size)
 
-    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        position_offsets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         token_ids = np.asarray(token_ids, dtype=np.int64)
-        hidden = self.token_embedding(token_ids) + self.position_embedding(token_ids.shape[-1])
+        if position_offsets is None:
+            positional = self.position_embedding(token_ids.shape[-1])
+        else:
+            # Incremental decode: row i of the batch continues at position
+            # offsets[i], so each row gathers its own positional rows.
+            offsets = np.asarray(position_offsets, dtype=np.int64)
+            positions = offsets[:, None] + np.arange(token_ids.shape[-1])
+            positional = self.position_embedding.at(positions)
+        hidden = self.token_embedding(token_ids) + positional
         return self.norm(hidden)
 
 
@@ -191,6 +218,39 @@ class TransformerDecoder(Module):
         hidden = self.embeddings(token_ids)
         for i in range(self.num_layers):
             hidden = getattr(self, f"layer_{i}")(hidden)
+        return self.final_norm(hidden)
+
+    def forward_incremental(self, token_ids: np.ndarray, caches: Sequence) -> np.ndarray:
+        """Run only the new tokens, appending K/V to per-sequence caches.
+
+        Parameters
+        ----------
+        token_ids:
+            ``(num_seqs, t_new)`` new token ids (a 1-D array is treated as a
+            single sequence).  All rows must share ``t_new``; sequences at
+            different stages are handled by their caches' past lengths.
+        caches:
+            One :class:`~repro.serve.kvcache.SequenceKVCache` (or anything
+            exposing ``seq_len``/``layer(i)``) per row.
+
+        Returns hidden states of the new positions, ``(num_seqs, t_new, h)``.
+        Appending a whole sequence to an empty cache computes exactly what
+        :meth:`forward` computes for that sequence.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        if token_ids.ndim != 2:
+            raise ValueError("incremental decode expects (num_seqs, t_new) token ids")
+        if len(caches) != token_ids.shape[0]:
+            raise ValueError(
+                f"got {token_ids.shape[0]} sequences but {len(caches)} caches"
+            )
+        offsets = np.array([cache.seq_len for cache in caches], dtype=np.int64)
+        hidden = self.embeddings(token_ids, position_offsets=offsets)
+        for i in range(self.num_layers):
+            layer_caches = [cache.layer(i) for cache in caches]
+            hidden = getattr(self, f"layer_{i}").forward_incremental(hidden, layer_caches)
         return self.final_norm(hidden)
 
 

@@ -10,14 +10,26 @@ request/response engine:
 * :mod:`repro.serve.engine` — batched forward passes for the three workload
   families (GLUE classification, SQuAD span extraction, LM next-token) plus
   the synchronous scheduler;
+* :mod:`repro.serve.kvcache` — per-sequence paged KV caches whose sealed
+  pages are memory-aligned OVP byte streams (quantize-on-append,
+  decode-on-attend) powering incremental LM decode;
+* :mod:`repro.serve.scheduler` — slot-level continuous batching that admits
+  and retires generation sequences mid-flight;
 * :mod:`repro.serve.aio` — asyncio front-end for concurrent clients;
-* :mod:`repro.serve.stats` — throughput, p50/p95 latency, batch fill and
-  DRAM-byte accounting aligned with the performance simulators.
+* :mod:`repro.serve.stats` — throughput, p50/p95 latency, batch fill,
+  DRAM-byte and KV-cache/slot-occupancy accounting aligned with the
+  performance simulators.
 """
 
 from repro.serve.aio import AsyncServer
 from repro.serve.batcher import MicroBatcher, QueuedRequest
 from repro.serve.engine import InferenceEngine, ServingEngine
+from repro.serve.kvcache import (
+    KVCacheConfig,
+    LayerKVCache,
+    SequenceKVCache,
+    cache_for_model,
+)
 from repro.serve.repository import ModelRepository, PackedModel, RepositoryStats
 from repro.serve.requests import (
     InferenceRequest,
@@ -25,22 +37,34 @@ from repro.serve.requests import (
     ServingError,
     WorkloadFamily,
 )
-from repro.serve.stats import BatchRecord, ServingStats, ServingSummary
+from repro.serve.scheduler import ContinuousBatchingScheduler
+from repro.serve.stats import (
+    BatchRecord,
+    DecodeRoundRecord,
+    ServingStats,
+    ServingSummary,
+)
 
 __all__ = [
     "AsyncServer",
     "BatchRecord",
+    "ContinuousBatchingScheduler",
+    "DecodeRoundRecord",
     "InferenceEngine",
     "InferenceRequest",
     "InferenceResult",
+    "KVCacheConfig",
+    "LayerKVCache",
     "MicroBatcher",
     "ModelRepository",
     "PackedModel",
     "QueuedRequest",
     "RepositoryStats",
+    "SequenceKVCache",
     "ServingEngine",
     "ServingError",
     "ServingStats",
     "ServingSummary",
     "WorkloadFamily",
+    "cache_for_model",
 ]

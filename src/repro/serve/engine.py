@@ -24,6 +24,7 @@ from repro.hardware.memory import gemm_traffic
 from repro.nn import functional as F
 from repro.nn.layers import Linear
 from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.kvcache import KVCacheConfig, cache_for_model, validate_token_budget
 from repro.serve.repository import ModelRepository, PackedModel
 from repro.serve.requests import (
     InferenceRequest,
@@ -31,6 +32,7 @@ from repro.serve.requests import (
     ServingError,
     WorkloadFamily,
 )
+from repro.serve.scheduler import ContinuousBatchingScheduler, greedy_top_k
 from repro.serve.stats import BatchRecord, ServingStats
 
 __all__ = ["InferenceEngine", "ServingEngine"]
@@ -39,8 +41,13 @@ __all__ = ["InferenceEngine", "ServingEngine"]
 class InferenceEngine:
     """Run batched forward passes for the three workload families."""
 
-    def __init__(self, repository: ModelRepository) -> None:
+    def __init__(
+        self,
+        repository: ModelRepository,
+        kv_cache_config: Optional[KVCacheConfig] = None,
+    ) -> None:
         self.repository = repository
+        self.kv_cache_config = kv_cache_config or KVCacheConfig(bits=repository.bits)
 
     # ------------------------------------------------------------------ #
     # Batch execution
@@ -71,9 +78,9 @@ class InferenceEngine:
         elif first.family == WorkloadFamily.SPAN:
             outputs = self._run_span(entry, inputs)
         else:
-            # top_k is per-request (it does not affect the forward pass, so
-            # requests with different top_k still share the batch).
-            outputs = self._run_lm(entry, inputs, [q.request.top_k for q in batch])
+            # top_k/max_new_tokens are per-request (neither affects batching:
+            # requests that differ only in them still share the batch).
+            outputs = self._run_lm(entry, inputs, [q.request for q in batch])
         compute_seconds = clock() - start
 
         completed_at = clock()
@@ -90,11 +97,12 @@ class InferenceEngine:
             )
             for q, output in zip(batch, outputs)
         ]
+        generated = sum(len(output.get("generated_tokens", ())) for output in outputs)
         record = BatchRecord(
             batch_size=len(batch),
             max_batch_size=int(max_batch_size or len(batch)),
             compute_seconds=compute_seconds,
-            tokens=int(inputs.size),
+            tokens=int(inputs.size) + generated,
             weight_stream_bytes=entry.packed_bytes,
             dram_bytes=self._dram_bytes(entry, int(inputs.size)),
             latencies=tuple(completed_at - q.enqueued_at for q in batch),
@@ -132,21 +140,69 @@ class InferenceEngine:
             )
         return outputs
 
-    @staticmethod
     def _run_lm(
-        entry: PackedModel, inputs: np.ndarray, top_ks: Sequence[int]
+        self, entry: PackedModel, inputs: np.ndarray, requests: Sequence[InferenceRequest]
     ) -> List[dict]:
-        log_probs = np.asarray(entry.model.log_probs(inputs))[:, -1, :]
-        outputs = []
-        for row_lp, top_k in zip(log_probs, top_ks):
-            k = min(int(top_k), row_lp.shape[-1])
-            row_top = np.argsort(row_lp)[::-1][:k]
-            outputs.append(
-                {
-                    "next_tokens": [int(t) for t in row_top],
-                    "log_probs": [float(row_lp[t]) for t in row_top],
-                }
+        """Score-only rows take the batched full forward; generation rows the
+        incremental KV-cache path.  The split keeps a score-only request's
+        logits identical whether or not generation requests share its batch
+        (the incremental prefill sees OVP-quantized K/V pages, the full
+        forward does not)."""
+        score_rows = [i for i, r in enumerate(requests) if r.max_new_tokens == 0]
+        gen_rows = [i for i, r in enumerate(requests) if r.max_new_tokens > 0]
+        outputs: List[Optional[dict]] = [None] * len(requests)
+        if score_rows:
+            log_probs = np.asarray(entry.model.log_probs(inputs[score_rows]))[:, -1, :]
+            for row_lp, i in zip(log_probs, score_rows):
+                outputs[i] = greedy_top_k(row_lp, requests[i].top_k)
+        if gen_rows:
+            generated = self._run_lm_generate(
+                entry, inputs[gen_rows], [requests[i] for i in gen_rows]
             )
+            for output, i in zip(generated, gen_rows):
+                outputs[i] = output
+        return outputs
+
+    def _run_lm_generate(
+        self, entry: PackedModel, inputs: np.ndarray, requests: Sequence[InferenceRequest]
+    ) -> List[dict]:
+        """Whole-batch-release generation through OVP-paged KV caches.
+
+        The batch prefills in one incremental pass (one KV cache per row),
+        then advances one token per decode round until each row reaches its
+        ``max_new_tokens``; finished rows drop out of later rounds, but the
+        batch's results are only released together — the baseline the
+        continuous-batching scheduler improves on.
+        """
+        for request in requests:
+            validate_token_budget(entry.model, request)
+        caches = [cache_for_model(entry.model, self.kv_cache_config) for _ in requests]
+        last_lp = entry.model.log_probs_incremental(inputs, caches, last_only=True)[:, -1, :]
+        generated: List[List[int]] = [[] for _ in requests]
+        final_lp = [row for row in last_lp]
+        for i in range(len(requests)):
+            generated[i].append(int(np.argmax(last_lp[i])))
+        while True:
+            rows = [
+                i
+                for i, request in enumerate(requests)
+                if len(generated[i]) < request.max_new_tokens
+            ]
+            if not rows:
+                break
+            step_tokens = np.array([[generated[i][-1]] for i in rows], dtype=np.int64)
+            step_lp = entry.model.log_probs_incremental(
+                step_tokens, [caches[i] for i in rows]
+            )[:, -1, :]
+            for row, i in enumerate(rows):
+                final_lp[i] = step_lp[row]
+                generated[i].append(int(np.argmax(step_lp[row])))
+        outputs = []
+        for i, request in enumerate(requests):
+            output = greedy_top_k(final_lp[i], request.top_k)
+            output["generated_tokens"] = generated[i]
+            output["kv_cache"] = caches[i].memory_summary()
+            outputs.append(output)
         return outputs
 
     # ------------------------------------------------------------------ #
@@ -174,7 +230,15 @@ class InferenceEngine:
 
 
 class ServingEngine:
-    """Synchronous serving scheduler: micro-batcher + engine + stats."""
+    """Synchronous serving scheduler: micro-batcher + engine + stats.
+
+    LM generation requests (``max_new_tokens > 0``) are routed to a
+    slot-level continuous-batching scheduler by default, which admits and
+    retires sequences mid-flight over per-sequence OVP-paged KV caches.
+    ``continuous_batching=False`` sends them through the micro-batcher
+    instead (whole-batch release — the baseline the benchmarks compare
+    against).
+    """
 
     def __init__(
         self,
@@ -183,14 +247,26 @@ class ServingEngine:
         max_wait: float = 0.005,
         clock=time.monotonic,
         result_buffer: int = 4096,
+        continuous_batching: bool = True,
+        num_slots: Optional[int] = None,
+        kv_cache_config: Optional[KVCacheConfig] = None,
     ) -> None:
         self.repository = repository or ModelRepository()
         self.clock = clock
         self.batcher = MicroBatcher(
             max_batch_size=max_batch_size, max_wait=max_wait, clock=clock
         )
-        self.engine = InferenceEngine(self.repository)
+        self.kv_cache_config = kv_cache_config or KVCacheConfig(bits=self.repository.bits)
+        self.engine = InferenceEngine(self.repository, kv_cache_config=self.kv_cache_config)
         self.stats = ServingStats(clock=clock)
+        self.continuous_batching = bool(continuous_batching)
+        self.lm_scheduler = ContinuousBatchingScheduler(
+            self.repository,
+            num_slots=int(num_slots) if num_slots is not None else int(max_batch_size),
+            cache_config=self.kv_cache_config,
+            clock=clock,
+            stats=self.stats,
+        )
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded
         # (oldest evicted first) to keep long-running serving loops leak-free.
@@ -202,7 +278,17 @@ class ServingEngine:
     # Request lifecycle
     # ------------------------------------------------------------------ #
     def submit(self, request: InferenceRequest) -> str:
-        """Queue a request; returns its id for :meth:`result` lookup."""
+        """Queue a request; returns its id for :meth:`result` lookup.
+
+        LM generation requests go to the continuous-batching scheduler (when
+        enabled); everything else goes to the micro-batcher.
+        """
+        if (
+            self.continuous_batching
+            and request.family == WorkloadFamily.LM
+            and request.max_new_tokens > 0
+        ):
+            return self.lm_scheduler.submit(request)
         self.batcher.submit(request)
         return request.request_id
 
@@ -211,37 +297,53 @@ class ServingEngine:
         return self.repository.get(model, family, num_classes)
 
     def step(self, force: bool = False) -> List[InferenceResult]:
-        """Process at most one ready micro-batch; returns its results.
+        """Process at most one ready micro-batch plus one decode round.
 
         A batch that fails to execute (unknown model, malformed input that
         slipped past request validation, …) does not take the scheduler
         down: its requests are marked failed and the error re-raises from
         :meth:`result` (or resolves the client future on the async path).
+        The continuous-batching scheduler advances one round per step, so
+        generation and micro-batched traffic interleave fairly.
         """
+        results: List[InferenceResult] = []
         batch = self.batcher.next_batch(force=force)
-        if batch is None:
-            return []
+        if batch is not None:
+            try:
+                batch_results, record = self.engine.run_batch(
+                    batch, clock=self.clock, max_batch_size=self.batcher.max_batch_size
+                )
+            except Exception as exc:
+                for queued in batch:
+                    self._record_failure(queued.request.request_id, exc)
+            else:
+                self.stats.record_batch(record)
+                results.extend(batch_results)
         try:
-            results, record = self.engine.run_batch(
-                batch, clock=self.clock, max_batch_size=self.batcher.max_batch_size
-            )
+            results.extend(self.lm_scheduler.step())
         except Exception as exc:
-            for queued in batch:
-                self._failed[queued.request.request_id] = exc
-            while len(self._failed) > self.result_buffer:
-                self._failed.popitem(last=False)
-            return []
-        self.stats.record_batch(record)
+            # A decode-round error (e.g. a model without a positional limit
+            # outgrowing its table) must not lose the micro-batch results
+            # above or wedge the engine: abort the in-flight sequences (their
+            # failures drain just below), keeping the slots serviceable.
+            self.lm_scheduler.abort_active(exc)
+        for request_id, exc in self.lm_scheduler.take_failures():
+            self._record_failure(request_id, exc)
         for result in results:
             self._completed[result.request_id] = result
         while len(self._completed) > self.result_buffer:
             self._completed.popitem(last=False)
         return results
 
+    def _record_failure(self, request_id: str, exc: Exception) -> None:
+        self._failed[request_id] = exc
+        while len(self._failed) > self.result_buffer:
+            self._failed.popitem(last=False)
+
     def run_until_idle(self) -> List[InferenceResult]:
-        """Drain the queue completely (forcing partial batches)."""
+        """Drain the queues completely (forcing partial batches)."""
         results: List[InferenceResult] = []
-        while len(self.batcher):
+        while self.pending:
             results.extend(self.step(force=True))
         return results
 
@@ -261,7 +363,7 @@ class ServingEngine:
         for request in requests:
             self.submit(request)
         collected = {}
-        while len(self.batcher):
+        while self.pending:
             for result in self.step(force=True):
                 collected[result.request_id] = result
         output = []
@@ -295,5 +397,5 @@ class ServingEngine:
 
     @property
     def pending(self) -> int:
-        """Requests queued but not yet executed."""
-        return len(self.batcher)
+        """Requests queued or decoding but not yet completed."""
+        return len(self.batcher) + len(self.lm_scheduler)

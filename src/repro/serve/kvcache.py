@@ -1,0 +1,375 @@
+"""OVP-quantized paged KV caches for incremental LM decode.
+
+The KV cache is the dominant memory consumer of LM serving: every decoded
+token appends one K and one V vector per layer per head, and a full-precision
+cache grows as ``4 bytes × 2 × layers × heads × head_dim`` per token.  OVP
+encoding is a natural fit because it is *memory aligned* — a packed page is a
+plain byte stream with no side tables, so paging the cache keeps the exact
+DRAM layout the paper's accelerator assumes for weights.
+
+Layout
+------
+Each sequence owns one :class:`SequenceKVCache`; each layer of the sequence
+owns a :class:`LayerKVCache` holding
+
+* a list of *sealed pages* — ``page_size`` timesteps of K (and V) quantized
+  on append into one :class:`~repro.core.ovp.PackedOVPTensor` per page, with
+  a per-page 3σ scale (the paper's initial-scale rule; no MSE search on the
+  hot append path);
+* one *open page* — the most recent ``< page_size`` timesteps kept in full
+  precision until the page fills.
+
+``kv()`` decodes the sealed pages through the vectorized codec and
+concatenates the open page — decode-on-attend, so resident memory stays at
+the packed footprint.  ``quantize=False`` keeps sealed pages in full
+precision; this reference mode is what the incremental-decode equivalence
+tests compare against full recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.ovp import OVPairCodec, PackedOVPTensor
+from repro.core.quantizer import OVPQuantizerConfig
+from repro.serve.requests import ServingError
+
+__all__ = [
+    "KVCacheConfig",
+    "LayerKVCache",
+    "SequenceKVCache",
+    "cache_for_model",
+]
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """How a sequence's K/V pages are stored.
+
+    Parameters
+    ----------
+    bits:
+        OVP precision of sealed pages: 4 (int4 + E2M1) or 8 (int8 + E4M3).
+    page_size:
+        Timesteps per page.  Smaller pages seal sooner (less full-precision
+        residency) but pay per-page scale/encode overhead more often.
+    quantize:
+        ``False`` keeps sealed pages in full precision — the bit-exact
+        reference mode used by the equivalence tests.
+    """
+
+    bits: int = 4
+    page_size: int = 16
+    quantize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits not in (4, 8):
+            raise ServingError("KV caches support 4- and 8-bit OVP only")
+        if self.page_size < 1:
+            raise ServingError("page_size must be >= 1")
+
+    def make_codec(self) -> OVPairCodec:
+        """Codec for sealed pages (paper defaults for the chosen width)."""
+        normal_dtype = "int4" if self.bits == 4 else "int8"
+        normal, outlier, bias = OVPQuantizerConfig(normal_dtype=normal_dtype).resolve()
+        return OVPairCodec(normal, outlier, bias)
+
+
+#: A sealed page: packed byte stream when quantizing, float array otherwise.
+_SealedPage = Union[PackedOVPTensor, np.ndarray]
+
+
+class LayerKVCache:
+    """Paged K/V store of one layer of one sequence."""
+
+    def __init__(self, num_heads: int, head_dim: int, config: KVCacheConfig,
+                 codec: Optional[OVPairCodec] = None) -> None:
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.config = config
+        self.codec = codec if codec is not None else (
+            config.make_codec() if config.quantize else None
+        )
+        self._sealed_k: List[_SealedPage] = []
+        self._sealed_v: List[_SealedPage] = []
+        # Open page: a preallocated (num_heads, page_size, head_dim) buffer
+        # holding the newest _open_len (< page_size) timesteps, so appends
+        # write rows in place instead of reallocating per step.
+        self._open_k = np.zeros((self.num_heads, config.page_size, self.head_dim))
+        self._open_v = np.zeros((self.num_heads, config.page_size, self.head_dim))
+        self._open_len = 0
+        self._seq_len = 0
+
+    # ------------------------------------------------------------------ #
+    # Append (quantize-on-append)
+    # ------------------------------------------------------------------ #
+    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Append new timesteps, sealing pages as they fill.
+
+        ``k_new``/``v_new`` have shape ``(num_heads, t_new, head_dim)``;
+        prefill appends the whole prompt at once, decode appends one step.
+        """
+        k_new = np.asarray(k_new, dtype=np.float64)
+        v_new = np.asarray(v_new, dtype=np.float64)
+        expected = (self.num_heads, k_new.shape[1] if k_new.ndim == 3 else -1, self.head_dim)
+        if k_new.shape != expected or v_new.shape != expected:
+            raise ServingError(
+                f"K/V step shapes {k_new.shape}/{v_new.shape} do not match "
+                f"(num_heads={self.num_heads}, t, head_dim={self.head_dim})"
+            )
+        size = self.config.page_size
+        offset, total = 0, k_new.shape[1]
+        while offset < total:
+            take = min(size - self._open_len, total - offset)
+            stop = self._open_len + take
+            self._open_k[:, self._open_len:stop] = k_new[:, offset:offset + take]
+            self._open_v[:, self._open_len:stop] = v_new[:, offset:offset + take]
+            self._open_len = stop
+            offset += take
+            if self._open_len == size:
+                self._seal_open_page()
+                self._open_len = 0
+        self._seq_len += total
+
+    def _seal_open_page(self) -> None:
+        if not self.config.quantize:
+            self._sealed_k.append(self._open_k.copy())
+            self._sealed_v.append(self._open_v.copy())
+            return
+        if self._open_k.size % 2 == 0:
+            # K and V pages seal together through one codec pass.
+            pages = self.codec.encode_tensor_batch(
+                [self._open_k, self._open_v],
+                [self._page_scale(self._open_k), self._page_scale(self._open_v)],
+                self.codec.normal_dtype.max_value,
+            )
+            self._sealed_k.append(pages[0])
+            self._sealed_v.append(pages[1])
+            return
+        self._sealed_k.append(self._seal(self._open_k))
+        self._sealed_v.append(self._seal(self._open_v))
+
+    def _seal(self, page: np.ndarray) -> _SealedPage:
+        scale = self._page_scale(page)
+        return self.codec.encode_tensor(page, scale, self.codec.normal_dtype.max_value)
+
+    def _page_scale(self, page: np.ndarray) -> float:
+        """3σ scale rule: normals span 3σ, anything beyond is an OVP outlier."""
+        sigma = float(np.std(page))
+        if sigma == 0.0:
+            return max(float(np.max(np.abs(page))), 1.0) / self.codec.normal_dtype.max_value
+        return 3.0 * sigma / self.codec.normal_dtype.max_value
+
+    # ------------------------------------------------------------------ #
+    # Attend (decode-on-attend)
+    # ------------------------------------------------------------------ #
+    def kv(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode and return the full ``(K, V)``, each ``(heads, seq, dim)``."""
+        if self._seq_len == 0:
+            raise ServingError("KV cache is empty; append before attending")
+        if self.config.quantize and self._sealed_k:
+            decoded_k = list(self.codec.decode_tensor_batch(self._sealed_k))
+            decoded_v = list(self.codec.decode_tensor_batch(self._sealed_v))
+        else:
+            decoded_k, decoded_v = list(self._sealed_k), list(self._sealed_v)
+        return self._finish(decoded_k, self._open_k), self._finish(decoded_v, self._open_v)
+
+    @classmethod
+    def kv_many(cls, caches: Sequence["LayerKVCache"]) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """``kv()`` for many caches with one batched page decode.
+
+        A continuous-batching decode round attends every active slot against
+        this layer; decoding each slot's pages separately pays the codec's
+        per-call overhead ``2 × slots × pages`` times.  All sealed pages of
+        one geometry decode in a single pass instead, then each cache's K/V
+        are reassembled in order.  (:meth:`MultiHeadAttention.forward_incremental
+        <repro.nn.attention.MultiHeadAttention.forward_incremental>` picks
+        this up by duck-typing, keeping ``repro.nn`` free of serve imports.)
+        """
+        jobs = []  # (cache_index, 0 for K / 1 for V, page)
+        for index, cache in enumerate(caches):
+            if not cache.config.quantize:
+                continue
+            jobs.extend((index, 0, page) for page in cache._sealed_k)
+            jobs.extend((index, 1, page) for page in cache._sealed_v)
+        decoded = {}
+        if jobs:
+            by_shape = {}
+            for job_id, (_, _, page) in enumerate(jobs):
+                by_shape.setdefault(page.shape, []).append(job_id)
+            codec = next(c.codec for c in caches if c.codec is not None)
+            for job_ids in by_shape.values():
+                pages = codec.decode_tensor_batch([jobs[j][2] for j in job_ids])
+                for row, job_id in enumerate(job_ids):
+                    decoded[job_id] = pages[row]
+        per_cache = [([], []) for _ in caches]
+        for job_id, (index, which, _) in enumerate(jobs):
+            per_cache[index][which].append(decoded[job_id])
+        results = []
+        for index, cache in enumerate(caches):
+            if not cache.config.quantize:
+                results.append(cache.kv())
+            else:
+                if cache.seq_len == 0:
+                    raise ServingError("KV cache is empty; append before attending")
+                results.append(
+                    (
+                        cache._finish(per_cache[index][0], cache._open_k),
+                        cache._finish(per_cache[index][1], cache._open_v),
+                    )
+                )
+        return results
+
+    def _finish(self, decoded_pages: List[np.ndarray], open_buffer: np.ndarray) -> np.ndarray:
+        """Concatenate decoded sealed pages with the open-page rows.
+
+        Callers only read the assembled K/V within one attend, so exposing a
+        view of the reusable open buffer (rather than a copy) is safe.
+        """
+        parts = list(decoded_pages)
+        if self._open_len:
+            parts.append(open_buffer[:, : self._open_len])
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def seq_len(self) -> int:
+        """Cached timesteps."""
+        return self._seq_len
+
+    @property
+    def num_sealed_pages(self) -> int:
+        """Sealed (quantized) pages currently held, counting K and V pages."""
+        return len(self._sealed_k) + len(self._sealed_v)
+
+    @property
+    def kv_elements(self) -> int:
+        """Cached scalars: K and V over every head and timestep."""
+        return 2 * self.num_heads * self._seq_len * self.head_dim
+
+    @property
+    def fp32_bytes(self) -> int:
+        """Bytes an unquantized fp32 cache would need for the same tokens."""
+        return self.kv_elements * 4
+
+    @property
+    def cache_bytes(self) -> int:
+        """Resident cache footprint: packed sealed pages + fp32 open rows.
+
+        Full-precision storage (open rows, and sealed pages in the
+        ``quantize=False`` reference mode) is charged at fp32 — the dtype a
+        production fp cache would hold — even though NumPy computes in
+        float64.
+        """
+        sealed = sum(
+            page.nbytes if isinstance(page, PackedOVPTensor) else page.size * 4
+            for page in self._sealed_k + self._sealed_v
+        )
+        open_elems = 2 * self.num_heads * self._open_len * self.head_dim
+        return int(sealed + open_elems * 4)
+
+
+class SequenceKVCache:
+    """Per-sequence KV cache: one :class:`LayerKVCache` per decoder layer.
+
+    All layers share one codec instance (the lookup tables are immutable), so
+    building a cache per admitted request stays cheap.
+    """
+
+    def __init__(self, num_layers: int, num_heads: int, head_dim: int,
+                 config: Optional[KVCacheConfig] = None) -> None:
+        if num_layers < 1:
+            raise ServingError("a KV cache needs at least one layer")
+        self.config = config or KVCacheConfig()
+        codec = self.config.make_codec() if self.config.quantize else None
+        self._layers = [
+            LayerKVCache(num_heads, head_dim, self.config, codec=codec)
+            for _ in range(num_layers)
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def layer(self, index: int) -> LayerKVCache:
+        """The cache of decoder layer ``index``."""
+        return self._layers[index]
+
+    @property
+    def seq_len(self) -> int:
+        """Cached timesteps (identical across layers by construction)."""
+        return self._layers[0].seq_len
+
+    @property
+    def fp32_bytes(self) -> int:
+        """Bytes an fp32 cache would need for the currently cached tokens."""
+        return sum(layer.fp32_bytes for layer in self._layers)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Resident footprint: OVP-packed sealed pages + fp32 open pages."""
+        return sum(layer.cache_bytes for layer in self._layers)
+
+    @property
+    def compression_ratio(self) -> float:
+        """fp32 footprint / resident footprint (→ ~8 for fully-sealed 4-bit)."""
+        resident = self.cache_bytes
+        return self.fp32_bytes / resident if resident else 0.0
+
+    def memory_summary(self) -> dict:
+        """Footprint numbers for stats/demos."""
+        return {
+            "seq_len": self.seq_len,
+            "kv_fp32_bytes": self.fp32_bytes,
+            "kv_cache_bytes": self.cache_bytes,
+            "kv_compression": round(self.compression_ratio, 2),
+            "sealed_pages": sum(l.num_sealed_pages for l in self._layers),
+        }
+
+
+def validate_token_budget(model, request) -> None:
+    """Reject a generation request that would outgrow ``model``'s positions.
+
+    Shared by the continuous scheduler (per-request failure at admission) and
+    the whole-batch generation path (batch failure), so the two can never
+    drift.  Models without a ``config.max_positions`` are not pre-checked;
+    they fail at decode time instead, which callers already isolate.
+
+    The final generated token is returned but never fed back through the
+    embedding, so a request embeds ``seq_len + max_new_tokens - 1`` positions.
+    """
+    limit = getattr(getattr(model, "config", None), "max_positions", None)
+    if limit is not None and request.seq_len + request.max_new_tokens - 1 > limit:
+        raise ServingError(
+            f"request {request.request_id!r}: prompt ({request.seq_len}) + "
+            f"max_new_tokens ({request.max_new_tokens}) exceeds the model's "
+            f"{limit} positions"
+        )
+
+
+def cache_for_model(model, config: Optional[KVCacheConfig] = None) -> SequenceKVCache:
+    """Build an empty cache matching a causal LM's decoder geometry.
+
+    Accepts a :class:`~repro.models.zoo.CausalLM` (or any module exposing a
+    ``backbone``) or a bare decoder with ``layer_i.self_attention`` children.
+    """
+    backbone = getattr(model, "backbone", model)
+    num_layers = getattr(backbone, "num_layers", None)
+    first_layer = getattr(backbone, "layer_0", None)
+    attention = getattr(first_layer, "self_attention", None)
+    if num_layers is None or attention is None:
+        raise ServingError(
+            "model has no decoder backbone with self-attention layers; "
+            "KV caches require a causal (decoder-only) LM"
+        )
+    return SequenceKVCache(
+        num_layers=int(num_layers),
+        num_heads=attention.num_heads,
+        head_dim=attention.head_dim,
+        config=config,
+    )

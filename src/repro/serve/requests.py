@@ -73,6 +73,10 @@ class InferenceRequest:
         Output classes for the classification family (ignored otherwise).
     top_k:
         Number of next-token candidates returned by the LM family.
+    max_new_tokens:
+        LM only: number of tokens to generate greedily after the prompt
+        (incremental decode through a KV cache).  0 (the default) scores the
+        prompt's next token without generating.
     """
 
     model: str
@@ -80,6 +84,7 @@ class InferenceRequest:
     token_ids: np.ndarray
     num_classes: int = 2
     top_k: int = 1
+    max_new_tokens: int = 0
     request_id: str = field(default_factory=_next_request_id)
 
     def __post_init__(self) -> None:
@@ -95,6 +100,10 @@ class InferenceRequest:
             raise ServingError("num_classes must be >= 1")
         if self.top_k < 1:
             raise ServingError("top_k must be >= 1")
+        if self.max_new_tokens < 0:
+            raise ServingError("max_new_tokens must be >= 0")
+        if self.max_new_tokens > 0 and self.family != WorkloadFamily.LM:
+            raise ServingError("max_new_tokens applies to the LM family only")
 
     @property
     def seq_len(self) -> int:
@@ -121,7 +130,8 @@ class InferenceResult:
 
     * classify — ``label`` (int), ``probs`` (per-class list);
     * span — ``start``/``end`` (ints), ``score`` (float);
-    * lm — ``next_tokens``/``log_probs`` (top-k lists).
+    * lm — ``next_tokens``/``log_probs`` (top-k lists of the final position);
+      generation requests (``max_new_tokens > 0``) add ``generated_tokens``.
     """
 
     request_id: str

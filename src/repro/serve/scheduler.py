@@ -1,0 +1,351 @@
+"""Slot-level continuous batching for LM generation.
+
+The micro-batcher (:mod:`repro.serve.batcher`) releases *whole* batches: every
+request in a batch completes before any slot is reused.  For multi-token LM
+generation that wastes capacity — a batch with one long sequence ends up
+decoding at occupancy 1 while finished slots sit idle.  The continuous
+scheduler here keeps a fixed pool of ``num_slots`` decode slots and
+admits/retires sequences *mid-flight*:
+
+* **admit** — whenever a slot is free and a request is queued, the prompt is
+  prefilled through the model's incremental path into a fresh per-sequence
+  OVP-paged KV cache (:mod:`repro.serve.kvcache`), producing the first
+  generated token;
+* **decode round** — all active slots advance one token in a single batched
+  incremental forward (the Linear/FFN/LM-head GEMMs stack across slots; only
+  the attention core runs per-slot, since every sequence has its own past);
+* **retire** — a sequence that reaches ``max_new_tokens`` releases its slot
+  immediately, so the next queued request joins the very next round.
+
+Every round is recorded as a
+:class:`~repro.serve.stats.DecodeRoundRecord` — slot occupancy plus the
+resident KV bytes (OVP-packed) next to the fp32 footprint the same tokens
+would need.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.batcher import QueuedRequest
+from repro.serve.kvcache import (
+    KVCacheConfig,
+    SequenceKVCache,
+    cache_for_model,
+    validate_token_budget,
+)
+from repro.serve.repository import ModelRepository, PackedModel
+from repro.serve.requests import (
+    InferenceRequest,
+    InferenceResult,
+    ServingError,
+    WorkloadFamily,
+)
+from repro.serve.stats import DecodeRoundRecord, ServingStats
+
+__all__ = ["ContinuousBatchingScheduler", "greedy_top_k"]
+
+
+def greedy_top_k(log_probs: np.ndarray, top_k: int) -> dict:
+    """Top-k next-token candidates of one vocabulary distribution."""
+    k = min(int(top_k), log_probs.shape[-1])
+    top = np.argsort(log_probs)[::-1][:k]
+    return {
+        "next_tokens": [int(t) for t in top],
+        "log_probs": [float(log_probs[t]) for t in top],
+    }
+
+
+@dataclass
+class _Slot:
+    """One in-flight sequence: its request, KV cache and decode progress."""
+
+    queued: QueuedRequest
+    entry: PackedModel
+    cache: SequenceKVCache
+    generated: List[int] = field(default_factory=list)
+    last_log_probs: Optional[np.ndarray] = None
+
+    @property
+    def request(self) -> InferenceRequest:
+        return self.queued.request
+
+    @property
+    def done(self) -> bool:
+        return len(self.generated) >= self.request.max_new_tokens
+
+
+class ContinuousBatchingScheduler:
+    """Admit/retire LM generation sequences over a fixed slot pool.
+
+    Parameters
+    ----------
+    repository:
+        The packed-model store; admitted requests fetch their entry from it.
+    num_slots:
+        Concurrent decode slots (the continuous-batching analogue of
+        ``max_batch_size``).
+    cache_config:
+        KV-cache precision/paging; defaults to the repository's bit width.
+    stats:
+        Optional :class:`~repro.serve.stats.ServingStats` that receives one
+        :class:`~repro.serve.stats.DecodeRoundRecord` per non-empty round.
+    """
+
+    def __init__(
+        self,
+        repository: ModelRepository,
+        num_slots: int = 4,
+        cache_config: Optional[KVCacheConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        stats: Optional[ServingStats] = None,
+    ) -> None:
+        if num_slots < 1:
+            raise ServingError("num_slots must be >= 1")
+        self.repository = repository
+        self.num_slots = int(num_slots)
+        self.cache_config = cache_config or KVCacheConfig(bits=repository.bits)
+        self.clock = clock
+        self.stats = stats
+        self._queue: Deque[QueuedRequest] = deque()
+        self._slots: List[Optional[_Slot]] = [None] * self.num_slots
+        self._failed: List[Tuple[str, Exception]] = []
+        self.admitted = 0
+        self.retired = 0
+
+    # ------------------------------------------------------------------ #
+    # Queueing
+    # ------------------------------------------------------------------ #
+    def submit(self, request: InferenceRequest) -> str:
+        """Queue one LM generation request; returns its id."""
+        if request.family != WorkloadFamily.LM:
+            raise ServingError("the continuous scheduler serves LM requests only")
+        if request.max_new_tokens < 1:
+            raise ServingError(
+                "continuous batching schedules generation requests; "
+                "use the micro-batcher for score-only LM requests"
+            )
+        self._queue.append(QueuedRequest(request=request, enqueued_at=self.clock()))
+        return request.request_id
+
+    def __len__(self) -> int:
+        return len(self._queue) + self.num_active
+
+    @property
+    def num_queued(self) -> int:
+        """Requests waiting for a free slot."""
+        return len(self._queue)
+
+    @property
+    def num_active(self) -> int:
+        """Sequences currently holding a slot."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    @property
+    def slot_occupancy(self) -> float:
+        """Fraction of slots currently held."""
+        return self.num_active / self.num_slots
+
+    def take_failures(self) -> List[Tuple[str, Exception]]:
+        """Pop ``(request_id, exception)`` pairs of failed admissions."""
+        failures = self._failed
+        self._failed = []
+        return failures
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def step(self) -> List[InferenceResult]:
+        """Run one round: admit into free slots, decode, retire finished.
+
+        Returns the results of sequences retired this round.  One round
+        generates at most one token per active slot, so callers interleave
+        rounds with micro-batch steps without starving either path.
+        """
+        if not len(self):
+            return []
+        start = self.clock()
+        prefill_tokens, admitted = self._admit()
+        decoded = self._decode_round(exclude=admitted)
+        results = self._retire()
+        compute_seconds = self.clock() - start
+        active = self.num_active + len(results)
+        if self.stats is not None and active:
+            self.stats.record_decode_round(
+                DecodeRoundRecord(
+                    active_slots=active,
+                    num_slots=self.num_slots,
+                    new_tokens=prefill_tokens + len(admitted) + decoded,
+                    generated_tokens=len(admitted) + decoded,
+                    compute_seconds=compute_seconds,
+                    kv_cache_bytes=self.kv_cache_bytes,
+                    kv_fp32_bytes=self.kv_fp32_bytes,
+                    latencies=tuple(r.latency for r in results),
+                )
+            )
+        return results
+
+    def run_until_idle(self) -> List[InferenceResult]:
+        """Drain queue and slots completely."""
+        results: List[InferenceResult] = []
+        while len(self):
+            results.extend(self.step())
+        return results
+
+    # ------------------------------------------------------------------ #
+    # KV accounting (across all active slots)
+    # ------------------------------------------------------------------ #
+    @property
+    def kv_cache_bytes(self) -> int:
+        """Resident KV bytes: packed sealed pages + fp32 open pages."""
+        return sum(slot.cache.cache_bytes for slot in self._slots if slot is not None)
+
+    @property
+    def kv_fp32_bytes(self) -> int:
+        """Bytes fp32 caches would need for the same cached tokens."""
+        return sum(slot.cache.fp32_bytes for slot in self._slots if slot is not None)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _admit(self) -> Tuple[int, List[_Slot]]:
+        """Fill free slots from the queue.
+
+        Returns ``(prompt_tokens_prefilled, slots_admitted)``.  Admissions
+        sharing a model entry and prompt length prefill in one batched
+        incremental pass.  Prefill itself produces each sequence's first
+        generated token, so freshly admitted slots are excluded from this
+        round's decode step.
+        """
+        free = [index for index, slot in enumerate(self._slots) if slot is None]
+        staged: List[Tuple[int, QueuedRequest, PackedModel]] = []
+        while free and self._queue:
+            queued = self._queue.popleft()
+            entry = self._prepare(queued)
+            if entry is not None:
+                staged.append((free.pop(0), queued, entry))
+        groups = {}
+        for item in staged:
+            groups.setdefault((id(item[2]), item[1].request.seq_len), []).append(item)
+        admitted: List[_Slot] = []
+        for group in groups.values():
+            admitted.extend(self._prefill_group(group))
+        self.admitted += len(admitted)
+        prefilled = sum(slot.request.seq_len for slot in admitted)
+        return prefilled, admitted
+
+    def _prepare(self, queued: QueuedRequest) -> Optional[PackedModel]:
+        """Fetch the request's model entry and validate its token budget."""
+        request = queued.request
+        try:
+            entry = self.repository.get(request.model, request.family, request.num_classes)
+            validate_token_budget(entry.model, request)
+        except Exception as exc:
+            self._failed.append((request.request_id, exc))
+            return None
+        return entry
+
+    def abort_active(self, exc: Exception) -> List[str]:
+        """Fail every in-flight sequence after an unrecoverable round error.
+
+        Frees the slots so the scheduler keeps serving later requests;
+        returns the aborted request ids (the engine records the failures).
+        """
+        aborted = []
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                continue
+            self._failed.append((slot.request.request_id, exc))
+            aborted.append(slot.request.request_id)
+            self._slots[index] = None
+        return aborted
+
+    def _prefill_group(
+        self, group: List[Tuple[int, QueuedRequest, PackedModel]]
+    ) -> List[_Slot]:
+        """Prefill a same-model/same-length admission group in one pass."""
+        entry = group[0][2]
+        caches = [cache_for_model(entry.model, self.cache_config) for _ in group]
+        prompts = np.stack([queued.request.token_ids for _, queued, _ in group])
+        try:
+            log_probs = entry.model.log_probs_incremental(
+                prompts, caches, last_only=True
+            )[:, -1, :]
+        except Exception as exc:
+            if len(group) == 1:
+                self._failed.append((group[0][1].request.request_id, exc))
+                return []
+            # One bad prompt (e.g. out-of-vocabulary id) fails the batched
+            # pass; retry individually with fresh caches — the failed pass
+            # may have partially appended K/V.
+            admitted = []
+            for item in group:
+                admitted.extend(self._prefill_group([item]))
+            return admitted
+        admitted = []
+        for row, (index, queued, _) in enumerate(group):
+            slot = _Slot(queued=queued, entry=entry, cache=caches[row])
+            slot.generated.append(int(np.argmax(log_probs[row])))
+            slot.last_log_probs = log_probs[row]
+            self._slots[index] = slot
+            admitted.append(slot)
+        return admitted
+
+    def _decode_round(self, exclude: List[_Slot]) -> int:
+        """One batched incremental step for every unfinished slot."""
+        skip = {id(slot) for slot in exclude}
+        active = [
+            slot
+            for slot in self._slots
+            if slot is not None and not slot.done and id(slot) not in skip
+        ]
+        if not active:
+            return 0
+        # All zoo LMs of one model name share the entry object, but a round
+        # may mix models; group so each batched forward uses one model.
+        by_entry = {}
+        for slot in active:
+            by_entry.setdefault(id(slot.entry), []).append(slot)
+        decoded = 0
+        for slots in by_entry.values():
+            step_tokens = np.array([[slot.generated[-1]] for slot in slots], dtype=np.int64)
+            caches = [slot.cache for slot in slots]
+            log_probs = slots[0].entry.model.log_probs_incremental(step_tokens, caches)
+            for row, slot in enumerate(slots):
+                slot.last_log_probs = log_probs[row, -1]
+                slot.generated.append(int(np.argmax(slot.last_log_probs)))
+                decoded += 1
+        return decoded
+
+    def _retire(self) -> List[InferenceResult]:
+        """Free slots whose sequences hit their token budget."""
+        completed_at = self.clock()
+        results: List[InferenceResult] = []
+        occupancy_now = self.num_active
+        for index, slot in enumerate(self._slots):
+            if slot is None or not slot.done:
+                continue
+            request = slot.request
+            output = greedy_top_k(slot.last_log_probs, request.top_k)
+            output["generated_tokens"] = list(slot.generated[: request.max_new_tokens])
+            output["kv_cache"] = slot.cache.memory_summary()
+            results.append(
+                InferenceResult(
+                    request_id=request.request_id,
+                    model=request.model,
+                    family=request.family,
+                    output=output,
+                    batch_size=occupancy_now,
+                    enqueued_at=slot.queued.enqueued_at,
+                    completed_at=completed_at,
+                    scheme=slot.entry.scheme,
+                )
+            )
+            self._slots[index] = None
+            self.retired += 1
+        return results

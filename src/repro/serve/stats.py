@@ -18,7 +18,7 @@ from typing import Callable, Deque, Dict, Tuple
 
 import numpy as np
 
-__all__ = ["BatchRecord", "ServingSummary", "ServingStats"]
+__all__ = ["BatchRecord", "DecodeRoundRecord", "ServingSummary", "ServingStats"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,32 @@ class BatchRecord:
 
 
 @dataclass(frozen=True)
+class DecodeRoundRecord:
+    """Measurements of one continuous-batching decode round.
+
+    A round is one pass of the slot scheduler: admissions (prefill) plus one
+    incremental decode step for every active slot.  KV-cache bytes are the
+    totals across all active slots *at the end of the round* — the resident
+    packed footprint next to what an fp32 cache would need for the same
+    tokens.
+    """
+
+    active_slots: int
+    num_slots: int
+    new_tokens: int            # prompt tokens prefilled + tokens generated
+    generated_tokens: int      # tokens generated this round
+    compute_seconds: float
+    kv_cache_bytes: int        # OVP-packed pages + fp32 open pages, all slots
+    kv_fp32_bytes: int         # fp32 cache footprint for the same tokens
+    latencies: tuple = ()      # enqueue → completion of requests retired this round
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of slots doing work this round."""
+        return self.active_slots / self.num_slots if self.num_slots else 0.0
+
+
+@dataclass(frozen=True)
 class ServingSummary:
     """Aggregated serving metrics over a stats window."""
 
@@ -56,6 +82,22 @@ class ServingSummary:
     mean_batch_fill: float
     weight_stream_bytes: int
     dram_bytes: float
+    # Continuous-batching decode metrics (zero when no LM generation ran).
+    decode_rounds: int = 0
+    generated_tokens: int = 0
+    decode_seconds: float = 0.0
+    mean_slot_occupancy: float = 0.0
+    kv_cache_bytes_peak: int = 0
+    kv_fp32_bytes_peak: int = 0
+
+    @property
+    def kv_compression(self) -> float:
+        """fp32-cache footprint / resident packed footprint at the KV peak."""
+        return (
+            self.kv_fp32_bytes_peak / self.kv_cache_bytes_peak
+            if self.kv_cache_bytes_peak
+            else 0.0
+        )
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view (for logging / benchmark extra_info)."""
@@ -73,6 +115,13 @@ class ServingSummary:
             "mean_batch_fill": round(self.mean_batch_fill, 4),
             "weight_stream_bytes": self.weight_stream_bytes,
             "dram_bytes": round(self.dram_bytes, 1),
+            "decode_rounds": self.decode_rounds,
+            "generated_tokens": self.generated_tokens,
+            "decode_seconds": round(self.decode_seconds, 6),
+            "mean_slot_occupancy": round(self.mean_slot_occupancy, 4),
+            "kv_cache_bytes_peak": self.kv_cache_bytes_peak,
+            "kv_fp32_bytes_peak": self.kv_fp32_bytes_peak,
+            "kv_compression": round(self.kv_compression, 2),
         }
 
 
@@ -95,6 +144,7 @@ class ServingStats:
         # (recorded_at, record) pairs; timestamps make the wall-clock window
         # well-defined even after old records have been evicted.
         self._records: Deque[Tuple[float, BatchRecord]] = deque(maxlen=int(max_records))
+        self._rounds: Deque[Tuple[float, DecodeRoundRecord]] = deque(maxlen=int(max_records))
 
     def record_batch(self, record: BatchRecord) -> None:
         """Append one batch record (stamps the wall-clock window)."""
@@ -102,21 +152,34 @@ class ServingStats:
         with self._lock:
             self._records.append((now, record))
 
+    def record_decode_round(self, record: DecodeRoundRecord) -> None:
+        """Append one continuous-batching decode-round record."""
+        now = self.clock()
+        with self._lock:
+            self._rounds.append((now, record))
+
     def reset(self) -> None:
         """Clear the window."""
         with self._lock:
             self._records.clear()
+            self._rounds.clear()
 
     @property
     def num_batches(self) -> int:
         with self._lock:
             return len(self._records)
 
+    @property
+    def num_decode_rounds(self) -> int:
+        with self._lock:
+            return len(self._rounds)
+
     def summary(self) -> ServingSummary:
         """Reduce the retained record window into aggregate metrics."""
         with self._lock:
             stamped = list(self._records)
-        if not stamped:
+            stamped_rounds = list(self._rounds)
+        if not stamped and not stamped_rounds:
             return ServingSummary(
                 requests=0, batches=0, wall_seconds=0.0, compute_seconds=0.0,
                 tokens=0, throughput_rps=0.0, tokens_per_second=0.0,
@@ -124,15 +187,33 @@ class ServingStats:
                 mean_batch_fill=0.0, weight_stream_bytes=0, dram_bytes=0.0,
             )
         records = [record for _, record in stamped]
-        # The window opens when the first retained batch *started* computing
-        # and closes when the last one was recorded.
-        started_at = stamped[0][0] - stamped[0][1].compute_seconds
-        last_at = stamped[-1][0]
-        latencies = np.concatenate([np.asarray(r.latencies, dtype=np.float64) for r in records])
+        rounds = [record for _, record in stamped_rounds]
+        # The window opens when the first retained batch/round *started*
+        # computing and closes when the last one was recorded.
+        starts, ends = [], []
+        if stamped:
+            starts.append(stamped[0][0] - stamped[0][1].compute_seconds)
+            ends.append(stamped[-1][0])
+        if stamped_rounds:
+            starts.append(stamped_rounds[0][0] - stamped_rounds[0][1].compute_seconds)
+            ends.append(stamped_rounds[-1][0])
+        started_at = min(starts)
+        last_at = max(ends)
+        latency_pools = [np.asarray(r.latencies, dtype=np.float64) for r in records]
+        latency_pools += [
+            np.asarray(r.latencies, dtype=np.float64) for r in rounds if r.latencies
+        ]
+        latencies = (
+            np.concatenate(latency_pools) if latency_pools else np.empty(0, dtype=np.float64)
+        )
         requests = int(latencies.size)
-        tokens = sum(r.tokens for r in records)
+        tokens = sum(r.tokens for r in records) + sum(r.new_tokens for r in rounds)
         compute = sum(r.compute_seconds for r in records)
-        wall = max(float(last_at - started_at), compute, 1e-12)
+        decode_seconds = sum(r.compute_seconds for r in rounds)
+        wall = max(float(last_at - started_at), compute + decode_seconds, 1e-12)
+        # Report the KV footprint pair of the round holding the most cached
+        # tokens, so the compression ratio compares like with like.
+        kv_peak = max(rounds, key=lambda r: r.kv_fp32_bytes, default=None)
         return ServingSummary(
             requests=requests,
             batches=len(records),
@@ -141,10 +222,18 @@ class ServingStats:
             tokens=tokens,
             throughput_rps=requests / wall,
             tokens_per_second=tokens / wall,
-            latency_mean_ms=float(np.mean(latencies) * 1e3),
-            latency_p50_ms=float(np.percentile(latencies, 50) * 1e3),
-            latency_p95_ms=float(np.percentile(latencies, 95) * 1e3),
-            mean_batch_fill=float(np.mean([r.fill for r in records])),
+            latency_mean_ms=float(np.mean(latencies) * 1e3) if requests else 0.0,
+            latency_p50_ms=float(np.percentile(latencies, 50) * 1e3) if requests else 0.0,
+            latency_p95_ms=float(np.percentile(latencies, 95) * 1e3) if requests else 0.0,
+            mean_batch_fill=float(np.mean([r.fill for r in records])) if records else 0.0,
             weight_stream_bytes=sum(r.weight_stream_bytes for r in records),
             dram_bytes=sum(r.dram_bytes for r in records),
+            decode_rounds=len(rounds),
+            generated_tokens=sum(r.generated_tokens for r in rounds),
+            decode_seconds=decode_seconds,
+            mean_slot_occupancy=(
+                float(np.mean([r.occupancy for r in rounds])) if rounds else 0.0
+            ),
+            kv_cache_bytes_peak=kv_peak.kv_cache_bytes if kv_peak else 0,
+            kv_fp32_bytes_peak=kv_peak.kv_fp32_bytes if kv_peak else 0,
         )

@@ -145,3 +145,65 @@ class TestPackedTensor:
         # 40 is an outlier; its partner (2.0) becomes the victim.
         assert decoded[2] in ABFLOAT_E2M1.magnitude_values(3)
         assert decoded[3] == 0.0
+
+
+class TestBatchCodecPaths:
+    """encode_tensor_batch / decode_tensor_batch vs the single-tensor paths."""
+
+    def test_decode_batch_matches_individual(self, codec4):
+        rng = np.random.default_rng(0)
+        tensors = [rng.normal(0, 2.0, size=(4, 8, 16)) for _ in range(5)]
+        packed = [codec4.encode_tensor(t, 0.7 + 0.1 * i, 7.0) for i, t in enumerate(tensors)]
+        stacked = codec4.decode_tensor_batch(packed)
+        assert stacked.shape == (5, 4, 8, 16)
+        for row, p in enumerate(packed):
+            np.testing.assert_array_equal(stacked[row], codec4.decode_tensor(p))
+
+    def test_decode_batch_padded_odd_streams(self, codec4):
+        rng = np.random.default_rng(1)
+        tensors = [rng.normal(0, 2.0, size=7) for _ in range(3)]
+        packed = [codec4.encode_tensor(t, 1.0, 7.0) for t in tensors]
+        assert all(p.padded for p in packed)
+        stacked = codec4.decode_tensor_batch(packed)
+        for row, p in enumerate(packed):
+            np.testing.assert_array_equal(stacked[row], codec4.decode_tensor(p))
+
+    def test_decode_batch_shape_mismatch_rejected(self, codec4):
+        rng = np.random.default_rng(2)
+        a = codec4.encode_tensor(rng.normal(size=8), 1.0, 7.0)
+        b = codec4.encode_tensor(rng.normal(size=10), 1.0, 7.0)
+        with pytest.raises(EncodingError):
+            codec4.decode_tensor_batch([a, b])
+        with pytest.raises(EncodingError):
+            codec4.decode_tensor_batch([])
+
+    def test_decode_batch_codec_mismatch_rejected(self, codec4, codec8):
+        packed = codec8.encode_tensor(np.zeros(8), 1.0, 127.0)
+        with pytest.raises(EncodingError):
+            codec4.decode_tensor_batch([packed])
+
+    def test_encode_batch_matches_individual(self, codec4):
+        rng = np.random.default_rng(3)
+        tensors = [rng.normal(0, 3.0, size=(2, 32)) for _ in range(4)]
+        for t in tensors:
+            t[0, ::5] *= 10.0
+        scales = [0.5, 1.0, 1.5, 2.0]
+        batch = codec4.encode_tensor_batch(tensors, scales, 7.0)
+        for packed, tensor, scale in zip(batch, tensors, scales):
+            single = codec4.encode_tensor(tensor, scale, 7.0)
+            np.testing.assert_array_equal(packed.data, single.data)
+            assert packed.scale == single.scale
+            assert packed.shape == single.shape
+            np.testing.assert_array_equal(
+                codec4.decode_tensor(packed), codec4.decode_tensor(single)
+            )
+
+    def test_encode_batch_rejects_odd_sizes_and_bad_scales(self, codec4):
+        with pytest.raises(EncodingError):
+            codec4.encode_tensor_batch([np.zeros(7)], [1.0], 7.0)
+        with pytest.raises(EncodingError):
+            codec4.encode_tensor_batch([np.zeros(8)], [0.0], 7.0)
+        with pytest.raises(EncodingError):
+            codec4.encode_tensor_batch([np.zeros(8)], [1.0, 2.0], 7.0)
+        with pytest.raises(EncodingError):
+            codec4.encode_tensor_batch([], [], 7.0)

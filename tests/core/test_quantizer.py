@@ -207,3 +207,46 @@ class TestPropertyBased:
             errors = np.abs(out[normal_mask] - x[normal_mask])
             bound = np.maximum(scale, np.abs(x[normal_mask])) + 1e-9
             assert np.all(errors <= bound)
+
+
+class TestVectorizedFitSweep:
+    """The stacked candidate sweep must match the per-candidate oracle."""
+
+    @given(
+        st.integers(min_value=2, max_value=4097),
+        st.floats(min_value=0.1, max_value=8.0),
+        st.integers(min_value=0, max_value=2 ** 16),
+        st.sampled_from(["int4", "flint4", "int8"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_bitwise(self, n, sigma, seed, dtype):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, sigma, size=n)
+        x[:: max(n // 8, 1)] *= 25.0
+        q = OVPTensorQuantizer(OVPQuantizerConfig(normal_dtype=dtype, search_points=9))
+        assert q._fit_flat(x) == q._fit_flat_reference(x)
+
+    def test_candidate_blocks_chunk_identically(self):
+        x = _outlier_tensor(seed=3)
+        q = OVPTensorQuantizer(OVPQuantizerConfig(search_points=24))
+        full = q._fit_flat(x)
+        q._SWEEP_BLOCK_ELEMENTS = x.size + 1  # force block size 1
+        assert q._fit_flat(x) == full
+
+    def test_oversized_tensors_fall_back_to_reference(self):
+        x = _outlier_tensor(seed=4)
+        q = OVPTensorQuantizer(OVPQuantizerConfig(search_points=6))
+        uncapped = q._fit_flat(x)  # vectorized: x.size is below the cap
+        q._SWEEP_BLOCK_ELEMENTS = x.size - 1
+        # Over the cap the fallback must agree with the vectorized sweep.
+        assert q._fit_flat(x) == uncapped
+
+    def test_per_channel_fit_uses_vectorized_sweep(self):
+        x = _outlier_tensor(seed=5, n=4096).reshape(8, 512)
+        per_channel = OVPTensorQuantizer(
+            OVPQuantizerConfig(search_points=8, per_channel_axis=0)
+        ).fit(x)
+        reference = OVPTensorQuantizer(OVPQuantizerConfig(search_points=8))
+        for channel in range(8):
+            scale, _, mse = reference._fit_flat_reference(x[channel])
+            assert np.asarray(per_channel.scale).ravel()[channel] == scale

@@ -1,0 +1,144 @@
+"""Tests for the OVP-paged KV cache: paging, accounting, decode fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.core.ovp import PackedOVPTensor
+from repro.models.zoo import build_causal_lm, build_classifier
+from repro.serve.kvcache import (
+    KVCacheConfig,
+    LayerKVCache,
+    SequenceKVCache,
+    cache_for_model,
+)
+from repro.serve.requests import ServingError
+
+HEADS, DIM = 4, 16
+
+
+def step(rng, t=1, scale=1.0):
+    return rng.normal(0.0, scale, size=(HEADS, t, DIM))
+
+
+class TestConfig:
+    def test_bits_validated(self):
+        with pytest.raises(ServingError):
+            KVCacheConfig(bits=6)
+
+    def test_page_size_validated(self):
+        with pytest.raises(ServingError):
+            KVCacheConfig(page_size=0)
+
+    def test_codec_matches_bits(self):
+        assert KVCacheConfig(bits=4).make_codec().normal_dtype.bits == 4
+        assert KVCacheConfig(bits=8).make_codec().normal_dtype.bits == 8
+
+
+class TestLayerCache:
+    def test_append_and_roundtrip_fp_mode_is_exact(self):
+        rng = np.random.default_rng(0)
+        cache = LayerKVCache(HEADS, DIM, KVCacheConfig(quantize=False, page_size=4))
+        ks, vs = [], []
+        for t in (3, 1, 1, 6, 1):
+            k, v = step(rng, t), step(rng, t)
+            ks.append(k)
+            vs.append(v)
+            cache.append(k, v)
+        k_all, v_all = cache.kv()
+        np.testing.assert_array_equal(k_all, np.concatenate(ks, axis=1))
+        np.testing.assert_array_equal(v_all, np.concatenate(vs, axis=1))
+        assert cache.seq_len == 12
+
+    def test_pages_seal_as_packed_byte_streams(self):
+        rng = np.random.default_rng(1)
+        cache = LayerKVCache(HEADS, DIM, KVCacheConfig(bits=4, page_size=4))
+        cache.append(step(rng, 10), step(rng, 10))
+        # 10 steps with page_size 4 -> 2 sealed pages each for K and V.
+        assert cache.num_sealed_pages == 4
+        assert all(isinstance(p, PackedOVPTensor) for p in cache._sealed_k)
+        k_all, v_all = cache.kv()
+        assert k_all.shape == (HEADS, 10, DIM)
+        assert v_all.shape == (HEADS, 10, DIM)
+
+    def test_quantized_kv_close_to_source(self):
+        rng = np.random.default_rng(2)
+        cache = LayerKVCache(HEADS, DIM, KVCacheConfig(bits=8, page_size=4))
+        k, v = step(rng, 8), step(rng, 8)
+        cache.append(k, v)
+        k_all, _ = cache.kv()
+        # RMS (not max): OVP prunes the victim next to each outlier to zero,
+        # so a handful of elements carry their full magnitude as error.
+        rms = float(np.sqrt(np.mean((k_all - k) ** 2)))
+        assert rms < 0.1 * float(np.std(k))
+
+    def test_bytes_accounting(self):
+        rng = np.random.default_rng(3)
+        cache = LayerKVCache(HEADS, DIM, KVCacheConfig(bits=4, page_size=4))
+        cache.append(step(rng, 8), step(rng, 8))  # fully sealed
+        elements = 2 * HEADS * 8 * DIM
+        assert cache.kv_elements == elements
+        assert cache.fp32_bytes == elements * 4
+        assert cache.cache_bytes == elements // 2  # 4 bits = 1/2 byte/element
+        cache.append(step(rng, 1), step(rng, 1))  # one open fp32 step
+        assert cache.cache_bytes == elements // 2 + 2 * HEADS * DIM * 4
+
+    def test_shape_mismatch_rejected(self):
+        cache = LayerKVCache(HEADS, DIM, KVCacheConfig())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ServingError):
+            cache.append(step(rng, 1), rng.normal(size=(HEADS, 1, DIM + 1)))
+        with pytest.raises(ServingError):
+            cache.append(rng.normal(size=(HEADS + 1, 1, DIM)), step(rng, 1))
+
+    def test_empty_cache_attend_rejected(self):
+        cache = LayerKVCache(HEADS, DIM, KVCacheConfig())
+        with pytest.raises(ServingError):
+            cache.kv()
+
+    def test_kv_many_matches_individual_kv(self):
+        rng = np.random.default_rng(4)
+        caches = []
+        for t in (3, 9, 17):
+            cache = LayerKVCache(HEADS, DIM, KVCacheConfig(bits=4, page_size=4))
+            cache.append(step(rng, t), step(rng, t))
+            caches.append(cache)
+        batched = LayerKVCache.kv_many(caches)
+        for cache, (k_b, v_b) in zip(caches, batched):
+            k, v = cache.kv()
+            np.testing.assert_array_equal(k_b, k)
+            np.testing.assert_array_equal(v_b, v)
+
+
+class TestSequenceCache:
+    def test_layers_and_compression(self):
+        rng = np.random.default_rng(5)
+        cache = SequenceKVCache(3, HEADS, DIM, KVCacheConfig(bits=4, page_size=4))
+        for layer in range(3):
+            cache.layer(layer).append(step(rng, 16), step(rng, 16))
+        assert cache.seq_len == 16
+        # Fully sealed 4-bit pages: 8x smaller than fp32.
+        assert cache.compression_ratio == pytest.approx(8.0)
+        summary = cache.memory_summary()
+        assert summary["kv_fp32_bytes"] == 8 * summary["kv_cache_bytes"]
+        assert summary["sealed_pages"] == 3 * 2 * 4
+
+    def test_needs_layers(self):
+        with pytest.raises(ServingError):
+            SequenceKVCache(0, HEADS, DIM)
+
+
+class TestCacheForModel:
+    def test_builds_matching_geometry(self):
+        model = build_causal_lm("gpt2-xl", seed=0)
+        cache = cache_for_model(model, KVCacheConfig(bits=4))
+        backbone = model.backbone
+        assert cache.num_layers == backbone.num_layers
+        layer = cache.layer(0)
+        attn = backbone.layer_0.self_attention
+        assert layer.num_heads == attn.num_heads
+        assert layer.head_dim == attn.head_dim
+
+    def test_rejects_non_decoder_models(self):
+        model = build_classifier("bert-base", num_classes=2, seed=0)
+        with pytest.raises(ServingError):
+            cache_for_model(model)

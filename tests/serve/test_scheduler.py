@@ -1,0 +1,249 @@
+"""Continuous-batching scheduler tests: admit/retire, wiring, failures."""
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import ServingEngine
+from repro.serve.kvcache import KVCacheConfig
+from repro.serve.repository import ModelRepository
+from repro.serve.requests import InferenceRequest, ServingError, WorkloadFamily
+from repro.serve.scheduler import ContinuousBatchingScheduler
+
+
+@pytest.fixture(scope="module")
+def repo():
+    repository = ModelRepository(bits=4, seed=0)
+    repository.get("gpt2-xl", WorkloadFamily.LM)  # warm once for the module
+    return repository
+
+
+def gen_request(seq_len=8, max_new_tokens=4, seed=0, model="gpt2-xl", **kwargs):
+    rng = np.random.default_rng(seed)
+    return InferenceRequest(
+        model,
+        WorkloadFamily.LM,
+        rng.integers(0, 96, size=seq_len),
+        max_new_tokens=max_new_tokens,
+        **kwargs,
+    )
+
+
+class TestRequestValidation:
+    def test_generation_requires_lm_family(self):
+        with pytest.raises(ServingError):
+            InferenceRequest(
+                "bert-base", WorkloadFamily.CLASSIFY, [1, 2], max_new_tokens=3
+            )
+
+    def test_negative_max_new_tokens_rejected(self):
+        with pytest.raises(ServingError):
+            InferenceRequest("gpt2-xl", WorkloadFamily.LM, [1, 2], max_new_tokens=-1)
+
+    def test_scheduler_rejects_score_only_requests(self, repo):
+        scheduler = ContinuousBatchingScheduler(repo, num_slots=2)
+        with pytest.raises(ServingError):
+            scheduler.submit(gen_request(max_new_tokens=0))
+
+
+class TestSlotLifecycle:
+    def test_admit_decode_retire(self, repo):
+        scheduler = ContinuousBatchingScheduler(repo, num_slots=2)
+        for seed, tokens in enumerate((1, 3, 2)):
+            scheduler.submit(gen_request(max_new_tokens=tokens, seed=seed))
+        assert scheduler.num_queued == 3 and scheduler.num_active == 0
+
+        first = scheduler.step()  # admits 2, prefill = first token each
+        # The 1-token request completes straight from prefill and retires.
+        assert [len(r.output["generated_tokens"]) for r in first] == [1]
+        assert scheduler.num_active == 1  # 3-token request still decoding
+        assert scheduler.num_queued == 1
+
+        second = scheduler.step()  # backfills the freed slot mid-flight
+        assert scheduler.num_active == 2
+        assert second == []
+
+        remaining = scheduler.run_until_idle()
+        assert len(remaining) == 2
+        assert len(scheduler) == 0
+        assert scheduler.retired == 3
+        lengths = {r.request_id: len(r.output["generated_tokens"]) for r in first + remaining}
+        assert sorted(lengths.values()) == [1, 2, 3]
+
+    def test_generated_tokens_match_whole_batch_release(self, repo):
+        requests = [gen_request(max_new_tokens=n, seed=n) for n in (6, 2, 4, 3, 5)]
+        continuous = ServingEngine(repository=repo, max_batch_size=2, max_wait=0.0)
+        whole = ServingEngine(
+            repository=repo, max_batch_size=2, max_wait=0.0, continuous_batching=False
+        )
+        clones = [
+            InferenceRequest(
+                r.model, r.family, r.token_ids, max_new_tokens=r.max_new_tokens
+            )
+            for r in requests
+        ]
+        results_a = continuous.serve(requests)
+        results_b = whole.serve(clones)
+        tokens_a = [r.output["generated_tokens"] for r in results_a]
+        tokens_b = [r.output["generated_tokens"] for r in results_b]
+        assert tokens_a == tokens_b
+
+    def test_kv_accounting_exposed(self, repo):
+        scheduler = ContinuousBatchingScheduler(
+            repo, num_slots=2, cache_config=KVCacheConfig(bits=4, page_size=4)
+        )
+        scheduler.submit(gen_request(seq_len=12, max_new_tokens=4))
+        scheduler.step()
+        assert scheduler.kv_fp32_bytes > 0
+        assert 0 < scheduler.kv_cache_bytes < scheduler.kv_fp32_bytes
+        result = scheduler.run_until_idle()[0]
+        assert result.output["kv_cache"]["kv_fp32_bytes"] > 0
+
+
+class TestEngineWiring:
+    def test_mixed_traffic_and_stats(self, repo):
+        engine = ServingEngine(
+            repository=repo,
+            max_batch_size=4,
+            max_wait=0.0,
+            kv_cache_config=KVCacheConfig(bits=4, page_size=4),
+        )
+        rng = np.random.default_rng(1)
+        requests = [
+            gen_request(max_new_tokens=3, seed=11),
+            InferenceRequest("gpt2-xl", WorkloadFamily.LM, rng.integers(0, 96, 8)),
+            gen_request(max_new_tokens=5, seed=12),
+        ]
+        results = {r.request_id: r for r in engine.serve(requests)}
+        assert len(results) == 3
+        gen_out = results[requests[0].request_id].output
+        assert len(gen_out["generated_tokens"]) == 3
+        score_out = results[requests[1].request_id].output
+        assert "generated_tokens" not in score_out and "next_tokens" in score_out
+        summary = engine.stats.summary()
+        assert summary.decode_rounds > 0
+        assert summary.generated_tokens == 8
+        assert 0 < summary.mean_slot_occupancy <= 1.0
+        assert summary.kv_fp32_bytes_peak > summary.kv_cache_bytes_peak > 0
+        assert summary.kv_compression > 1.0
+        # generation latencies feed the same percentile pool
+        assert summary.requests == 3
+
+    def test_failed_admission_reported_not_fatal(self, repo):
+        engine = ServingEngine(repository=repo, max_batch_size=2, max_wait=0.0)
+        bad = gen_request(max_new_tokens=4, model="no-such-model")
+        good = gen_request(max_new_tokens=2, seed=5)
+        engine.submit(bad)
+        engine.submit(good)
+        results = engine.run_until_idle()
+        assert [r.request_id for r in results] == [good.request_id]
+        with pytest.raises(ServingError):
+            engine.result(bad.request_id)
+
+    def test_position_budget_enforced_per_request(self, repo):
+        engine = ServingEngine(repository=repo, max_batch_size=2, max_wait=0.0)
+        config = repo.get("gpt2-xl", WorkloadFamily.LM).model.config
+        too_long = gen_request(
+            seq_len=config.max_positions - 1, max_new_tokens=8, seed=6
+        )
+        fine = gen_request(max_new_tokens=2, seed=7)
+        engine.submit(too_long)
+        engine.submit(fine)
+        results = engine.run_until_idle()
+        assert [r.request_id for r in results] == [fine.request_id]
+        with pytest.raises(ServingError, match="positions"):
+            engine.result(too_long.request_id)
+
+    def test_whole_batch_mode_position_overflow_fails_batch(self, repo):
+        engine = ServingEngine(
+            repository=repo, max_batch_size=2, max_wait=0.0, continuous_batching=False
+        )
+        config = repo.get("gpt2-xl", WorkloadFamily.LM).model.config
+        request = gen_request(
+            seq_len=config.max_positions, max_new_tokens=2, seed=8
+        )
+        engine.submit(request)
+        engine.run_until_idle()
+        with pytest.raises(ServingError, match="positions"):
+            engine.result(request.request_id)
+
+    def test_position_budget_boundary_request_is_served(self, repo):
+        """The last generated token is never embedded, so a full-table prompt
+        can still generate exactly one token."""
+        engine = ServingEngine(repository=repo, max_batch_size=2, max_wait=0.0)
+        config = repo.get("gpt2-xl", WorkloadFamily.LM).model.config
+        request = gen_request(seq_len=config.max_positions, max_new_tokens=1, seed=8)
+        results = engine.serve([request])
+        assert len(results[0].output["generated_tokens"]) == 1
+
+    def test_out_of_vocabulary_prompt_fails_only_that_request(self, repo):
+        engine = ServingEngine(repository=repo, max_batch_size=4, max_wait=0.0)
+        bad = InferenceRequest(
+            "gpt2-xl", WorkloadFamily.LM, np.array([1, 2, 10_000]), max_new_tokens=2
+        )
+        good = gen_request(seq_len=3, max_new_tokens=2, seed=9)
+        engine.submit(bad)
+        engine.submit(good)
+        results = engine.run_until_idle()
+        assert [r.request_id for r in results] == [good.request_id]
+        with pytest.raises(ServingError):
+            engine.result(bad.request_id)
+
+    def test_decode_round_crash_aborts_sequences_not_engine(self, repo):
+        """A mid-decode exception fails the in-flight requests, frees the
+        slots, and leaves the engine (and co-stepped micro-batches) alive."""
+        engine = ServingEngine(repository=repo, max_batch_size=2, max_wait=0.0)
+        doomed = gen_request(max_new_tokens=6, seed=20)
+        engine.submit(doomed)
+        engine.step(force=True)  # admitted and decoding
+        assert engine.lm_scheduler.num_active == 1
+
+        original = engine.lm_scheduler._decode_round
+        engine.lm_scheduler._decode_round = lambda exclude: (_ for _ in ()).throw(
+            RuntimeError("kv page corrupted")
+        )
+        score = InferenceRequest(
+            "gpt2-xl", WorkloadFamily.LM, np.arange(4), request_id="score-alive"
+        )
+        engine.submit(score)
+        results = engine.run_until_idle()
+        engine.lm_scheduler._decode_round = original
+
+        # The co-batched scoring request still completed...
+        assert [r.request_id for r in results] == ["score-alive"]
+        # ...the doomed sequence failed cleanly and its slot was freed...
+        with pytest.raises(ServingError, match="kv page corrupted"):
+            engine.result(doomed.request_id)
+        assert engine.lm_scheduler.num_active == 0
+        # ...and later generation traffic is served normally.
+        revived = engine.serve([gen_request(max_new_tokens=2, seed=21)])
+        assert len(revived[0].output["generated_tokens"]) == 2
+
+    def test_score_request_logits_independent_of_cobatched_generation(self, repo):
+        """A score-only LM request's logits must not change when a generation
+        request shares its micro-batch (whole-batch mode)."""
+        prompt = np.random.default_rng(30).integers(0, 96, size=8)
+        alone = ServingEngine(
+            repository=repo, max_batch_size=2, max_wait=0.0, continuous_batching=False
+        )
+        solo = alone.serve(
+            [InferenceRequest("gpt2-xl", WorkloadFamily.LM, prompt, top_k=3)]
+        )[0]
+        mixed_engine = ServingEngine(
+            repository=repo, max_batch_size=2, max_wait=0.0, continuous_batching=False
+        )
+        mixed = mixed_engine.serve(
+            [
+                InferenceRequest("gpt2-xl", WorkloadFamily.LM, prompt, top_k=3),
+                gen_request(max_new_tokens=4, seed=31),
+            ]
+        )[0]
+        assert mixed.output["next_tokens"] == solo.output["next_tokens"]
+        assert mixed.output["log_probs"] == solo.output["log_probs"]
+        assert "generated_tokens" not in mixed.output
+
+    def test_pending_counts_scheduler_sequences(self, repo):
+        engine = ServingEngine(repository=repo, max_batch_size=2, max_wait=0.0)
+        engine.submit(gen_request(max_new_tokens=3, seed=10))
+        assert engine.pending == 1
+        engine.run_until_idle()
+        assert engine.pending == 0
