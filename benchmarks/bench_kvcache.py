@@ -102,7 +102,9 @@ def test_bench_packed_cache_4x_smaller_than_fp32(run_once, benchmark):
     )
 
 
-def test_bench_continuous_beats_whole_batch_release(run_once, best_of, benchmark):
+def test_bench_continuous_beats_whole_batch_release(
+    run_once, best_of, benchmark, serve_trajectory
+):
     # Mixed-length stream: every wave of short generations rides with one
     # straggler, the worst case for whole-batch release.
     gens = [48, 4, 4, 4] * 4
@@ -143,6 +145,13 @@ def test_bench_continuous_beats_whole_batch_release(run_once, best_of, benchmark
             "mean_slot_occupancy": round(summary.mean_slot_occupancy, 3),
             "kv_compression_at_peak": round(summary.kv_compression, 2),
         }
+    )
+    serve_trajectory(
+        "continuous_batching",
+        tokens_per_second=round(continuous_tps, 0),
+        whole_batch_tokens_per_second=round(whole_tps, 0),
+        pool_hit_rate=round(summary.pool_hit_rate, 4),
+        mean_slot_occupancy=round(summary.mean_slot_occupancy, 3),
     )
     assert continuous_tps > whole_tps, (
         f"continuous batching {continuous_tps:.0f} tok/s did not beat "

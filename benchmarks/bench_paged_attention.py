@@ -1,0 +1,219 @@
+"""Benchmark: decode-once page pool, prefix-shared prefill, bucketed attend.
+
+Three perf properties guard the paged-attention decode hot path:
+
+* a decode round over long cached histories must be ≥2× faster with the
+  page pool's decoded-page LRU than the re-decode-every-round baseline
+  (``pool_decoded_mb=0``) at 256+ cached tokens per slot;
+* prefix-shared prefill of a common prompt must be ≥1.5× faster than cold
+  prefill (the shared pages attach instead of re-running the model);
+* the length-bucketed ragged attend must be no slower than the single-bucket
+  padded attend on uniform lengths and faster on mixed lengths.
+
+Every comparison also checks the fast path is *equivalent*: pool reuse is
+bitwise identical, prefix sharing reproduces the cold path's greedy tokens,
+and the bucketed kernel matches the padded oracle's outputs.
+"""
+
+import numpy as np
+
+from repro.nn.attention import AttendScratch, MultiHeadAttention, attend_padding_waste
+from repro.serve import (
+    InferenceRequest,
+    KVCacheConfig,
+    ModelRepository,
+    WorkloadFamily,
+)
+from repro.serve.kvcache import LayerKVCache
+from repro.serve.scheduler import ContinuousBatchingScheduler
+
+MODEL = "gpt2-xl"
+HEADS, DIM = 8, 32
+
+
+def _filled_caches(lengths, config, rng):
+    """One standalone layer cache per slot, sealed to the requested lengths."""
+    caches = []
+    for length in lengths:
+        cache = LayerKVCache(HEADS, DIM, config)
+        kv = rng.normal(size=(2, HEADS, length, DIM))
+        cache.append(kv[0], kv[1])
+        caches.append(cache)
+    return caches
+
+
+def test_bench_pool_decode_reuse_2x_over_redecode(
+    run_once, best_of, benchmark, serve_trajectory
+):
+    """Decode rounds with the decoded-page LRU vs re-decoding every round."""
+    lengths = [288, 288, 288, 288]  # 256+ cached tokens per slot, fully sealed
+    rounds = 8
+
+    def run(pool_decoded_mb):
+        rng = np.random.default_rng(0)
+        config = KVCacheConfig(bits=4, page_size=16, pool_decoded_mb=pool_decoded_mb)
+        caches = _filled_caches(lengths, config, rng)
+
+        def decode_rounds():
+            for _ in range(rounds):
+                kvs = LayerKVCache.kv_many(caches)
+            return kvs
+
+        seconds = best_of(decode_rounds, repeats=3)
+        return seconds, decode_rounds(), caches
+
+    pooled_seconds, pooled_kvs, pooled_caches = run(pool_decoded_mb=64.0)
+    baseline_seconds, baseline_kvs, baseline_caches = run(pool_decoded_mb=0.0)
+    # Equivalence: the cached decode must be bitwise what a fresh decode gives.
+    for (k_a, v_a), (k_b, v_b) in zip(pooled_kvs, baseline_kvs):
+        np.testing.assert_array_equal(k_a, k_b)
+        np.testing.assert_array_equal(v_a, v_b)
+    assert pooled_caches[0].pool.decode_hits > 0
+    assert baseline_caches[0].pool.decode_hits == 0
+    run_once(LayerKVCache.kv_many, pooled_caches)
+
+    speedup = baseline_seconds / pooled_seconds
+    cached_tokens = sum(lengths)
+    benchmark.extra_info.update(
+        {
+            "cached_tokens": cached_tokens,
+            "redecode_ms": round(baseline_seconds * 1e3, 2),
+            "pooled_ms": round(pooled_seconds * 1e3, 2),
+            "pool_speedup": round(speedup, 2),
+        }
+    )
+    serve_trajectory(
+        "pool_decode",
+        cached_tokens=cached_tokens,
+        pool_speedup=round(speedup, 2),
+    )
+    assert speedup >= 2.0, f"page pool only {speedup:.2f}x over re-decode"
+
+
+def test_bench_prefix_shared_prefill_1_5x_over_cold(
+    run_once, best_of, benchmark, serve_trajectory
+):
+    """Admitting a known prompt attaches sealed pages instead of re-prefilling."""
+    repository = ModelRepository(bits=4)
+    repository.get(MODEL, WorkloadFamily.LM)
+    prompt = np.random.default_rng(1).integers(0, 96, size=60)
+
+    def request():
+        return InferenceRequest(MODEL, WorkloadFamily.LM, prompt, max_new_tokens=2)
+
+    def make_scheduler(prefix_sharing):
+        return ContinuousBatchingScheduler(
+            repository,
+            num_slots=2,
+            cache_config=KVCacheConfig(
+                bits=4, page_size=8, prefix_sharing=prefix_sharing
+            ),
+        )
+
+    warm = make_scheduler(prefix_sharing=True)
+    warm.submit(request())
+    warm_tokens = warm.run_until_idle()[0].output["generated_tokens"]
+
+    def serve_one(scheduler):
+        scheduler.submit(request())
+        return scheduler.run_until_idle()[0]
+
+    cold = make_scheduler(prefix_sharing=False)
+    shared_seconds = best_of(lambda: serve_one(warm), repeats=5)
+    cold_seconds = best_of(lambda: serve_one(cold), repeats=5)
+
+    # Equivalence: the shared path generates the cold path's greedy tokens.
+    shared_result = run_once(serve_one, warm)
+    cold_result = serve_one(cold)
+    assert shared_result.output["generated_tokens"] == warm_tokens
+    assert shared_result.output["generated_tokens"] == cold_result.output["generated_tokens"]
+    # 60-token prompt, page 8: 7 pages = 56 tokens attach, 4 prefill.
+    assert shared_result.output["kv_cache"]["prefix_shared_tokens"] == 56
+
+    speedup = cold_seconds / shared_seconds
+    benchmark.extra_info.update(
+        {
+            "prompt_tokens": int(prompt.size),
+            "cold_prefill_ms": round(cold_seconds * 1e3, 2),
+            "shared_prefill_ms": round(shared_seconds * 1e3, 2),
+            "prefix_speedup": round(speedup, 2),
+        }
+    )
+    serve_trajectory("prefix_sharing", prefix_speedup=round(speedup, 2))
+    assert speedup >= 1.5, f"prefix-shared prefill only {speedup:.2f}x over cold"
+
+
+def test_bench_bucketed_attend_vs_padded(run_once, best_of, benchmark, serve_trajectory):
+    """Bucketed ragged attend: ~free on uniform lengths, faster on mixed."""
+    mha = MultiHeadAttention(HEADS * DIM, HEADS, rng=np.random.default_rng(2))
+    layers_per_round = 4
+
+    def kernel_seconds(lengths, mode):
+        # Fresh fixed-seed rng per call: both kernels see identical K/V and q.
+        rng = np.random.default_rng(3)
+        config = KVCacheConfig(quantize=False, page_size=16)
+        caches = _filled_caches(lengths, config, rng)
+        kvs = LayerKVCache.kv_many(caches)
+        q = rng.normal(size=(len(lengths), HEADS, 1, DIM))
+
+        def run():
+            scratch = AttendScratch()  # one per round, shared across layers
+            for _ in range(layers_per_round):
+                if mode == "padded":
+                    out = mha._padded_attend(q, kvs, lengths)
+                else:
+                    out = mha._bucketed_attend(q, kvs, lengths, scratch=scratch)
+            return out
+
+        return best_of(run, repeats=5), run()
+
+    uniform = [384] * 8
+    mixed = [16] * 6 + [384] * 2
+
+    uniform_padded_s, uniform_padded = kernel_seconds(uniform, "padded")
+    uniform_bucketed_s, uniform_bucketed = kernel_seconds(uniform, "bucketed")
+    mixed_padded_s, mixed_padded = kernel_seconds(mixed, "padded")
+    mixed_bucketed_s, mixed_bucketed = kernel_seconds(mixed, "bucketed")
+
+    # Equivalence: same attended outputs (and the same winner per slot/head).
+    np.testing.assert_allclose(uniform_bucketed, uniform_padded, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(mixed_bucketed, mixed_padded, rtol=1e-9, atol=1e-12)
+    np.testing.assert_array_equal(
+        mixed_bucketed.argmax(axis=-1), mixed_padded.argmax(axis=-1)
+    )
+
+    padded_waste, bucketed_waste = attend_padding_waste(mixed)
+    mixed_speedup = mixed_padded_s / mixed_bucketed_s
+    uniform_ratio = uniform_bucketed_s / uniform_padded_s
+    benchmark.extra_info.update(
+        {
+            "uniform_padded_ms": round(uniform_padded_s * 1e3, 3),
+            "uniform_bucketed_ms": round(uniform_bucketed_s * 1e3, 3),
+            "mixed_padded_ms": round(mixed_padded_s * 1e3, 3),
+            "mixed_bucketed_ms": round(mixed_bucketed_s * 1e3, 3),
+            "mixed_speedup": round(mixed_speedup, 2),
+            "padded_waste_fraction": round(padded_waste, 4),
+            "bucketed_waste_fraction": round(bucketed_waste, 4),
+        }
+    )
+    serve_trajectory(
+        "bucketed_attend",
+        mixed_speedup=round(mixed_speedup, 2),
+        padded_waste_fraction=round(padded_waste, 4),
+        bucketed_waste_fraction=round(bucketed_waste, 4),
+    )
+    # Uniform lengths collapse to one identical GEMM; allow scheduling noise.
+    assert uniform_ratio <= 1.15, (
+        f"bucketed attend {uniform_ratio:.2f}x slower on uniform lengths"
+    )
+    assert mixed_speedup > 1.0, (
+        f"bucketed attend {mixed_speedup:.2f}x did not beat padded on mixed lengths"
+    )
+    assert bucketed_waste < padded_waste
+
+    rng = np.random.default_rng(3)
+    config = KVCacheConfig(quantize=False, page_size=16)
+    caches = _filled_caches(mixed, config, rng)
+    kvs = LayerKVCache.kv_many(caches)
+    q = rng.normal(size=(len(mixed), HEADS, 1, DIM))
+    run_once(mha._bucketed_attend, q, kvs, mixed)

@@ -4,11 +4,24 @@ Every benchmark regenerates one table or figure of the paper.  The heavy
 accuracy experiments are run once per benchmark (``rounds=1``) — the quantity
 of interest is the experiment's *result*, which each benchmark also attaches
 to ``benchmark.extra_info`` so the numbers appear in the saved benchmark JSON.
+
+The serving benchmarks additionally record their headline trajectory numbers
+(tokens/s, page-pool hit rate, padded-waste fraction, …) through the
+``serve_trajectory`` fixture; the session writes them to
+``benchmarks/BENCH_serve.json`` so CI can archive one small artifact per run
+and future PRs can diff the serving perf trajectory without parsing the full
+pytest-benchmark output.
 """
 
+import json
+import os
+import platform
 import time
 
 import pytest
+
+_SERVE_TRAJECTORY = {}
+_TRAJECTORY_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
 
 
 @pytest.fixture
@@ -34,3 +47,33 @@ def best_of():
         return best
 
     return _best
+
+
+@pytest.fixture
+def serve_trajectory():
+    """Record headline serving-perf numbers into the BENCH_serve.json artifact.
+
+    Usage: ``serve_trajectory("section", metric=value, ...)`` — sections merge
+    across benchmarks, so each bench contributes its own block.
+    """
+
+    def _record(section, **metrics):
+        _SERVE_TRAJECTORY.setdefault(str(section), {}).update(metrics)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the serving trajectory artifact when any serve bench recorded one."""
+    if not _SERVE_TRAJECTORY:
+        return
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "exit_status": int(exitstatus),
+        "sections": _SERVE_TRAJECTORY,
+    }
+    with open(_TRAJECTORY_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

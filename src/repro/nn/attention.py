@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -10,7 +10,98 @@ from repro.nn import functional as F
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 
-__all__ = ["MultiHeadAttention"]
+__all__ = [
+    "AttendScratch",
+    "MultiHeadAttention",
+    "attend_padding_waste",
+    "bucket_by_length",
+]
+
+#: Smallest ragged-attend bucket: slots shorter than this share one bucket,
+#: so a round never fragments into per-slot GEMMs at small cached lengths.
+MIN_ATTEND_BUCKET = 16
+
+
+def bucket_by_length(
+    lengths: Sequence[int], min_bucket: int = MIN_ATTEND_BUCKET
+) -> List[Tuple[List[int], int]]:
+    """Group slot indices into power-of-two length buckets.
+
+    Slots land in the bucket of the next power of two at or above their
+    cached length (clamped below at ``min_bucket``); each bucket is then
+    padded only to its own longest member.  Uniform lengths therefore
+    collapse to a single bucket padded exactly like the all-slots padded
+    path, while mixed lengths split so short slots stop paying the longest
+    slot's padded GEMM.
+
+    Returns ``[(slot_indices, pad_len), ...]`` ordered by bucket capacity,
+    indices in slot order.  Shared by the bucketed attend kernel and the
+    padding-waste accounting, so measurements match what actually ran.
+    """
+    buckets: dict = {}
+    for index, length in enumerate(lengths):
+        length = int(length)
+        capacity = max(int(min_bucket), 1 << max(length - 1, 0).bit_length())
+        buckets.setdefault(capacity, []).append(index)
+    return [
+        (indices, max(int(lengths[i]) for i in indices))
+        for _, indices in sorted(buckets.items())
+    ]
+
+
+def attend_padding_waste(
+    lengths: Sequence[int], min_bucket: int = MIN_ATTEND_BUCKET
+) -> Tuple[float, float]:
+    """Fraction of padded K/V cells that are masked-out waste.
+
+    Returns ``(padded_waste, bucketed_waste)``: the single-bucket padded
+    attend pads every slot to the round's longest sequence, the bucketed
+    attend pads each bucket to its own longest member.
+    """
+    useful = float(sum(int(n) for n in lengths))
+    padded = float(len(lengths) * max(int(n) for n in lengths))
+    bucketed = float(
+        sum(len(indices) * pad_len for indices, pad_len in bucket_by_length(lengths, min_bucket))
+    )
+    return 1.0 - useful / padded, 1.0 - useful / bucketed
+
+
+class AttendScratch:
+    """Reusable pad/mask buffers for one decode round.
+
+    A decode round runs every decoder layer over the same slots with the
+    same cached lengths, so the padded K/V scratch and the additive length
+    mask have identical shapes layer after layer.  The round's caller
+    (:meth:`TransformerDecoder.forward_incremental
+    <repro.nn.transformer.TransformerDecoder.forward_incremental>`) creates
+    one scratch and threads it through all layers: buffers allocate once per
+    round instead of once per layer, and the mask builds once per round.
+
+    Stale K/V values from the previous layer may remain beyond a slot's
+    length; they are always masked to ``-inf`` (zero softmax weight), and the
+    buffers are zero-initialised on allocation so no NaN/Inf garbage can leak
+    through the ``0 × value`` products.
+    """
+
+    def __init__(self) -> None:
+        self._pads: dict = {}
+        self._masks: dict = {}
+
+    def pads(self, key, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """The round's reusable ``(k_pad, v_pad)`` buffers for one bucket."""
+        pads = self._pads.get(key)
+        if pads is None or pads[0].shape != shape:
+            pads = (np.zeros(shape), np.zeros(shape))
+            self._pads[key] = pads
+        return pads
+
+    def mask(self, key, build) -> np.ndarray:
+        """The round's additive length mask for one bucket (built once)."""
+        mask = self._masks.get(key)
+        if mask is None:
+            mask = build()
+            self._masks[key] = mask
+        return mask
 
 
 class MultiHeadAttention(Module):
@@ -87,7 +178,10 @@ class MultiHeadAttention(Module):
         return self.out_proj(self._merge_heads(attended))
 
     def forward_incremental(
-        self, hidden: np.ndarray, layer_caches: Sequence
+        self,
+        hidden: np.ndarray,
+        layer_caches: Sequence,
+        scratch: Optional[AttendScratch] = None,
     ) -> np.ndarray:
         """Causal self-attention over cached K/V plus the new tokens.
 
@@ -103,6 +197,9 @@ class MultiHeadAttention(Module):
         layer_caches:
             One per-sequence cache (``append``/``kv``/``seq_len``, e.g.
             :class:`~repro.serve.kvcache.LayerKVCache`) per row of ``hidden``.
+        scratch:
+            Optional round-level :class:`AttendScratch` so the decode-round
+            pad/mask buffers allocate once per round, not once per layer.
 
         The four projections are computed for the new tokens only — one
         batched GEMM across all rows — so a decode step costs O(1) GEMM work
@@ -122,7 +219,9 @@ class MultiHeadAttention(Module):
 
         if t_new == 1 and num_seqs > 1:
             return self.out_proj(
-                self._merge_heads(self._attend_round(q, k_new, v_new, layer_caches))
+                self._merge_heads(
+                    self._attend_round(q, k_new, v_new, layer_caches, scratch=scratch)
+                )
             )
         attended = np.empty_like(q)
         for i, cache in enumerate(layer_caches):
@@ -135,18 +234,26 @@ class MultiHeadAttention(Module):
             attended[i] = F.softmax(scores, axis=-1) @ v
         return self.out_proj(self._merge_heads(attended))
 
-    def _attend_round(
-        self, q: np.ndarray, k_new: np.ndarray, v_new: np.ndarray, layer_caches: Sequence
-    ) -> np.ndarray:
-        """Single-token attend across sequences, padded to one batched GEMM.
+    #: Ragged decode-round attend kernel: "bucketed" (length-bucketed GEMMs,
+    #: the production path) or "padded" (pad every slot to the round's
+    #: longest — the equivalence oracle the tests compare against).
+    ragged_attend: str = "bucketed"
 
-        Sequences in a decode round have ragged cached lengths; their K/V are
-        right-padded to the round's longest and the padding masked to
-        ``-inf``, so the scores/softmax/attend chain runs as one batched op
-        instead of a per-slot loop.  Mathematically identical to the per-slot
-        path (softmax sends masked columns to exactly zero weight).
+    def _attend_round(
+        self,
+        q: np.ndarray,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        layer_caches: Sequence,
+        scratch: Optional[AttendScratch] = None,
+    ) -> np.ndarray:
+        """Single-token attend across ragged sequences (one decode round).
+
+        Appends each slot's new K/V, fetches every slot's cached history
+        (one batched page-pool pass for caches that support ``kv_many``) and
+        dispatches to the bucketed kernel or the padded oracle according to
+        :attr:`ragged_attend`.
         """
-        num_seqs, num_heads, _, head_dim = q.shape
         for i, cache in enumerate(layer_caches):
             cache.append(k_new[i], v_new[i])
         # Caches that support it decode every slot's sealed pages in one
@@ -157,6 +264,23 @@ class MultiHeadAttention(Module):
         else:
             kvs = [cache.kv() for cache in layer_caches]
         lengths = [k.shape[1] for k, _ in kvs]
+        if self.ragged_attend == "padded":
+            return self._padded_attend(q, kvs, lengths)
+        return self._bucketed_attend(q, kvs, lengths, scratch=scratch)
+
+    def _padded_attend(
+        self, q: np.ndarray, kvs: Sequence, lengths: Sequence[int]
+    ) -> np.ndarray:
+        """Pad every slot to the round's longest sequence — the oracle path.
+
+        K/V are right-padded to the round's longest and the padding masked to
+        ``-inf``, so the scores/softmax/attend chain runs as one batched op
+        instead of a per-slot loop.  Mathematically identical to the per-slot
+        path (softmax sends masked columns to exactly zero weight).  At large
+        slot counts the short slots pay the longest slot's GEMM — the padding
+        waste the bucketed kernel removes.
+        """
+        num_seqs, num_heads, _, head_dim = q.shape
         max_len = max(lengths)
         k_pad = np.zeros((num_seqs, num_heads, max_len, head_dim))
         v_pad = np.zeros((num_seqs, num_heads, max_len, head_dim))
@@ -167,3 +291,47 @@ class MultiHeadAttention(Module):
             mask[i, ..., : lengths[i]] = 0.0
         scores = q @ k_pad.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim) + mask
         return F.softmax(scores, axis=-1) @ v_pad
+
+    def _bucketed_attend(
+        self,
+        q: np.ndarray,
+        kvs: Sequence,
+        lengths: Sequence[int],
+        scratch: Optional[AttendScratch] = None,
+    ) -> np.ndarray:
+        """Length-bucketed ragged attend: one padded GEMM per pow-2 bucket.
+
+        Slots group into power-of-two length buckets; each bucket pads only
+        to its own longest member, so a round mixing 16- and 512-token slots
+        runs a small GEMM and a large GEMM instead of padding everything to
+        512.  With a round-level ``scratch`` the pad buffers and masks are
+        reused across all decoder layers (lengths are identical layer to
+        layer within a round).  Bucket membership and mask zero out exactly
+        the same columns as the padded oracle, so the kernels agree to
+        floating-point round-off and on every greedy token.
+        """
+        num_heads, head_dim = q.shape[1], q.shape[3]
+        attended = np.empty_like(q)
+        for key, (indices, pad_len) in enumerate(bucket_by_length(lengths)):
+            shape = (len(indices), num_heads, pad_len, head_dim)
+            if scratch is not None:
+                k_pad, v_pad = scratch.pads(key, shape)
+            else:
+                k_pad, v_pad = np.zeros(shape), np.zeros(shape)
+
+            def build_mask(indices=indices, pad_len=pad_len):
+                mask = np.full((len(indices), 1, 1, pad_len), -np.inf)
+                for row, i in enumerate(indices):
+                    mask[row, ..., : lengths[i]] = 0.0
+                return mask
+
+            mask = scratch.mask(key, build_mask) if scratch is not None else build_mask()
+            for row, i in enumerate(indices):
+                k, v = kvs[i]
+                k_pad[row, :, : lengths[i]] = k
+                v_pad[row, :, : lengths[i]] = v
+            scores = (
+                q[indices] @ k_pad.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim) + mask
+            )
+            attended[indices] = F.softmax(scores, axis=-1) @ v_pad
+        return attended

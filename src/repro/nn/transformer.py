@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import AttendScratch, MultiHeadAttention
 from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
 from repro.nn.module import Module
 
@@ -105,18 +105,26 @@ class TransformerDecoderLayer(Module):
         x = x + self.ffn(self.norm_ffn(x))
         return x
 
-    def forward_incremental(self, x: np.ndarray, layer_caches: Sequence) -> np.ndarray:
+    def forward_incremental(
+        self,
+        x: np.ndarray,
+        layer_caches: Sequence,
+        scratch: Optional[AttendScratch] = None,
+    ) -> np.ndarray:
         """Decode new tokens against per-sequence KV caches (decoder-only).
 
         ``x`` is ``(num_seqs, t_new, hidden)`` with one cache per row; see
-        :meth:`MultiHeadAttention.forward_incremental`.
+        :meth:`MultiHeadAttention.forward_incremental`.  ``scratch`` is the
+        round-level pad/mask buffer pool shared across layers.
         """
         if self.cross_attention is not None:
             raise ValueError(
                 "incremental decode supports decoder-only layers; "
                 "cross-attention layers recompute against encoder states"
             )
-        x = x + self.self_attention.forward_incremental(self.norm_self(x), layer_caches)
+        x = x + self.self_attention.forward_incremental(
+            self.norm_self(x), layer_caches, scratch=scratch
+        )
         x = x + self.ffn(self.norm_ffn(x))
         return x
 
@@ -248,9 +256,15 @@ class TransformerDecoder(Module):
             )
         offsets = np.array([cache.seq_len for cache in caches], dtype=np.int64)
         hidden = self.embeddings(token_ids, position_offsets=offsets)
+        # A multi-slot decode round reuses one pad/mask scratch across all
+        # layers (bucket shapes are identical layer to layer within a round).
+        is_decode_round = token_ids.shape[0] > 1 and token_ids.shape[1] == 1
+        scratch = AttendScratch() if is_decode_round else None
         for i in range(self.num_layers):
             layer_caches = [cache.layer(i) for cache in caches]
-            hidden = getattr(self, f"layer_{i}").forward_incremental(hidden, layer_caches)
+            hidden = getattr(self, f"layer_{i}").forward_incremental(
+                hidden, layer_caches, scratch=scratch
+            )
         return self.final_norm(hidden)
 
 

@@ -11,8 +11,9 @@ request/response engine:
   families (GLUE classification, SQuAD span extraction, LM next-token) plus
   the synchronous scheduler;
 * :mod:`repro.serve.kvcache` — per-sequence paged KV caches whose sealed
-  pages are memory-aligned OVP byte streams (quantize-on-append,
-  decode-on-attend) powering incremental LM decode;
+  pages are memory-aligned OVP byte streams (quantize-on-append) held in a
+  shared refcounted :class:`~repro.serve.kvcache.PagePool` with a decode-once
+  LRU and a prompt-prefix index for copy-on-write page sharing;
 * :mod:`repro.serve.scheduler` — slot-level continuous batching that admits
   and retires generation sequences mid-flight;
 * :mod:`repro.serve.aio` — asyncio front-end for concurrent clients;
@@ -27,6 +28,8 @@ from repro.serve.engine import InferenceEngine, ServingEngine
 from repro.serve.kvcache import (
     KVCacheConfig,
     LayerKVCache,
+    PageHandle,
+    PagePool,
     SequenceKVCache,
     cache_for_model,
 )
@@ -58,6 +61,8 @@ __all__ = [
     "MicroBatcher",
     "ModelRepository",
     "PackedModel",
+    "PageHandle",
+    "PagePool",
     "QueuedRequest",
     "RepositoryStats",
     "SequenceKVCache",

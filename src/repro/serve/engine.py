@@ -24,7 +24,12 @@ from repro.hardware.memory import gemm_traffic
 from repro.nn import functional as F
 from repro.nn.layers import Linear
 from repro.serve.batcher import MicroBatcher, QueuedRequest
-from repro.serve.kvcache import KVCacheConfig, cache_for_model, validate_token_budget
+from repro.serve.kvcache import (
+    KVCacheConfig,
+    PagePool,
+    cache_for_model,
+    validate_token_budget,
+)
 from repro.serve.repository import ModelRepository, PackedModel
 from repro.serve.requests import (
     InferenceRequest,
@@ -45,9 +50,13 @@ class InferenceEngine:
         self,
         repository: ModelRepository,
         kv_cache_config: Optional[KVCacheConfig] = None,
+        page_pool: Optional[PagePool] = None,
     ) -> None:
         self.repository = repository
         self.kv_cache_config = kv_cache_config or KVCacheConfig(bits=repository.bits)
+        # Sealed KV pages of every generation batch share one pool, so a
+        # sequence's pages decode once per LRU residency, not once per round.
+        self.page_pool = page_pool if page_pool is not None else self.kv_cache_config.make_pool()
 
     # ------------------------------------------------------------------ #
     # Batch execution
@@ -176,34 +185,43 @@ class InferenceEngine:
         """
         for request in requests:
             validate_token_budget(entry.model, request)
-        caches = [cache_for_model(entry.model, self.kv_cache_config) for _ in requests]
-        last_lp = entry.model.log_probs_incremental(inputs, caches, last_only=True)[:, -1, :]
-        generated: List[List[int]] = [[] for _ in requests]
-        final_lp = [row for row in last_lp]
-        for i in range(len(requests)):
-            generated[i].append(int(np.argmax(last_lp[i])))
-        while True:
-            rows = [
-                i
-                for i, request in enumerate(requests)
-                if len(generated[i]) < request.max_new_tokens
-            ]
-            if not rows:
-                break
-            step_tokens = np.array([[generated[i][-1]] for i in rows], dtype=np.int64)
-            step_lp = entry.model.log_probs_incremental(
-                step_tokens, [caches[i] for i in rows]
-            )[:, -1, :]
-            for row, i in enumerate(rows):
-                final_lp[i] = step_lp[row]
-                generated[i].append(int(np.argmax(step_lp[row])))
-        outputs = []
-        for i, request in enumerate(requests):
-            output = greedy_top_k(final_lp[i], request.top_k)
-            output["generated_tokens"] = generated[i]
-            output["kv_cache"] = caches[i].memory_summary()
-            outputs.append(output)
-        return outputs
+        caches = [
+            cache_for_model(entry.model, self.kv_cache_config, pool=self.page_pool)
+            for _ in requests
+        ]
+        try:
+            last_lp = entry.model.log_probs_incremental(inputs, caches, last_only=True)[:, -1, :]
+            generated: List[List[int]] = [[] for _ in requests]
+            final_lp = [row for row in last_lp]
+            for i in range(len(requests)):
+                generated[i].append(int(np.argmax(last_lp[i])))
+            while True:
+                rows = [
+                    i
+                    for i, request in enumerate(requests)
+                    if len(generated[i]) < request.max_new_tokens
+                ]
+                if not rows:
+                    break
+                step_tokens = np.array([[generated[i][-1]] for i in rows], dtype=np.int64)
+                step_lp = entry.model.log_probs_incremental(
+                    step_tokens, [caches[i] for i in rows]
+                )[:, -1, :]
+                for row, i in enumerate(rows):
+                    final_lp[i] = step_lp[row]
+                    generated[i].append(int(np.argmax(step_lp[row])))
+            outputs = []
+            for i, request in enumerate(requests):
+                output = greedy_top_k(final_lp[i], request.top_k)
+                output["generated_tokens"] = generated[i]
+                output["kv_cache"] = caches[i].memory_summary()
+                outputs.append(output)
+            return outputs
+        finally:
+            # Batch release: drop the page-pool references (and their decoded
+            # LRU entries) whether the batch completed or its forward raised.
+            for cache in caches:
+                cache.release()
 
     # ------------------------------------------------------------------ #
     # Traffic accounting (ties into the repro.sim memory model)
@@ -257,7 +275,14 @@ class ServingEngine:
             max_batch_size=max_batch_size, max_wait=max_wait, clock=clock
         )
         self.kv_cache_config = kv_cache_config or KVCacheConfig(bits=self.repository.bits)
-        self.engine = InferenceEngine(self.repository, kv_cache_config=self.kv_cache_config)
+        # One page pool for the whole engine: continuous-batching slots and
+        # whole-batch generation share decoded pages and the prefix index.
+        self.page_pool = self.kv_cache_config.make_pool()
+        self.engine = InferenceEngine(
+            self.repository,
+            kv_cache_config=self.kv_cache_config,
+            page_pool=self.page_pool,
+        )
         self.stats = ServingStats(clock=clock)
         self.continuous_batching = bool(continuous_batching)
         self.lm_scheduler = ContinuousBatchingScheduler(
@@ -266,6 +291,7 @@ class ServingEngine:
             cache_config=self.kv_cache_config,
             clock=clock,
             stats=self.stats,
+            page_pool=self.page_pool,
         )
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded

@@ -1,4 +1,4 @@
-"""OVP-quantized paged KV caches for incremental LM decode.
+"""OVP-quantized paged KV caches with a shared, decode-once page pool.
 
 The KV cache is the dominant memory consumer of LM serving: every decoded
 token appends one K and one V vector per layer per head, and a full-precision
@@ -19,17 +19,36 @@ owns a :class:`LayerKVCache` holding
 * one *open page* — the most recent ``< page_size`` timesteps kept in full
   precision until the page fills.
 
-``kv()`` decodes the sealed pages through the vectorized codec and
-concatenates the open page — decode-on-attend, so resident memory stays at
-the packed footprint.  ``quantize=False`` keeps sealed pages in full
-precision; this reference mode is what the incremental-decode equivalence
-tests compare against full recompute.
+Sealed pages live in a :class:`PagePool` as refcounted
+:class:`PageHandle` entries.  Sealed pages are immutable byte streams, so the
+pool can
+
+* **decode each page once** — a bounded LRU side-cache holds the decoded
+  fp values, so the per-round attend cost stops paying an O(cached tokens)
+  re-decode (``decoded-on-first-attend``, reused by every later round and by
+  every sequence referencing the page);
+* **share prompt prefixes** — requests whose token prefix hashes to
+  already-sealed pages attach to the existing entries copy-on-write (sealed
+  pages are never mutated; each sequence still owns its open page), skipping
+  the prefill *and* the re-quantization of the shared tokens.
+
+``quantize=False`` keeps sealed pages in full precision; this reference mode
+is what the incremental-decode equivalence tests compare against full
+recompute.  Reference pages flow through the same pool/refcount machinery
+(prefix sharing included) but need no decode cache.
+
+Sequences release their page references on retire/abort via
+:meth:`SequenceKVCache.release`; a page is dropped once no sequence and no
+prefix-index node references it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,6 +58,8 @@ from repro.serve.requests import ServingError
 
 __all__ = [
     "KVCacheConfig",
+    "PageHandle",
+    "PagePool",
     "LayerKVCache",
     "SequenceKVCache",
     "cache_for_model",
@@ -59,17 +80,29 @@ class KVCacheConfig:
     quantize:
         ``False`` keeps sealed pages in full precision — the bit-exact
         reference mode used by the equivalence tests.
+    pool_decoded_mb:
+        Capacity of the page pool's decoded-page LRU side-cache in MiB.
+        ``0`` disables decoded-page reuse entirely — every attend re-decodes
+        every sealed page, the pre-pool baseline the benchmarks compare
+        against.
+    prefix_sharing:
+        Let the continuous scheduler attach new requests to already-sealed
+        pages of a matching token prefix instead of re-prefilling them.
     """
 
     bits: int = 4
     page_size: int = 16
     quantize: bool = True
+    pool_decoded_mb: float = 64.0
+    prefix_sharing: bool = True
 
     def __post_init__(self) -> None:
         if self.bits not in (4, 8):
             raise ServingError("KV caches support 4- and 8-bit OVP only")
         if self.page_size < 1:
             raise ServingError("page_size must be >= 1")
+        if self.pool_decoded_mb < 0:
+            raise ServingError("pool_decoded_mb must be >= 0")
 
     def make_codec(self) -> OVPairCodec:
         """Codec for sealed pages (paper defaults for the chosen width)."""
@@ -77,24 +110,330 @@ class KVCacheConfig:
         normal, outlier, bias = OVPQuantizerConfig(normal_dtype=normal_dtype).resolve()
         return OVPairCodec(normal, outlier, bias)
 
+    def make_pool(self) -> "PagePool":
+        """A page pool sized to this config's decoded-cache budget."""
+        return PagePool(decoded_capacity_bytes=int(self.pool_decoded_mb * (1 << 20)))
 
-#: A sealed page: packed byte stream when quantizing, float array otherwise.
-_SealedPage = Union[PackedOVPTensor, np.ndarray]
+
+#: A sealed page payload: packed byte stream when quantizing, float otherwise.
+_PagePayload = Union[PackedOVPTensor, np.ndarray]
+
+_PAGE_IDS = itertools.count()
+
+
+class PageHandle:
+    """One sealed, immutable page registered in a :class:`PagePool`.
+
+    ``refcount`` counts the sequences (and prefix-index nodes) referencing
+    the page; the payload bytes are shared by all of them and never mutated.
+    """
+
+    __slots__ = ("page_id", "payload", "refcount")
+
+    def __init__(self, payload: _PagePayload) -> None:
+        self.page_id = next(_PAGE_IDS)
+        self.payload = payload
+        self.refcount = 1
+
+    @property
+    def is_packed(self) -> bool:
+        return isinstance(self.payload, PackedOVPTensor)
+
+    @property
+    def shared(self) -> bool:
+        """True when more than one holder references this page."""
+        return self.refcount > 1
+
+    @property
+    def nbytes_resident(self) -> int:
+        """Resident bytes: packed stream, or fp32-equivalent for reference pages."""
+        if self.is_packed:
+            return int(self.payload.nbytes)
+        return int(self.payload.size) * 4
+
+
+@dataclass
+class _PrefixNode:
+    """Prefix-index entry: the K/V page handles of ONE page position, per layer."""
+
+    k_handles: List[PageHandle]
+    v_handles: List[PageHandle]
+
+    def handles(self) -> List[PageHandle]:
+        return self.k_handles + self.v_handles
+
+
+class PagePool:
+    """Shared store of sealed KV pages: refcounts, decode-once LRU, prefixes.
+
+    A pool is owned by one scheduler/engine (single-threaded use); sequences
+    register pages as they seal, attach to existing pages on prefix hits, and
+    release their references on retire.  Three concerns live here:
+
+    * **refcounting** — a page is dropped (and its decoded entry evicted)
+      once its last holder releases it;
+    * **decoded-page LRU** — packed pages decode at most once while the
+      decoded values fit ``decoded_capacity_bytes``; every further attend is
+      a pool hit that skips the OVP decode entirely;
+    * **prefix index** — a bounded LRU mapping page-aligned token-prefix hash
+      chains to the sealed pages holding those tokens' K/V, enabling
+      copy-on-write prompt sharing across requests.
+    """
+
+    def __init__(
+        self,
+        decoded_capacity_bytes: int = 64 << 20,
+        prefix_capacity: int = 1024,
+    ) -> None:
+        if decoded_capacity_bytes < 0:
+            raise ServingError("decoded_capacity_bytes must be >= 0")
+        if prefix_capacity < 1:
+            raise ServingError("prefix_capacity must be >= 1")
+        self.decoded_capacity_bytes = int(decoded_capacity_bytes)
+        self.prefix_capacity = int(prefix_capacity)
+        self._entries: Dict[int, PageHandle] = {}
+        self._decoded: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._decoded_bytes = 0
+        self._prefix_nodes: "OrderedDict[Tuple, _PrefixNode]" = OrderedDict()
+        # Cumulative counters (monotonic; callers diff snapshots per round).
+        self.decode_hits = 0
+        self.decode_misses = 0
+        self.decoded_bytes_saved = 0
+        self.pages_registered = 0
+        self.pages_dropped = 0
+        self.prefix_lookups = 0
+        self.prefix_pages_attached = 0
+
+    # ------------------------------------------------------------------ #
+    # Refcounted page registry
+    # ------------------------------------------------------------------ #
+    def register(self, payload: _PagePayload) -> PageHandle:
+        """Register a freshly sealed page; the caller holds the first ref."""
+        handle = PageHandle(payload)
+        self._entries[handle.page_id] = handle
+        self.pages_registered += 1
+        return handle
+
+    def incref(self, handle: PageHandle) -> PageHandle:
+        """Acquire one more reference (re-registering a fully released page)."""
+        if handle.refcount == 0:
+            # Resurrection: the payload is still alive through the handle, so
+            # re-admitting it is safe (prefix nodes can race slot release).
+            self._entries[handle.page_id] = handle
+        handle.refcount += 1
+        return handle
+
+    def release(self, handle: PageHandle) -> None:
+        """Drop one reference; the last release forgets the page entirely."""
+        if handle.refcount <= 0:
+            raise ServingError("KV page released more times than acquired")
+        handle.refcount -= 1
+        if handle.refcount == 0:
+            self._entries.pop(handle.page_id, None)
+            cached = self._decoded.pop(handle.page_id, None)
+            if cached is not None:
+                self._decoded_bytes -= cached.nbytes
+            self.pages_dropped += 1
+
+    # ------------------------------------------------------------------ #
+    # Decode-once LRU
+    # ------------------------------------------------------------------ #
+    def decoded_many(
+        self, handles: Sequence[PageHandle], codec: Optional[OVPairCodec]
+    ) -> List[np.ndarray]:
+        """Decoded fp values of many pages, decoding each page at most once.
+
+        Reference-mode (ndarray) payloads pass straight through.  Packed
+        pages are served from the decoded LRU when present; the misses are
+        decoded in one batched codec pass per page shape, deduplicated so a
+        page referenced by several sequences in one round decodes once.
+        """
+        out: List[Optional[np.ndarray]] = [None] * len(handles)
+        pending: "OrderedDict[int, List[int]]" = OrderedDict()
+        for j, handle in enumerate(handles):
+            if not handle.is_packed:
+                out[j] = handle.payload
+                continue
+            cached = self._decoded.get(handle.page_id)
+            if cached is not None:
+                self._decoded.move_to_end(handle.page_id)
+                self.decode_hits += 1
+                self.decoded_bytes_saved += cached.nbytes
+                out[j] = cached
+                continue
+            positions = pending.get(handle.page_id)
+            if positions is None:
+                pending[handle.page_id] = [j]
+                self.decode_misses += 1
+            else:
+                positions.append(j)
+        if pending:
+            if codec is None:
+                raise ServingError("decoding packed KV pages requires a codec")
+            by_shape: Dict[Tuple[int, ...], List[List[int]]] = {}
+            for positions in pending.values():
+                shape = tuple(handles[positions[0]].payload.shape)
+                by_shape.setdefault(shape, []).append(positions)
+            for groups in by_shape.values():
+                pages = codec.decode_tensor_batch(
+                    [handles[positions[0]].payload for positions in groups]
+                )
+                for row, positions in enumerate(groups):
+                    array = self._admit_decoded(handles[positions[0]], pages[row])
+                    out[positions[0]] = array
+                    for j in positions[1:]:
+                        # Same page requested twice in one round: the extra
+                        # decode was saved even if the LRU is disabled.
+                        self.decode_hits += 1
+                        self.decoded_bytes_saved += array.nbytes
+                        out[j] = array
+        return out  # type: ignore[return-value]
+
+    def _admit_decoded(self, handle: PageHandle, array: np.ndarray) -> np.ndarray:
+        if self.decoded_capacity_bytes <= 0 or array.nbytes > self.decoded_capacity_bytes:
+            return array
+        array = array.copy()  # own the row, not a view of the batch decode
+        self._decoded[handle.page_id] = array
+        self._decoded_bytes += array.nbytes
+        while self._decoded_bytes > self.decoded_capacity_bytes and self._decoded:
+            _, evicted = self._decoded.popitem(last=False)
+            self._decoded_bytes -= evicted.nbytes
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Prefix sharing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _page_digest(previous: bytes, page_tokens: np.ndarray) -> bytes:
+        return hashlib.blake2b(
+            previous + page_tokens.tobytes(), digest_size=16
+        ).digest()
+
+    def lookup_prefix(
+        self, key, token_ids: np.ndarray, page_size: int, max_pages: int
+    ) -> Tuple[int, List[List[PageHandle]], List[List[PageHandle]]]:
+        """Longest chain of sealed pages covering ``token_ids``' prefix.
+
+        ``key`` scopes the index (model identity); the chain hash walks
+        page-aligned token chunks, so only whole shared pages match.  Returns
+        ``(num_pages, layers_k, layers_v)`` where ``layers_k[layer]`` lists
+        the matched pages' K handles in page order (empty on a miss).  The
+        lookup takes no references — :meth:`LayerKVCache.attach` does.
+        """
+        self.prefix_lookups += 1
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        nodes: List[_PrefixNode] = []
+        digest = b""
+        for page in range(int(max_pages)):
+            chunk = token_ids[page * page_size:(page + 1) * page_size]
+            digest = self._page_digest(digest, chunk)
+            node = self._prefix_nodes.get((key, digest))
+            if node is None:
+                break
+            self._prefix_nodes.move_to_end((key, digest))
+            nodes.append(node)
+        if not nodes:
+            return 0, [], []
+        num_layers = len(nodes[0].k_handles)
+        layers_k = [[node.k_handles[l] for node in nodes] for l in range(num_layers)]
+        layers_v = [[node.v_handles[l] for node in nodes] for l in range(num_layers)]
+        return len(nodes), layers_k, layers_v
+
+    def register_prefix(self, key, token_ids: np.ndarray, cache: "SequenceKVCache") -> int:
+        """Index ``cache``'s sealed prompt pages under ``token_ids``' hash chain.
+
+        Call after a successful prefill: every full page of prompt tokens is
+        sealed by then.  Pages already indexed (a shared sub-prefix) are
+        refreshed, not duplicated; new nodes take one reference per handle so
+        indexed pages survive the registering sequence's retirement.  The
+        index is LRU-bounded; evicted nodes drop their references.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        page_size = cache.config.page_size
+        num_pages = int(token_ids.size) // page_size
+        digest = b""
+        for page in range(num_pages):
+            chunk = token_ids[page * page_size:(page + 1) * page_size]
+            digest = self._page_digest(digest, chunk)
+            node_key = (key, digest)
+            if node_key in self._prefix_nodes:
+                self._prefix_nodes.move_to_end(node_key)
+                continue
+            k_handles = [cache.layer(l)._sealed_k[page] for l in range(cache.num_layers)]
+            v_handles = [cache.layer(l)._sealed_v[page] for l in range(cache.num_layers)]
+            node = _PrefixNode(k_handles, v_handles)
+            for handle in node.handles():
+                self.incref(handle)
+            self._prefix_nodes[node_key] = node
+        while len(self._prefix_nodes) > self.prefix_capacity:
+            _, evicted = self._prefix_nodes.popitem(last=False)
+            for handle in evicted.handles():
+                self.release(handle)
+        return num_pages
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entries(self) -> int:
+        """Live pages (referenced by at least one sequence or prefix node)."""
+        return len(self._entries)
+
+    @property
+    def num_shared_pages(self) -> int:
+        """Live pages currently referenced by more than one holder."""
+        return sum(1 for handle in self._entries.values() if handle.shared)
+
+    @property
+    def decoded_cache_bytes(self) -> int:
+        """Bytes held by the decoded-page LRU right now."""
+        return self._decoded_bytes
+
+    @property
+    def num_prefix_nodes(self) -> int:
+        return len(self._prefix_nodes)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the cumulative counters (diff two snapshots per round)."""
+        return {
+            "decode_hits": self.decode_hits,
+            "decode_misses": self.decode_misses,
+            "decoded_bytes_saved": self.decoded_bytes_saved,
+            "pages_registered": self.pages_registered,
+            "pages_dropped": self.pages_dropped,
+            "prefix_lookups": self.prefix_lookups,
+            "prefix_pages_attached": self.prefix_pages_attached,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus live gauges (for demos/dashboards)."""
+        snapshot = self.counters()
+        snapshot.update(
+            {
+                "entries": self.num_entries,
+                "shared_pages": self.num_shared_pages,
+                "decoded_cache_bytes": self.decoded_cache_bytes,
+                "prefix_nodes": self.num_prefix_nodes,
+            }
+        )
+        return snapshot
 
 
 class LayerKVCache:
     """Paged K/V store of one layer of one sequence."""
 
     def __init__(self, num_heads: int, head_dim: int, config: KVCacheConfig,
-                 codec: Optional[OVPairCodec] = None) -> None:
+                 codec: Optional[OVPairCodec] = None,
+                 pool: Optional[PagePool] = None) -> None:
         self.num_heads = int(num_heads)
         self.head_dim = int(head_dim)
         self.config = config
         self.codec = codec if codec is not None else (
             config.make_codec() if config.quantize else None
         )
-        self._sealed_k: List[_SealedPage] = []
-        self._sealed_v: List[_SealedPage] = []
+        self.pool = pool if pool is not None else config.make_pool()
+        self._sealed_k: List[PageHandle] = []
+        self._sealed_v: List[PageHandle] = []
         # Open page: a preallocated (num_heads, page_size, head_dim) buffer
         # holding the newest _open_len (< page_size) timesteps, so appends
         # write rows in place instead of reallocating per step.
@@ -136,8 +475,8 @@ class LayerKVCache:
 
     def _seal_open_page(self) -> None:
         if not self.config.quantize:
-            self._sealed_k.append(self._open_k.copy())
-            self._sealed_v.append(self._open_v.copy())
+            self._sealed_k.append(self.pool.register(self._open_k.copy()))
+            self._sealed_v.append(self.pool.register(self._open_v.copy()))
             return
         if self._open_k.size % 2 == 0:
             # K and V pages seal together through one codec pass.
@@ -146,13 +485,13 @@ class LayerKVCache:
                 [self._page_scale(self._open_k), self._page_scale(self._open_v)],
                 self.codec.normal_dtype.max_value,
             )
-            self._sealed_k.append(pages[0])
-            self._sealed_v.append(pages[1])
+            self._sealed_k.append(self.pool.register(pages[0]))
+            self._sealed_v.append(self.pool.register(pages[1]))
             return
-        self._sealed_k.append(self._seal(self._open_k))
-        self._sealed_v.append(self._seal(self._open_v))
+        self._sealed_k.append(self.pool.register(self._seal(self._open_k)))
+        self._sealed_v.append(self.pool.register(self._seal(self._open_v)))
 
-    def _seal(self, page: np.ndarray) -> _SealedPage:
+    def _seal(self, page: np.ndarray) -> PackedOVPTensor:
         scale = self._page_scale(page)
         return self.codec.encode_tensor(page, scale, self.codec.normal_dtype.max_value)
 
@@ -164,64 +503,131 @@ class LayerKVCache:
         return 3.0 * sigma / self.codec.normal_dtype.max_value
 
     # ------------------------------------------------------------------ #
-    # Attend (decode-on-attend)
+    # Prefix attach / release (pool-backed sharing)
+    # ------------------------------------------------------------------ #
+    def attach(
+        self,
+        k_handles: Sequence[PageHandle],
+        v_handles: Sequence[PageHandle],
+        num_tokens: int,
+    ) -> None:
+        """Adopt already-sealed pages as this cache's prefix (copy-on-write).
+
+        Sealed pages are immutable, so attaching is reference-taking only;
+        this cache appends its own open/sealed pages after them.  Only an
+        empty cache may attach, and the pages must match this cache's
+        geometry page for page.
+        """
+        if self._seq_len:
+            raise ServingError("prefix pages attach to an empty KV cache only")
+        if len(k_handles) != len(v_handles):
+            raise ServingError("prefix attach needs matching K and V page lists")
+        if num_tokens != len(k_handles) * self.config.page_size:
+            raise ServingError(
+                f"prefix of {num_tokens} tokens does not fill "
+                f"{len(k_handles)} pages of {self.config.page_size}"
+            )
+        expected = (self.num_heads, self.config.page_size, self.head_dim)
+        for handle in list(k_handles) + list(v_handles):
+            if tuple(handle.payload.shape) != expected:
+                raise ServingError(
+                    f"shared page shape {tuple(handle.payload.shape)} does not "
+                    f"match cache geometry {expected}"
+                )
+        for handle in k_handles:
+            self._sealed_k.append(self.pool.incref(handle))
+        for handle in v_handles:
+            self._sealed_v.append(self.pool.incref(handle))
+        self._seq_len = int(num_tokens)
+        self.pool.prefix_pages_attached += len(k_handles) + len(v_handles)
+
+    def release(self) -> None:
+        """Drop this cache's page references (retire/abort); cache resets empty."""
+        for handle in self._sealed_k:
+            self.pool.release(handle)
+        for handle in self._sealed_v:
+            self.pool.release(handle)
+        self._sealed_k, self._sealed_v = [], []
+        self._open_len = 0
+        self._seq_len = 0
+
+    # ------------------------------------------------------------------ #
+    # Attend (decode-once-on-attend)
     # ------------------------------------------------------------------ #
     def kv(self) -> Tuple[np.ndarray, np.ndarray]:
         """Decode and return the full ``(K, V)``, each ``(heads, seq, dim)``."""
         if self._seq_len == 0:
             raise ServingError("KV cache is empty; append before attending")
-        if self.config.quantize and self._sealed_k:
-            decoded_k = list(self.codec.decode_tensor_batch(self._sealed_k))
-            decoded_v = list(self.codec.decode_tensor_batch(self._sealed_v))
-        else:
-            decoded_k, decoded_v = list(self._sealed_k), list(self._sealed_v)
-        return self._finish(decoded_k, self._open_k), self._finish(decoded_v, self._open_v)
+        decoded = self.pool.decoded_many(self._sealed_k + self._sealed_v, self.codec)
+        split = len(self._sealed_k)
+        return (
+            self._finish(decoded[:split], self._open_k),
+            self._finish(decoded[split:], self._open_v),
+        )
 
     @classmethod
     def kv_many(cls, caches: Sequence["LayerKVCache"]) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """``kv()`` for many caches with one batched page decode.
+        """``kv()`` for many caches with one batched page-pool fetch.
 
         A continuous-batching decode round attends every active slot against
-        this layer; decoding each slot's pages separately pays the codec's
-        per-call overhead ``2 × slots × pages`` times.  All sealed pages of
-        one geometry decode in a single pass instead, then each cache's K/V
-        are reassembled in order.  (:meth:`MultiHeadAttention.forward_incremental
+        this layer; fetching each slot's pages separately pays the pool/codec
+        per-call overhead ``2 × slots`` times.  All pages of one pool are
+        fetched in a single pass instead (hits straight from the decoded LRU,
+        misses in one batched codec decode per page shape), then each cache's
+        K/V are reassembled in order.  (:meth:`MultiHeadAttention.forward_incremental
         <repro.nn.attention.MultiHeadAttention.forward_incremental>` picks
         this up by duck-typing, keeping ``repro.nn`` free of serve imports.)
+
+        All caches must agree on quantize mode and OVP width — a decode round
+        mixing packed and reference caches (or 4- and 8-bit codecs) is a
+        configuration error and raises :class:`ServingError` up front.
         """
-        jobs = []  # (cache_index, 0 for K / 1 for V, page)
-        for index, cache in enumerate(caches):
-            if not cache.config.quantize:
-                continue
-            jobs.extend((index, 0, page) for page in cache._sealed_k)
-            jobs.extend((index, 1, page) for page in cache._sealed_v)
-        decoded = {}
-        if jobs:
-            by_shape = {}
-            for job_id, (_, _, page) in enumerate(jobs):
-                by_shape.setdefault(page.shape, []).append(job_id)
-            codec = next(c.codec for c in caches if c.codec is not None)
-            for job_ids in by_shape.values():
-                pages = codec.decode_tensor_batch([jobs[j][2] for j in job_ids])
-                for row, job_id in enumerate(job_ids):
-                    decoded[job_id] = pages[row]
-        per_cache = [([], []) for _ in caches]
-        for job_id, (index, which, _) in enumerate(jobs):
-            per_cache[index][which].append(decoded[job_id])
-        results = []
-        for index, cache in enumerate(caches):
-            if not cache.config.quantize:
-                results.append(cache.kv())
-            else:
-                if cache.seq_len == 0:
-                    raise ServingError("KV cache is empty; append before attending")
-                results.append(
-                    (
-                        cache._finish(per_cache[index][0], cache._open_k),
-                        cache._finish(per_cache[index][1], cache._open_v),
-                    )
+        if not caches:
+            raise ServingError("kv_many needs at least one cache; nothing to attend")
+        quantize_modes = {cache.config.quantize for cache in caches}
+        if len(quantize_modes) != 1:
+            raise ServingError(
+                "kv_many cannot mix quantized and reference-mode caches; "
+                "split the decode round by cache config"
+            )
+        if caches[0].config.quantize:
+            widths = {cache.config.bits for cache in caches}
+            if len(widths) != 1:
+                raise ServingError(
+                    f"kv_many cannot mix OVP widths {sorted(widths)}; "
+                    "split the decode round by cache config"
                 )
-        return results
+        for cache in caches:
+            if cache.seq_len == 0:
+                raise ServingError("KV cache is empty; append before attending")
+        decoded_k: List[Optional[List[np.ndarray]]] = [None] * len(caches)
+        decoded_v: List[Optional[List[np.ndarray]]] = [None] * len(caches)
+        by_pool: Dict[int, List[int]] = {}
+        for index, cache in enumerate(caches):
+            by_pool.setdefault(id(cache.pool), []).append(index)
+        for indices in by_pool.values():
+            pool = caches[indices[0]].pool
+            codec = next(
+                (caches[i].codec for i in indices if caches[i].codec is not None), None
+            )
+            handles: List[PageHandle] = []
+            for i in indices:
+                handles.extend(caches[i]._sealed_k)
+                handles.extend(caches[i]._sealed_v)
+            arrays = pool.decoded_many(handles, codec)
+            offset = 0
+            for i in indices:
+                nk, nv = len(caches[i]._sealed_k), len(caches[i]._sealed_v)
+                decoded_k[i] = arrays[offset:offset + nk]
+                decoded_v[i] = arrays[offset + nk:offset + nk + nv]
+                offset += nk + nv
+        return [
+            (
+                cache._finish(decoded_k[i], cache._open_k),
+                cache._finish(decoded_v[i], cache._open_v),
+            )
+            for i, cache in enumerate(caches)
+        ]
 
     def _finish(self, decoded_pages: List[np.ndarray], open_buffer: np.ndarray) -> np.ndarray:
         """Concatenate decoded sealed pages with the open-page rows.
@@ -248,6 +654,13 @@ class LayerKVCache:
         return len(self._sealed_k) + len(self._sealed_v)
 
     @property
+    def num_shared_pages(self) -> int:
+        """Held pages that other sequences (or the prefix index) also reference."""
+        return sum(1 for h in self._sealed_k if h.shared) + sum(
+            1 for h in self._sealed_v if h.shared
+        )
+
+    @property
     def kv_elements(self) -> int:
         """Cached scalars: K and V over every head and timestep."""
         return 2 * self.num_heads * self._seq_len * self.head_dim
@@ -264,12 +677,11 @@ class LayerKVCache:
         Full-precision storage (open rows, and sealed pages in the
         ``quantize=False`` reference mode) is charged at fp32 — the dtype a
         production fp cache would hold — even though NumPy computes in
-        float64.
+        float64.  Shared pages are charged to every holder (the per-sequence
+        view); pool-level dedup shows up in the pool's own gauges.
         """
-        sealed = sum(
-            page.nbytes if isinstance(page, PackedOVPTensor) else page.size * 4
-            for page in self._sealed_k + self._sealed_v
-        )
+        sealed = sum(h.nbytes_resident for h in self._sealed_k)
+        sealed += sum(h.nbytes_resident for h in self._sealed_v)
         open_elems = 2 * self.num_heads * self._open_len * self.head_dim
         return int(sealed + open_elems * 4)
 
@@ -277,18 +689,21 @@ class LayerKVCache:
 class SequenceKVCache:
     """Per-sequence KV cache: one :class:`LayerKVCache` per decoder layer.
 
-    All layers share one codec instance (the lookup tables are immutable), so
+    All layers share one codec instance (the lookup tables are immutable) and
+    one :class:`PagePool` (a private pool is built when none is passed), so
     building a cache per admitted request stays cheap.
     """
 
     def __init__(self, num_layers: int, num_heads: int, head_dim: int,
-                 config: Optional[KVCacheConfig] = None) -> None:
+                 config: Optional[KVCacheConfig] = None,
+                 pool: Optional[PagePool] = None) -> None:
         if num_layers < 1:
             raise ServingError("a KV cache needs at least one layer")
         self.config = config or KVCacheConfig()
+        self.pool = pool if pool is not None else self.config.make_pool()
         codec = self.config.make_codec() if self.config.quantize else None
         self._layers = [
-            LayerKVCache(num_heads, head_dim, self.config, codec=codec)
+            LayerKVCache(num_heads, head_dim, self.config, codec=codec, pool=self.pool)
             for _ in range(num_layers)
         ]
 
@@ -304,6 +719,29 @@ class SequenceKVCache:
     def seq_len(self) -> int:
         """Cached timesteps (identical across layers by construction)."""
         return self._layers[0].seq_len
+
+    def attach_prefix(
+        self,
+        layers_k: Sequence[Sequence[PageHandle]],
+        layers_v: Sequence[Sequence[PageHandle]],
+        num_tokens: int,
+    ) -> None:
+        """Adopt a shared sealed-page prefix on every layer (copy-on-write).
+
+        ``layers_k[layer]``/``layers_v[layer]`` list the pages in page order,
+        as returned by :meth:`PagePool.lookup_prefix`.
+        """
+        if len(layers_k) != self.num_layers or len(layers_v) != self.num_layers:
+            raise ServingError(
+                f"prefix covers {len(layers_k)} layers; cache has {self.num_layers}"
+            )
+        for layer, k_handles, v_handles in zip(self._layers, layers_k, layers_v):
+            layer.attach(k_handles, v_handles, num_tokens)
+
+    def release(self) -> None:
+        """Drop every layer's page references (call on retire/abort)."""
+        for layer in self._layers:
+            layer.release()
 
     @property
     def fp32_bytes(self) -> int:
@@ -329,6 +767,7 @@ class SequenceKVCache:
             "kv_cache_bytes": self.cache_bytes,
             "kv_compression": round(self.compression_ratio, 2),
             "sealed_pages": sum(l.num_sealed_pages for l in self._layers),
+            "shared_pages": sum(l.num_shared_pages for l in self._layers),
         }
 
 
@@ -352,11 +791,17 @@ def validate_token_budget(model, request) -> None:
         )
 
 
-def cache_for_model(model, config: Optional[KVCacheConfig] = None) -> SequenceKVCache:
+def cache_for_model(
+    model,
+    config: Optional[KVCacheConfig] = None,
+    pool: Optional[PagePool] = None,
+) -> SequenceKVCache:
     """Build an empty cache matching a causal LM's decoder geometry.
 
     Accepts a :class:`~repro.models.zoo.CausalLM` (or any module exposing a
     ``backbone``) or a bare decoder with ``layer_i.self_attention`` children.
+    Pass ``pool`` to share one :class:`PagePool` across sequences (the
+    scheduler does); otherwise the cache gets a private pool.
     """
     backbone = getattr(model, "backbone", model)
     num_layers = getattr(backbone, "num_layers", None)
@@ -372,4 +817,5 @@ def cache_for_model(model, config: Optional[KVCacheConfig] = None) -> SequenceKV
         num_heads=attention.num_heads,
         head_dim=attention.head_dim,
         config=config,
+        pool=pool,
     )

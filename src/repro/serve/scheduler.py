@@ -10,7 +10,9 @@ admits/retires sequences *mid-flight*:
 * **admit** — whenever a slot is free and a request is queued, the prompt is
   prefilled through the model's incremental path into a fresh per-sequence
   OVP-paged KV cache (:mod:`repro.serve.kvcache`), producing the first
-  generated token;
+  generated token; prompts whose page-aligned token prefix hashes to pages
+  another request already sealed *attach* to those pool entries copy-on-write
+  and prefill only the remaining suffix;
 * **decode round** — all active slots advance one token in a single batched
   incremental forward (the Linear/FFN/LM-head GEMMs stack across slots; only
   the attention core runs per-slot, since every sequence has its own past);
@@ -35,6 +37,7 @@ import numpy as np
 from repro.serve.batcher import QueuedRequest
 from repro.serve.kvcache import (
     KVCacheConfig,
+    PagePool,
     SequenceKVCache,
     cache_for_model,
     validate_token_budget,
@@ -45,6 +48,7 @@ from repro.serve.requests import (
     InferenceResult,
     ServingError,
     WorkloadFamily,
+    normalized_num_classes,
 )
 from repro.serve.stats import DecodeRoundRecord, ServingStats
 
@@ -52,9 +56,24 @@ __all__ = ["ContinuousBatchingScheduler", "greedy_top_k"]
 
 
 def greedy_top_k(log_probs: np.ndarray, top_k: int) -> dict:
-    """Top-k next-token candidates of one vocabulary distribution."""
-    k = min(int(top_k), log_probs.shape[-1])
-    top = np.argsort(log_probs)[::-1][:k]
+    """Top-k next-token candidates of one vocabulary distribution.
+
+    Runs on every retired request and every scored prompt, so it avoids the
+    O(V log V) full-vocabulary sort: ``np.argpartition`` preselects the k
+    winners in O(V), then only those k are sorted.  ``top_k < 1`` is a caller
+    bug (a bare ``[:0]`` slice would silently return no candidates) and is
+    rejected up front.
+    """
+    top_k = int(top_k)
+    if top_k < 1:
+        raise ServingError("top_k must be >= 1")
+    vocab = log_probs.shape[-1]
+    k = min(top_k, vocab)
+    if k < vocab:
+        candidates = np.argpartition(log_probs, vocab - k)[vocab - k:]
+    else:
+        candidates = np.arange(vocab)
+    top = candidates[np.argsort(log_probs[candidates])[::-1]]
     return {
         "next_tokens": [int(t) for t in top],
         "log_probs": [float(log_probs[t]) for t in top],
@@ -70,6 +89,8 @@ class _Slot:
     cache: SequenceKVCache
     generated: List[int] = field(default_factory=list)
     last_log_probs: Optional[np.ndarray] = None
+    prefill_tokens: int = 0   # prompt tokens actually prefilled (suffix only
+    shared_tokens: int = 0    # ... when shared_tokens came from the page pool)
 
     @property
     def request(self) -> InferenceRequest:
@@ -95,6 +116,10 @@ class ContinuousBatchingScheduler:
     stats:
         Optional :class:`~repro.serve.stats.ServingStats` that receives one
         :class:`~repro.serve.stats.DecodeRoundRecord` per non-empty round.
+    page_pool:
+        Optional shared :class:`~repro.serve.kvcache.PagePool`; by default the
+        scheduler builds its own from ``cache_config`` (decoded-page LRU
+        capacity, prefix sharing on/off).
     """
 
     def __init__(
@@ -104,6 +129,7 @@ class ContinuousBatchingScheduler:
         cache_config: Optional[KVCacheConfig] = None,
         clock: Callable[[], float] = time.monotonic,
         stats: Optional[ServingStats] = None,
+        page_pool: Optional[PagePool] = None,
     ) -> None:
         if num_slots < 1:
             raise ServingError("num_slots must be >= 1")
@@ -112,6 +138,9 @@ class ContinuousBatchingScheduler:
         self.cache_config = cache_config or KVCacheConfig(bits=repository.bits)
         self.clock = clock
         self.stats = stats
+        # One shared pool for every admitted sequence: sealed pages decode at
+        # most once across rounds/sequences, and the prefix index lives here.
+        self.page_pool = page_pool if page_pool is not None else self.cache_config.make_pool()
         self._queue: Deque[QueuedRequest] = deque()
         self._slots: List[Optional[_Slot]] = [None] * self.num_slots
         self._failed: List[Tuple[str, Exception]] = []
@@ -170,12 +199,14 @@ class ContinuousBatchingScheduler:
         if not len(self):
             return []
         start = self.clock()
+        pool_before = self.page_pool.counters()
         prefill_tokens, admitted = self._admit()
         decoded = self._decode_round(exclude=admitted)
         results = self._retire()
         compute_seconds = self.clock() - start
         active = self.num_active + len(results)
         if self.stats is not None and active:
+            pool_after = self.page_pool.counters()
             self.stats.record_decode_round(
                 DecodeRoundRecord(
                     active_slots=active,
@@ -186,6 +217,17 @@ class ContinuousBatchingScheduler:
                     kv_cache_bytes=self.kv_cache_bytes,
                     kv_fp32_bytes=self.kv_fp32_bytes,
                     latencies=tuple(r.latency for r in results),
+                    pool_hits=pool_after["decode_hits"] - pool_before["decode_hits"],
+                    pool_misses=pool_after["decode_misses"] - pool_before["decode_misses"],
+                    pool_decoded_bytes_saved=(
+                        pool_after["decoded_bytes_saved"]
+                        - pool_before["decoded_bytes_saved"]
+                    ),
+                    prefix_pages_attached=(
+                        pool_after["prefix_pages_attached"]
+                        - pool_before["prefix_pages_attached"]
+                    ),
+                    shared_pages=self.page_pool.num_shared_pages,
                 )
             )
         return results
@@ -216,28 +258,68 @@ class ContinuousBatchingScheduler:
     def _admit(self) -> Tuple[int, List[_Slot]]:
         """Fill free slots from the queue.
 
-        Returns ``(prompt_tokens_prefilled, slots_admitted)``.  Admissions
-        sharing a model entry and prompt length prefill in one batched
-        incremental pass.  Prefill itself produces each sequence's first
-        generated token, so freshly admitted slots are excluded from this
-        round's decode step.
+        Returns ``(prompt_tokens_prefilled, slots_admitted)``.  Each staged
+        request first probes the page pool's prefix index: prompt pages
+        already sealed by an earlier request attach copy-on-write instead of
+        re-prefilling.  Admissions sharing a model entry and *suffix* length
+        (the tokens actually prefilled; cached pasts may differ) prefill in
+        one batched incremental pass.  Prefill itself produces each
+        sequence's first generated token, so freshly admitted slots are
+        excluded from this round's decode step.
         """
         free = [index for index, slot in enumerate(self._slots) if slot is None]
-        staged: List[Tuple[int, QueuedRequest, PackedModel]] = []
+        staged: List[Tuple[int, QueuedRequest, PackedModel, Optional[tuple]]] = []
         while free and self._queue:
             queued = self._queue.popleft()
             entry = self._prepare(queued)
             if entry is not None:
-                staged.append((free.pop(0), queued, entry))
+                shared = self._lookup_prefix(queued.request)
+                staged.append((free.pop(0), queued, entry, shared))
         groups = {}
         for item in staged:
-            groups.setdefault((id(item[2]), item[1].request.seq_len), []).append(item)
+            _, queued, entry, shared = item
+            shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
+            suffix_len = queued.request.seq_len - shared_tokens
+            groups.setdefault((id(entry), suffix_len), []).append(item)
         admitted: List[_Slot] = []
         for group in groups.values():
             admitted.extend(self._prefill_group(group))
         self.admitted += len(admitted)
-        prefilled = sum(slot.request.seq_len for slot in admitted)
+        prefilled = sum(slot.prefill_tokens for slot in admitted)
         return prefilled, admitted
+
+    def _prefix_key(self, request: InferenceRequest) -> tuple:
+        """Prefix-index scope: one model's pages never serve another model.
+
+        Repository models are built deterministically from (name, family,
+        num_classes, bits, seed), so the request-level identity is a stable
+        key even across entry rebuilds after LRU eviction.
+        """
+        return (
+            request.model,
+            request.family,
+            normalized_num_classes(request.family, request.num_classes),
+        )
+
+    def _lookup_prefix(self, request: InferenceRequest) -> Optional[tuple]:
+        """Longest sealed-page chain matching the prompt's page-aligned prefix.
+
+        At least one prompt token is always left for prefill — the model must
+        still run the final prompt position to produce the first generated
+        token — so sharing is capped at ``(seq_len - 1) // page_size`` pages.
+        """
+        if not self.cache_config.prefix_sharing:
+            return None
+        max_pages = (request.seq_len - 1) // self.cache_config.page_size
+        if max_pages < 1:
+            return None
+        found = self.page_pool.lookup_prefix(
+            self._prefix_key(request),
+            request.token_ids,
+            self.cache_config.page_size,
+            max_pages,
+        )
+        return found if found[0] else None
 
     def _prepare(self, queued: QueuedRequest) -> Optional[PackedModel]:
         """Fetch the request's model entry and validate its token budget."""
@@ -253,8 +335,9 @@ class ContinuousBatchingScheduler:
     def abort_active(self, exc: Exception) -> List[str]:
         """Fail every in-flight sequence after an unrecoverable round error.
 
-        Frees the slots so the scheduler keeps serving later requests;
-        returns the aborted request ids (the engine records the failures).
+        Frees the slots (and their page-pool references) so the scheduler
+        keeps serving later requests; returns the aborted request ids (the
+        engine records the failures).
         """
         aborted = []
         for index, slot in enumerate(self._slots):
@@ -262,34 +345,71 @@ class ContinuousBatchingScheduler:
                 continue
             self._failed.append((slot.request.request_id, exc))
             aborted.append(slot.request.request_id)
+            slot.cache.release()
             self._slots[index] = None
         return aborted
 
     def _prefill_group(
-        self, group: List[Tuple[int, QueuedRequest, PackedModel]]
+        self, group: List[Tuple[int, QueuedRequest, PackedModel, Optional[tuple]]]
     ) -> List[_Slot]:
-        """Prefill a same-model/same-length admission group in one pass."""
+        """Prefill a same-model/same-suffix-length admission group in one pass.
+
+        Requests with a shared-prefix hit attach the sealed pages first
+        (copy-on-write references, no recompute/re-quantize), then only the
+        remaining prompt suffix runs through the model — each row at its own
+        positional offset.  Successful prefills register their prompt pages
+        in the pool's prefix index for later requests.
+        """
         entry = group[0][2]
-        caches = [cache_for_model(entry.model, self.cache_config) for _ in group]
-        prompts = np.stack([queued.request.token_ids for _, queued, _ in group])
+        caches: List[SequenceKVCache] = []
         try:
+            for _, queued, _, shared in group:
+                cache = cache_for_model(entry.model, self.cache_config, pool=self.page_pool)
+                if shared is not None:
+                    num_pages, layers_k, layers_v = shared
+                    cache.attach_prefix(
+                        layers_k, layers_v, num_pages * self.cache_config.page_size
+                    )
+                caches.append(cache)
+            suffixes = np.stack(
+                [
+                    queued.request.token_ids[cache.seq_len:]
+                    for (_, queued, _, _), cache in zip(group, caches)
+                ]
+            )
             log_probs = entry.model.log_probs_incremental(
-                prompts, caches, last_only=True
+                suffixes, caches, last_only=True
             )[:, -1, :]
         except Exception as exc:
+            # The failed pass may have partially appended K/V and holds
+            # references to any attached shared pages — release them all.
+            for cache in caches:
+                cache.release()
             if len(group) == 1:
                 self._failed.append((group[0][1].request.request_id, exc))
                 return []
-            # One bad prompt (e.g. out-of-vocabulary id) fails the batched
-            # pass; retry individually with fresh caches — the failed pass
-            # may have partially appended K/V.
+            # One bad prompt (e.g. an out-of-vocabulary id) fails the batched
+            # pass; retry individually with fresh caches.
             admitted = []
             for item in group:
                 admitted.extend(self._prefill_group([item]))
             return admitted
         admitted = []
-        for row, (index, queued, _) in enumerate(group):
-            slot = _Slot(queued=queued, entry=entry, cache=caches[row])
+        for row, (index, queued, _, shared) in enumerate(group):
+            if self.cache_config.prefix_sharing:
+                self.page_pool.register_prefix(
+                    self._prefix_key(queued.request),
+                    queued.request.token_ids,
+                    caches[row],
+                )
+            shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
+            slot = _Slot(
+                queued=queued,
+                entry=entry,
+                cache=caches[row],
+                prefill_tokens=queued.request.seq_len - shared_tokens,
+                shared_tokens=shared_tokens,
+            )
             slot.generated.append(int(np.argmax(log_probs[row])))
             slot.last_log_probs = log_probs[row]
             self._slots[index] = slot
@@ -334,6 +454,7 @@ class ContinuousBatchingScheduler:
             output = greedy_top_k(slot.last_log_probs, request.top_k)
             output["generated_tokens"] = list(slot.generated[: request.max_new_tokens])
             output["kv_cache"] = slot.cache.memory_summary()
+            output["kv_cache"]["prefix_shared_tokens"] = slot.shared_tokens
             results.append(
                 InferenceResult(
                     request_id=request.request_id,
@@ -346,6 +467,9 @@ class ContinuousBatchingScheduler:
                     scheme=slot.entry.scheme,
                 )
             )
+            # Retirement releases the sequence's page references; pages kept
+            # alive by the prefix index go on serving later requests.
+            slot.cache.release()
             self._slots[index] = None
             self.retired += 1
         return results

@@ -58,11 +58,23 @@ class DecodeRoundRecord:
     kv_cache_bytes: int        # OVP-packed pages + fp32 open pages, all slots
     kv_fp32_bytes: int         # fp32 cache footprint for the same tokens
     latencies: tuple = ()      # enqueue → completion of requests retired this round
+    # Page-pool activity this round (deltas of the pool's counters).
+    pool_hits: int = 0                 # sealed-page fetches served pre-decoded
+    pool_misses: int = 0               # sealed pages that had to be OVP-decoded
+    pool_decoded_bytes_saved: int = 0  # decode output bytes the hits avoided
+    prefix_pages_attached: int = 0     # pages adopted from the prefix index
+    shared_pages: int = 0              # pool pages with >1 holder at round end
 
     @property
     def occupancy(self) -> float:
         """Fraction of slots doing work this round."""
         return self.active_slots / self.num_slots if self.num_slots else 0.0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of sealed-page fetches that skipped the OVP decode."""
+        fetches = self.pool_hits + self.pool_misses
+        return self.pool_hits / fetches if fetches else 0.0
 
 
 @dataclass(frozen=True)
@@ -89,6 +101,12 @@ class ServingSummary:
     mean_slot_occupancy: float = 0.0
     kv_cache_bytes_peak: int = 0
     kv_fp32_bytes_peak: int = 0
+    # Page-pool metrics over the window (zero when no pages were fetched).
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_decoded_bytes_saved: int = 0
+    prefix_pages_attached: int = 0
+    shared_pages_peak: int = 0
 
     @property
     def kv_compression(self) -> float:
@@ -98,6 +116,12 @@ class ServingSummary:
             if self.kv_cache_bytes_peak
             else 0.0
         )
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of sealed-page fetches served from the decoded LRU."""
+        fetches = self.pool_hits + self.pool_misses
+        return self.pool_hits / fetches if fetches else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view (for logging / benchmark extra_info)."""
@@ -122,6 +146,12 @@ class ServingSummary:
             "kv_cache_bytes_peak": self.kv_cache_bytes_peak,
             "kv_fp32_bytes_peak": self.kv_fp32_bytes_peak,
             "kv_compression": round(self.kv_compression, 2),
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+            "pool_hit_rate": round(self.pool_hit_rate, 4),
+            "pool_decoded_bytes_saved": self.pool_decoded_bytes_saved,
+            "prefix_pages_attached": self.prefix_pages_attached,
+            "shared_pages_peak": self.shared_pages_peak,
         }
 
 
@@ -236,4 +266,9 @@ class ServingStats:
             ),
             kv_cache_bytes_peak=kv_peak.kv_cache_bytes if kv_peak else 0,
             kv_fp32_bytes_peak=kv_peak.kv_fp32_bytes if kv_peak else 0,
+            pool_hits=sum(r.pool_hits for r in rounds),
+            pool_misses=sum(r.pool_misses for r in rounds),
+            pool_decoded_bytes_saved=sum(r.pool_decoded_bytes_saved for r in rounds),
+            prefix_pages_attached=sum(r.prefix_pages_attached for r in rounds),
+            shared_pages_peak=max((r.shared_pages for r in rounds), default=0),
         )

@@ -20,6 +20,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.models.zoo import build_causal_lm
+from repro.nn.attention import attend_padding_waste, bucket_by_length
 from repro.serve.kvcache import KVCacheConfig, cache_for_model
 
 TOTAL_LEN = 24
@@ -28,6 +29,11 @@ TOTAL_LEN = 24
 @pytest.fixture(scope="module")
 def model():
     return build_causal_lm("gpt2-xl", seed=0)
+
+
+def set_ragged_attend(model, mode):
+    for i in range(model.backbone.num_layers):
+        getattr(model.backbone, f"layer_{i}").self_attention.ragged_attend = mode
 
 
 def stepwise_log_probs(model, tokens, prefix_len, config):
@@ -151,6 +157,72 @@ class TestIncrementalAPI:
             model.backbone.forward_incremental(
                 np.zeros((1, 1), dtype=np.int64), [cache]
             )
+
+    def test_bucketing_groups_by_power_of_two(self):
+        buckets = bucket_by_length([5, 11, 19, 500, 16], min_bucket=16)
+        assert buckets == [([0, 1, 4], 16), ([2], 19), ([3], 500)]
+
+    def test_uniform_lengths_collapse_to_one_bucket(self):
+        assert bucket_by_length([37, 37, 37]) == [([0, 1, 2], 37)]
+
+    def test_padding_waste_accounting(self):
+        padded, bucketed = attend_padding_waste([16, 16, 512], min_bucket=16)
+        assert padded == pytest.approx(1 - 544 / 1536)
+        assert bucketed == pytest.approx(0.0)
+        uniform_padded, uniform_bucketed = attend_padding_waste([40, 40])
+        assert uniform_padded == uniform_bucketed == pytest.approx(0.0)
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=50), min_size=2, max_size=6),
+        quantize=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_bucketed_attend_matches_padded_oracle(self, model, lengths, quantize, seed):
+        """Property: the length-bucketed decode round equals the padded oracle.
+
+        Both kernels attend the same decoded pages with the same masked
+        columns; only the GEMM padding width differs, so logits agree to
+        float64 round-off (BLAS kernels may reduce in a different order) and
+        the greedy token matches exactly — quantized and reference mode.
+        """
+        rng = np.random.default_rng(seed)
+        prompts = [rng.integers(0, 96, size=n) for n in lengths]
+        config = KVCacheConfig(bits=4, page_size=4, quantize=quantize)
+
+        def decode_round(mode):
+            caches = []
+            for prompt in prompts:
+                cache = cache_for_model(model, config)
+                model.log_probs_incremental(prompt[None], [cache])
+                caches.append(cache)
+            step = rng.integers(0, 96, size=(len(prompts), 1))
+            set_ragged_attend(model, mode)
+            try:
+                return model.log_probs_incremental(step, caches)
+            finally:
+                set_ragged_attend(model, "bucketed")
+
+        rng_state = rng.bit_generator.state
+        bucketed = decode_round("bucketed")
+        rng.bit_generator.state = rng_state  # same step tokens for the oracle
+        padded = decode_round("padded")
+        np.testing.assert_allclose(bucketed, padded, rtol=1e-9, atol=1e-12)
+        np.testing.assert_array_equal(
+            bucketed[:, -1].argmax(axis=-1), padded[:, -1].argmax(axis=-1)
+        )
+
+    def test_pool_decode_reuse_is_bitwise_equal_to_redecode(self, model):
+        """The decoded-page LRU must change nothing: logits with the pool
+        cache enabled are bitwise identical to re-decoding every round."""
+        tokens = np.random.default_rng(21).integers(0, 96, size=TOTAL_LEN)
+        logits = {}
+        for mb in (64.0, 0.0):  # decode-once pool vs re-decode baseline
+            config = KVCacheConfig(bits=4, page_size=4, pool_decoded_mb=mb)
+            logits[mb], cache = stepwise_log_probs(model, tokens, 8, config)
+            hits = cache.pool.decode_hits
+            assert hits > 0 if mb else hits == 0
+        np.testing.assert_array_equal(logits[64.0], logits[0.0])
 
     def test_ragged_decode_round_matches_per_sequence(self, model):
         """A batched decode round over ragged slots equals row-by-row decode."""

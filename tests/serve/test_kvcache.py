@@ -55,7 +55,8 @@ class TestLayerCache:
         cache.append(step(rng, 10), step(rng, 10))
         # 10 steps with page_size 4 -> 2 sealed pages each for K and V.
         assert cache.num_sealed_pages == 4
-        assert all(isinstance(p, PackedOVPTensor) for p in cache._sealed_k)
+        assert all(isinstance(h.payload, PackedOVPTensor) for h in cache._sealed_k)
+        assert all(h.refcount == 1 for h in cache._sealed_k + cache._sealed_v)
         k_all, v_all = cache.kv()
         assert k_all.shape == (HEADS, 10, DIM)
         assert v_all.shape == (HEADS, 10, DIM)

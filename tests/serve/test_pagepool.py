@@ -1,0 +1,266 @@
+"""Page-pool tests: refcounts, decode-once LRU, prefix sharing, release."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import build_causal_lm
+from repro.serve.kvcache import (
+    KVCacheConfig,
+    LayerKVCache,
+    PagePool,
+    cache_for_model,
+)
+from repro.serve.requests import ServingError
+from repro.serve.scheduler import greedy_top_k
+
+HEADS, DIM = 4, 16
+
+
+def step(rng, t=1, scale=1.0):
+    return rng.normal(0.0, scale, size=(HEADS, t, DIM))
+
+
+def sealed_cache(rng, pool=None, t=16, **config_kwargs):
+    config_kwargs.setdefault("bits", 4)
+    config_kwargs.setdefault("page_size", 4)
+    cache = LayerKVCache(HEADS, DIM, KVCacheConfig(**config_kwargs), pool=pool)
+    cache.append(step(rng, t), step(rng, t))
+    return cache
+
+
+class TestRefcounts:
+    def test_register_incref_release(self):
+        pool = PagePool()
+        handle = pool.register(np.zeros((2, 2)))
+        assert handle.refcount == 1 and pool.num_entries == 1
+        pool.incref(handle)
+        assert handle.refcount == 2 and handle.shared
+        pool.release(handle)
+        assert pool.num_entries == 1 and not handle.shared
+        pool.release(handle)
+        assert pool.num_entries == 0 and pool.pages_dropped == 1
+
+    def test_over_release_rejected(self):
+        pool = PagePool()
+        handle = pool.register(np.zeros(2))
+        pool.release(handle)
+        with pytest.raises(ServingError):
+            pool.release(handle)
+
+    def test_cache_release_drops_pages_and_decoded_entries(self):
+        pool = PagePool()
+        cache = sealed_cache(np.random.default_rng(0), pool=pool)
+        assert pool.num_entries == cache.num_sealed_pages == 8
+        cache.kv()  # populate the decoded LRU
+        assert pool.decoded_cache_bytes > 0
+        cache.release()
+        assert pool.num_entries == 0
+        assert pool.decoded_cache_bytes == 0
+        assert cache.seq_len == 0
+        with pytest.raises(ServingError):
+            cache.kv()
+
+
+class TestDecodedLRU:
+    def test_pages_decode_once_and_hits_are_bitwise_identical(self):
+        pool = PagePool()
+        cache = sealed_cache(np.random.default_rng(1), pool=pool)
+        k_first, v_first = cache.kv()
+        assert pool.decode_misses == 8 and pool.decode_hits == 0
+        k_again, v_again = cache.kv()
+        assert pool.decode_misses == 8 and pool.decode_hits == 8
+        np.testing.assert_array_equal(k_first, k_again)
+        np.testing.assert_array_equal(v_first, v_again)
+        assert pool.decoded_bytes_saved > 0
+
+    def test_decoded_values_match_direct_codec_decode(self):
+        pool = PagePool()
+        cache = sealed_cache(np.random.default_rng(2), pool=pool)
+        k_pool, _ = cache.kv()
+        direct = np.concatenate(
+            [cache.codec.decode_tensor(h.payload) for h in cache._sealed_k], axis=1
+        )
+        np.testing.assert_array_equal(k_pool, direct)
+
+    def test_zero_capacity_disables_reuse(self):
+        pool = PagePool(decoded_capacity_bytes=0)
+        cache = sealed_cache(np.random.default_rng(3), pool=pool)
+        cache.kv()
+        cache.kv()
+        assert pool.decode_hits == 0 and pool.decode_misses == 16
+        assert pool.decoded_cache_bytes == 0
+
+    def test_lru_evicts_oldest_under_pressure(self):
+        page_bytes = HEADS * 4 * DIM * 8  # one decoded float64 page
+        pool = PagePool(decoded_capacity_bytes=page_bytes * 3)
+        cache = sealed_cache(np.random.default_rng(4), pool=pool)  # 8 pages
+        cache.kv()
+        assert pool.decoded_cache_bytes <= page_bytes * 3
+        # Everything still decodes correctly even with most pages evicted.
+        k, _ = cache.kv()
+        assert k.shape == (HEADS, 16, DIM)
+
+    def test_duplicate_fetch_in_one_call_decodes_once(self):
+        pool = PagePool()
+        cache = sealed_cache(np.random.default_rng(5), pool=pool, t=4)  # 1 page/side
+        handle = cache._sealed_k[0]
+        arrays = pool.decoded_many([handle, handle], cache.codec)
+        assert arrays[0] is arrays[1]
+        assert pool.decode_misses == 1 and pool.decode_hits == 1
+
+    def test_reference_mode_passes_through_without_decode(self):
+        pool = PagePool()
+        cache = sealed_cache(np.random.default_rng(6), pool=pool, quantize=False)
+        cache.kv()
+        assert pool.decode_hits == 0 and pool.decode_misses == 0
+
+
+class TestKvManyValidation:
+    def test_empty_cache_list_rejected(self):
+        with pytest.raises(ServingError, match="at least one cache"):
+            LayerKVCache.kv_many([])
+
+    def test_mixed_quantize_modes_rejected(self):
+        rng = np.random.default_rng(7)
+        packed = sealed_cache(rng)
+        reference = sealed_cache(rng, quantize=False)
+        with pytest.raises(ServingError, match="mix quantized and reference"):
+            LayerKVCache.kv_many([packed, reference])
+
+    def test_mixed_ovp_widths_rejected(self):
+        rng = np.random.default_rng(8)
+        four = sealed_cache(rng, bits=4)
+        eight = sealed_cache(rng, bits=8)
+        with pytest.raises(ServingError, match="mix OVP widths"):
+            LayerKVCache.kv_many([four, eight])
+
+    def test_empty_member_cache_rejected(self):
+        rng = np.random.default_rng(9)
+        full = sealed_cache(rng)
+        empty = LayerKVCache(HEADS, DIM, KVCacheConfig(bits=4, page_size=4))
+        with pytest.raises(ServingError, match="empty"):
+            LayerKVCache.kv_many([full, empty])
+
+    def test_kv_many_spans_private_pools(self):
+        # Standalone caches each own a pool; kv_many still reassembles all.
+        rng = np.random.default_rng(10)
+        caches = [sealed_cache(rng, t=t) for t in (3, 9, 17)]
+        assert len({id(c.pool) for c in caches}) == 3
+        for cache, (k_b, v_b) in zip(caches, LayerKVCache.kv_many(caches)):
+            k, v = cache.kv()
+            np.testing.assert_array_equal(k_b, k)
+            np.testing.assert_array_equal(v_b, v)
+
+
+class TestPrefixSharing:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_causal_lm("gpt2-xl", seed=0)
+
+    def prefilled(self, model, tokens, pool, config):
+        cache = cache_for_model(model, config, pool=pool)
+        model.log_probs_incremental(np.asarray(tokens)[None], [cache])
+        return cache
+
+    @pytest.mark.parametrize("quantize", [True, False])
+    def test_attached_prefix_is_bitwise_equal_to_donor(self, model, quantize):
+        config = KVCacheConfig(bits=4, page_size=8, quantize=quantize)
+        pool = config.make_pool()
+        tokens = np.random.default_rng(11).integers(0, 96, size=35)
+        donor = self.prefilled(model, tokens, pool, config)
+        pool.register_prefix("m", tokens, donor)
+
+        num_pages, layers_k, layers_v = pool.lookup_prefix("m", tokens, 8, max_pages=4)
+        assert num_pages == 4
+        twin = cache_for_model(model, config, pool=pool)
+        twin.attach_prefix(layers_k, layers_v, num_pages * 8)
+        assert twin.seq_len == 32
+        for layer in range(donor.num_layers):
+            k_donor, v_donor = donor.layer(layer).kv()
+            k_twin, v_twin = twin.layer(layer).kv()
+            np.testing.assert_array_equal(k_twin, k_donor[:, :32])
+            np.testing.assert_array_equal(v_twin, v_donor[:, :32])
+            assert donor.layer(layer)._sealed_k[0] is twin.layer(layer)._sealed_k[0]
+
+    def test_prefix_index_keeps_pages_alive_after_donor_release(self, model):
+        config = KVCacheConfig(bits=4, page_size=8)
+        pool = config.make_pool()
+        tokens = np.random.default_rng(12).integers(0, 96, size=24)
+        donor = self.prefilled(model, tokens, pool, config)
+        pool.register_prefix("m", tokens, donor)
+        indexed = 3 * 2 * donor.num_layers  # 3 pages × K/V × layers
+        donor.release()
+        assert pool.num_entries == indexed
+        num_pages, layers_k, layers_v = pool.lookup_prefix("m", tokens, 8, max_pages=2)
+        assert num_pages == 2
+        twin = cache_for_model(model, config, pool=pool)
+        twin.attach_prefix(layers_k, layers_v, 16)
+        k, _ = twin.layer(0).kv()
+        assert k.shape == (twin.layer(0).num_heads, 16, twin.layer(0).head_dim)
+
+    def test_lookup_scoped_by_key_and_alignment(self, model):
+        config = KVCacheConfig(bits=4, page_size=8)
+        pool = config.make_pool()
+        tokens = np.random.default_rng(13).integers(0, 96, size=24)
+        donor = self.prefilled(model, tokens, pool, config)
+        pool.register_prefix("model-a", tokens, donor)
+        assert pool.lookup_prefix("model-b", tokens, 8, max_pages=2)[0] == 0
+        different = tokens.copy()
+        different[0] += 1  # first page differs -> whole chain misses
+        assert pool.lookup_prefix("model-a", different, 8, max_pages=2)[0] == 0
+        # A longer prompt sharing the pages matches only the sealed chain.
+        longer = np.concatenate([tokens, np.array([1, 2, 3], dtype=np.int64)])
+        assert pool.lookup_prefix("model-a", longer, 8, max_pages=3)[0] == 3
+
+    def test_prefix_eviction_releases_references(self, model):
+        config = KVCacheConfig(bits=4, page_size=8)
+        pool = PagePool(decoded_capacity_bytes=0, prefix_capacity=2)
+        tokens = np.random.default_rng(14).integers(0, 96, size=40)
+        donor = self.prefilled(model, tokens, pool, config)
+        pool.register_prefix("m", tokens, donor)  # 5 pages -> 3 evicted
+        assert pool.num_prefix_nodes == 2
+        donor.release()
+        # Only the two retained nodes' pages stay alive.
+        assert pool.num_entries == 2 * 2 * donor.num_layers
+
+    def test_attach_rejects_geometry_and_state_mismatches(self, model):
+        config = KVCacheConfig(bits=4, page_size=8)
+        pool = config.make_pool()
+        tokens = np.random.default_rng(15).integers(0, 96, size=16)
+        donor = self.prefilled(model, tokens, pool, config)
+        pool.register_prefix("m", tokens, donor)
+        _, layers_k, layers_v = pool.lookup_prefix("m", tokens, 8, max_pages=2)
+        occupied = cache_for_model(model, config, pool=pool)
+        model.log_probs_incremental(tokens[None, :4], [occupied])
+        with pytest.raises(ServingError, match="empty"):
+            occupied.attach_prefix(layers_k, layers_v, 16)
+        twin = cache_for_model(model, config, pool=pool)
+        with pytest.raises(ServingError, match="does not fill"):
+            twin.attach_prefix(layers_k, layers_v, 15)
+        small = LayerKVCache(2, 4, config, pool=pool)
+        with pytest.raises(ServingError, match="geometry"):
+            small.attach(layers_k[0], layers_v[0], 16)
+
+
+class TestGreedyTopK:
+    def test_matches_full_sort(self):
+        rng = np.random.default_rng(16)
+        log_probs = rng.normal(size=200)
+        expected = np.argsort(log_probs)[::-1][:5]
+        assert greedy_top_k(log_probs, 5)["next_tokens"] == [int(t) for t in expected]
+
+    def test_top_k_clamped_to_vocab(self):
+        log_probs = np.array([0.1, 0.9, 0.5])
+        out = greedy_top_k(log_probs, 10)
+        assert out["next_tokens"] == [1, 2, 0]
+
+    def test_invalid_top_k_rejected(self):
+        with pytest.raises(ServingError, match="top_k"):
+            greedy_top_k(np.zeros(4), 0)
+        with pytest.raises(ServingError, match="top_k"):
+            greedy_top_k(np.zeros(4), -3)
+
+    def test_log_probs_sorted_descending(self):
+        rng = np.random.default_rng(17)
+        out = greedy_top_k(rng.normal(size=500), 8)
+        assert out["log_probs"] == sorted(out["log_probs"], reverse=True)

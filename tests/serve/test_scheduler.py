@@ -99,6 +99,103 @@ class TestSlotLifecycle:
         assert result.output["kv_cache"]["kv_fp32_bytes"] > 0
 
 
+class TestPrefixSharing:
+    def test_second_identical_prompt_attaches_shared_pages(self, repo):
+        config = KVCacheConfig(bits=4, page_size=4)
+        scheduler = ContinuousBatchingScheduler(repo, num_slots=2, cache_config=config)
+        prompt = np.random.default_rng(40).integers(0, 96, size=16)
+
+        def request():
+            return InferenceRequest(
+                "gpt2-xl", WorkloadFamily.LM, prompt, max_new_tokens=3
+            )
+
+        scheduler.submit(request())
+        first = scheduler.run_until_idle()[0]
+        assert first.output["kv_cache"]["prefix_shared_tokens"] == 0
+        scheduler.submit(request())
+        second = scheduler.run_until_idle()[0]
+        # 16-token prompt, page 4: at most (16-1)//4 = 3 pages shareable.
+        assert second.output["kv_cache"]["prefix_shared_tokens"] == 12
+        assert second.output["generated_tokens"] == first.output["generated_tokens"]
+
+    def test_prefix_sharing_disabled_by_config(self, repo):
+        config = KVCacheConfig(bits=4, page_size=4, prefix_sharing=False)
+        scheduler = ContinuousBatchingScheduler(repo, num_slots=2, cache_config=config)
+        prompt = np.random.default_rng(41).integers(0, 96, size=16)
+        for _ in range(2):
+            scheduler.submit(
+                InferenceRequest("gpt2-xl", WorkloadFamily.LM, prompt, max_new_tokens=2)
+            )
+            result = scheduler.run_until_idle()[0]
+            assert result.output["kv_cache"]["prefix_shared_tokens"] == 0
+        assert scheduler.page_pool.num_prefix_nodes == 0
+
+    def test_shared_and_cold_paths_generate_identical_tokens(self, repo):
+        """Prefix-shared decode must reproduce the cold path token for token."""
+        prompt = np.random.default_rng(42).integers(0, 96, size=20)
+        outputs = {}
+        for sharing in (True, False):
+            config = KVCacheConfig(bits=4, page_size=4, prefix_sharing=sharing)
+            scheduler = ContinuousBatchingScheduler(
+                repo, num_slots=2, cache_config=config
+            )
+            tokens = []
+            for _ in range(2):  # second submission hits the prefix when sharing
+                scheduler.submit(
+                    InferenceRequest(
+                        "gpt2-xl", WorkloadFamily.LM, prompt, max_new_tokens=4
+                    )
+                )
+                tokens.append(scheduler.run_until_idle()[0].output["generated_tokens"])
+            outputs[sharing] = tokens
+        assert outputs[True] == outputs[False]
+
+    def test_retire_releases_slot_references(self, repo):
+        config = KVCacheConfig(bits=4, page_size=4)
+        scheduler = ContinuousBatchingScheduler(repo, num_slots=2, cache_config=config)
+        scheduler.submit(gen_request(seq_len=12, max_new_tokens=2, seed=43))
+        scheduler.run_until_idle()
+        pool = scheduler.page_pool
+        # Only prefix-indexed pages survive retirement, each singly held.
+        assert pool.num_entries == pool.num_prefix_nodes * 2 * 3  # K/V × layers
+        assert pool.num_shared_pages == 0
+
+    def test_abort_releases_slot_references(self, repo):
+        config = KVCacheConfig(bits=4, page_size=4)
+        scheduler = ContinuousBatchingScheduler(repo, num_slots=2, cache_config=config)
+        scheduler.submit(gen_request(seq_len=12, max_new_tokens=8, seed=44))
+        scheduler.step()  # admitted, decoding
+        assert scheduler.num_active == 1
+        scheduler.abort_active(RuntimeError("boom"))
+        pool = scheduler.page_pool
+        assert scheduler.num_active == 0
+        assert pool.num_entries == pool.num_prefix_nodes * 2 * 3
+        assert pool.num_shared_pages == 0
+
+    def test_pool_metrics_reach_stats_summary(self, repo):
+        engine = ServingEngine(
+            repository=repo,
+            max_batch_size=4,
+            max_wait=0.0,
+            kv_cache_config=KVCacheConfig(bits=4, page_size=4),
+        )
+        prompt = np.random.default_rng(45).integers(0, 96, size=12)
+        for _ in range(2):
+            engine.serve(
+                [InferenceRequest("gpt2-xl", WorkloadFamily.LM, prompt, max_new_tokens=6)]
+            )
+        summary = engine.stats.summary()
+        assert summary.pool_hits > 0
+        assert 0.0 < summary.pool_hit_rate <= 1.0
+        assert summary.pool_decoded_bytes_saved > 0
+        assert summary.prefix_pages_attached > 0
+        assert summary.shared_pages_peak > 0
+        as_dict = summary.as_dict()
+        for key in ("pool_hit_rate", "pool_decoded_bytes_saved", "shared_pages_peak"):
+            assert key in as_dict
+
+
 class TestEngineWiring:
     def test_mixed_traffic_and_stats(self, repo):
         engine = ServingEngine(
