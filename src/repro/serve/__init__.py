@@ -14,17 +14,40 @@ request/response engine:
   pages are memory-aligned OVP byte streams (quantize-on-append) held in a
   shared refcounted :class:`~repro.serve.kvcache.PagePool` with a decode-once
   LRU and a prompt-prefix index for copy-on-write page sharing;
+* :mod:`repro.serve.sampling` — the generation API surface:
+  :class:`~repro.serve.sampling.SamplingParams` (temperature / top-k / top-p /
+  stop tokens / seed), a pluggable logits-processor chain and
+  :class:`~repro.serve.sampling.Sampler`, plus the typed streamed/final
+  outputs :class:`~repro.serve.sampling.TokenChunk` and
+  :class:`~repro.serve.sampling.RequestOutput`;
 * :mod:`repro.serve.scheduler` — slot-level continuous batching that admits
-  and retires generation sequences mid-flight;
-* :mod:`repro.serve.aio` — asyncio front-end for concurrent clients;
+  and retires generation sequences mid-flight, samples per-slot with
+  per-request seeded generators, honors stop tokens mid-round and cancels
+  in-flight sequences on demand;
+* :mod:`repro.serve.aio` — asyncio front-end for concurrent clients
+  (``infer`` / ``stream`` / ``cancel``);
 * :mod:`repro.serve.stats` — throughput, p50/p95 latency, batch fill,
-  DRAM-byte and KV-cache/slot-occupancy accounting aligned with the
-  performance simulators.
+  DRAM-byte, KV-cache/slot-occupancy, finish-reason and streamed-token
+  latency (TTFT / inter-token) accounting aligned with the performance
+  simulators.
 """
 
 from repro.serve.aio import AsyncServer
 from repro.serve.batcher import MicroBatcher, QueuedRequest
 from repro.serve.engine import InferenceEngine, ServingEngine
+from repro.serve.sampling import (
+    FinishReason,
+    LogitsProcessor,
+    RequestOutput,
+    Sampler,
+    SamplingParams,
+    TemperatureWarper,
+    TokenChunk,
+    TopKFilter,
+    TopPFilter,
+    default_processors,
+    top_k_candidates,
+)
 from repro.serve.kvcache import (
     KVCacheConfig,
     LayerKVCache,
@@ -53,11 +76,13 @@ __all__ = [
     "BatchRecord",
     "ContinuousBatchingScheduler",
     "DecodeRoundRecord",
+    "FinishReason",
     "InferenceEngine",
     "InferenceRequest",
     "InferenceResult",
     "KVCacheConfig",
     "LayerKVCache",
+    "LogitsProcessor",
     "MicroBatcher",
     "ModelRepository",
     "PackedModel",
@@ -65,11 +90,20 @@ __all__ = [
     "PagePool",
     "QueuedRequest",
     "RepositoryStats",
+    "RequestOutput",
+    "Sampler",
+    "SamplingParams",
     "SequenceKVCache",
     "ServingEngine",
     "ServingError",
     "ServingStats",
     "ServingSummary",
+    "TemperatureWarper",
+    "TokenChunk",
+    "TopKFilter",
+    "TopPFilter",
     "WorkloadFamily",
     "cache_for_model",
+    "default_processors",
+    "top_k_candidates",
 ]

@@ -8,19 +8,30 @@ loop (the NumPy models are small and release-free), so ordering is
 deterministic: requests queued within one ``max_wait`` window of the same
 batch key share a forward pass.
 
+LM generation requests additionally stream:
+``async for chunk in server.stream(request)`` yields one
+:class:`~repro.serve.sampling.TokenChunk` per sampled token as the decode
+rounds produce them, ending with the chunk whose ``finish_reason`` is set;
+``await server.cancel(request_id)`` aborts an in-flight request (its stream
+terminates with ``finish_reason="aborted"`` and the KV pages free
+immediately).
+
 Usage::
 
     async with AsyncServer(ServingEngine(...)) as server:
         results = await asyncio.gather(*(server.infer(r) for r in requests))
+        async for chunk in server.stream(gen_request):
+            print(chunk.token_id, chunk.finish_reason)
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional
+from typing import AsyncIterator, Dict, Optional
 
 from repro.serve.engine import ServingEngine
 from repro.serve.requests import InferenceRequest, InferenceResult, ServingError
+from repro.serve.sampling import TokenChunk
 
 __all__ = ["AsyncServer"]
 
@@ -31,6 +42,9 @@ class AsyncServer:
     def __init__(self, engine: Optional[ServingEngine] = None) -> None:
         self.engine = engine or ServingEngine()
         self._futures: Dict[str, "asyncio.Future[InferenceResult]"] = {}
+        # Requests with an open stream() consumer: their buffered TokenChunks
+        # must survive result delivery until the consumer drains them.
+        self._streaming: set = set()
         self._wake: Optional[asyncio.Event] = None
         self._scheduler: Optional["asyncio.Task[None]"] = None
 
@@ -68,8 +82,7 @@ class AsyncServer:
     # ------------------------------------------------------------------ #
     # Client API
     # ------------------------------------------------------------------ #
-    async def infer(self, request: InferenceRequest) -> InferenceResult:
-        """Queue ``request`` and await its result."""
+    def _register(self, request: InferenceRequest) -> "asyncio.Future[InferenceResult]":
         if self._scheduler is None:
             raise ServingError("AsyncServer is not started; use 'async with' or start()")
         if request.request_id in self._futures:
@@ -81,7 +94,80 @@ class AsyncServer:
         self._futures[request.request_id] = future
         self.engine.submit(request)
         self._wake.set()
-        return await future
+        return future
+
+    async def infer(self, request: InferenceRequest) -> InferenceResult:
+        """Queue ``request`` and await its result."""
+        return await self._register(request)
+
+    async def stream(self, request: InferenceRequest) -> AsyncIterator[TokenChunk]:
+        """Queue an LM generation request and yield its tokens as they decode.
+
+        The generator ends after the chunk carrying a ``finish_reason``
+        (``stop``/``length``/``aborted``/``error``); the yielded token ids
+        concatenate to exactly the non-streamed ``generated_tokens``.  A
+        request that fails before producing a terminal chunk raises the same
+        :class:`ServingError` that :meth:`infer` would.
+        """
+        if not self.engine.continuous_batching:
+            raise ServingError(
+                "streaming requires continuous batching "
+                "(ServingEngine(continuous_batching=True))"
+            )
+        future = self._register(request)
+        request_id = request.request_id
+        self._streaming.add(request_id)
+        try:
+            while True:
+                chunk = self.engine.next_chunk(request_id)
+                if chunk is not None:
+                    yield chunk
+                    if chunk.finish_reason is not None:
+                        return
+                    continue
+                if future.done():
+                    # Failure futures raise here; a completed future with no
+                    # terminal chunk left means the buffer was evicted — end.
+                    future.result()
+                    return
+                # Let the scheduler task advance a decode round.
+                self._wake.set()
+                await asyncio.sleep(0)
+        finally:
+            self._streaming.discard(request_id)
+            leftover = self._futures.pop(request_id, None)
+            if leftover is not None and not leftover.done():
+                # The client abandoned the stream mid-generation: abort the
+                # sequence so its slot and KV pages free immediately.
+                self.engine.cancel(request_id)
+                leftover.cancel()
+            if future.done() and not future.cancelled():
+                # A decode-round failure surfaces as the terminal "error"
+                # chunk, so the future's ServingError may go unread — mark it
+                # retrieved, or asyncio logs a phantom traceback at GC.
+                future.exception()
+            self.engine.discard_result(request_id)
+
+    async def cancel(self, request_id: str) -> Optional[InferenceResult]:
+        """Abort an in-flight request; returns its ``aborted`` result (or None).
+
+        The request's slot, KV cache and page-pool references are released
+        before this returns; an open ``stream()`` of the same request ends
+        with ``finish_reason="aborted"``, and a pending ``infer()`` resolves
+        to the aborted result.
+        """
+        result = self.engine.cancel(request_id)
+        if result is None:
+            return None
+        self.engine.discard_result(
+            request_id, drop_chunks=request_id not in self._streaming
+        )
+        future = self._futures.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+        if self._wake is not None:
+            self._wake.set()
+        return result
 
     @property
     def in_flight(self) -> int:
@@ -126,12 +212,19 @@ class AsyncServer:
                 return
             for result in results:
                 # Pop from the sync registry too, so async serving does not
-                # accumulate results nobody will fetch via engine.result().
-                self.engine.discard_result(result.request_id)
+                # accumulate results nobody will fetch via engine.result();
+                # an open stream() consumer still owns its buffered chunks.
+                self.engine.discard_result(
+                    result.request_id,
+                    drop_chunks=result.request_id not in self._streaming,
+                )
                 future = self._futures.pop(result.request_id, None)
                 if future is not None and not future.done():
                     future.set_result(result)
             for request_id, exc in failures:
+                self.engine.discard_result(
+                    request_id, drop_chunks=request_id not in self._streaming
+                )
                 future = self._futures.pop(request_id, None)
                 if future is not None and not future.done():
                     future.set_exception(

@@ -78,6 +78,22 @@ class MicroBatcher:
         with self._lock:
             return sum(len(q) for q in self._queues.values())
 
+    def cancel(self, request_id: str) -> Optional[QueuedRequest]:
+        """Remove a still-queued request; returns its record (None if absent).
+
+        A request already released in a batch cannot be cancelled here — the
+        forward pass is not interruptible mid-GEMM.
+        """
+        with self._lock:
+            for key, queue in self._queues.items():
+                for position, queued in enumerate(queue):
+                    if queued.request.request_id == request_id:
+                        del queue[position]
+                        if not queue:
+                            del self._queues[key]
+                        return queued
+        return None
+
     @property
     def num_groups(self) -> int:
         """Number of distinct batch keys currently queued."""

@@ -15,8 +15,8 @@ for concurrent clients.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
-from typing import List, Optional, Sequence
+from collections import OrderedDict, deque
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.serve.requests import (
     ServingError,
     WorkloadFamily,
 )
+from repro.serve.sampling import FinishReason, RequestOutput, Sampler, TokenChunk
 from repro.serve.scheduler import ContinuousBatchingScheduler, greedy_top_k
 from repro.serve.stats import BatchRecord, ServingStats
 
@@ -151,7 +152,7 @@ class InferenceEngine:
 
     def _run_lm(
         self, entry: PackedModel, inputs: np.ndarray, requests: Sequence[InferenceRequest]
-    ) -> List[dict]:
+    ) -> List[RequestOutput]:
         """Score-only rows take the batched full forward; generation rows the
         incremental KV-cache path.  The split keeps a score-only request's
         logits identical whether or not generation requests share its batch
@@ -159,11 +160,16 @@ class InferenceEngine:
         forward does not)."""
         score_rows = [i for i, r in enumerate(requests) if r.max_new_tokens == 0]
         gen_rows = [i for i, r in enumerate(requests) if r.max_new_tokens > 0]
-        outputs: List[Optional[dict]] = [None] * len(requests)
+        outputs: List[Optional[RequestOutput]] = [None] * len(requests)
         if score_rows:
             log_probs = np.asarray(entry.model.log_probs(inputs[score_rows]))[:, -1, :]
             for row_lp, i in zip(log_probs, score_rows):
-                outputs[i] = greedy_top_k(row_lp, requests[i].top_k)
+                top = greedy_top_k(row_lp, requests[i].top_k)
+                outputs[i] = RequestOutput(
+                    request_id=requests[i].request_id,
+                    next_tokens=top["next_tokens"],
+                    log_probs=top["log_probs"],
+                )
         if gen_rows:
             generated = self._run_lm_generate(
                 entry, inputs[gen_rows], [requests[i] for i in gen_rows]
@@ -174,14 +180,18 @@ class InferenceEngine:
 
     def _run_lm_generate(
         self, entry: PackedModel, inputs: np.ndarray, requests: Sequence[InferenceRequest]
-    ) -> List[dict]:
+    ) -> List[RequestOutput]:
         """Whole-batch-release generation through OVP-paged KV caches.
 
         The batch prefills in one incremental pass (one KV cache per row),
-        then advances one token per decode round until each row reaches its
-        ``max_new_tokens``; finished rows drop out of later rounds, but the
-        batch's results are only released together — the baseline the
-        continuous-batching scheduler improves on.
+        then advances one token per decode round until each row finishes
+        (stop token or ``max_new_tokens``); finished rows drop out of later
+        rounds, but the batch's results are only released together — the
+        baseline the continuous-batching scheduler improves on.  Each row
+        samples with its request's :class:`~repro.serve.sampling.SamplingParams`
+        through its own seeded generator — one draw per token, the same
+        discipline as the scheduler, so the two paths generate identical
+        tokens for identical requests.
         """
         for request in requests:
             validate_token_budget(entry.model, request)
@@ -189,18 +199,32 @@ class InferenceEngine:
             cache_for_model(entry.model, self.kv_cache_config, pool=self.page_pool)
             for _ in requests
         ]
+        samplers = [Sampler(request.sampling) for request in requests]
+        generators = [sampler.make_generator() for sampler in samplers]
         try:
             last_lp = entry.model.log_probs_incremental(inputs, caches, last_only=True)[:, -1, :]
             generated: List[List[int]] = [[] for _ in requests]
+            logprobs: List[List[float]] = [[] for _ in requests]
+            top_logprobs: List[list] = [[] for _ in requests]
+            finish: List[Optional[str]] = [None] * len(requests)
             final_lp = [row for row in last_lp]
+
+            def emit(i: int, row_lp: np.ndarray) -> None:
+                final_lp[i] = row_lp
+                sampled = samplers[i].sample(row_lp, generators[i])
+                generated[i].append(sampled.token_id)
+                logprobs[i].append(sampled.logprob)
+                if sampled.top_logprobs:
+                    top_logprobs[i].append(sampled.top_logprobs)
+                if samplers[i].is_stop(sampled.token_id):
+                    finish[i] = FinishReason.STOP
+                elif len(generated[i]) >= requests[i].max_new_tokens:
+                    finish[i] = FinishReason.LENGTH
+
             for i in range(len(requests)):
-                generated[i].append(int(np.argmax(last_lp[i])))
+                emit(i, last_lp[i])
             while True:
-                rows = [
-                    i
-                    for i, request in enumerate(requests)
-                    if len(generated[i]) < request.max_new_tokens
-                ]
+                rows = [i for i in range(len(requests)) if finish[i] is None]
                 if not rows:
                     break
                 step_tokens = np.array([[generated[i][-1]] for i in rows], dtype=np.int64)
@@ -208,14 +232,22 @@ class InferenceEngine:
                     step_tokens, [caches[i] for i in rows]
                 )[:, -1, :]
                 for row, i in enumerate(rows):
-                    final_lp[i] = step_lp[row]
-                    generated[i].append(int(np.argmax(step_lp[row])))
+                    emit(i, step_lp[row])
             outputs = []
             for i, request in enumerate(requests):
-                output = greedy_top_k(final_lp[i], request.top_k)
-                output["generated_tokens"] = generated[i]
-                output["kv_cache"] = caches[i].memory_summary()
-                outputs.append(output)
+                top = greedy_top_k(final_lp[i], request.top_k)
+                outputs.append(
+                    RequestOutput(
+                        request_id=request.request_id,
+                        finish_reason=finish[i],
+                        token_ids=generated[i],
+                        logprobs=logprobs[i],
+                        top_logprobs=top_logprobs[i],
+                        next_tokens=top["next_tokens"],
+                        log_probs=top["log_probs"],
+                        kv_cache=caches[i].memory_summary(),
+                    )
+                )
             return outputs
         finally:
             # Batch release: drop the page-pool references (and their decoded
@@ -250,12 +282,20 @@ class InferenceEngine:
 class ServingEngine:
     """Synchronous serving scheduler: micro-batcher + engine + stats.
 
-    LM generation requests (``max_new_tokens > 0``) are routed to a
+    LM generation requests (``sampling.max_new_tokens > 0``) are routed to a
     slot-level continuous-batching scheduler by default, which admits and
     retires sequences mid-flight over per-sequence OVP-paged KV caches.
     ``continuous_batching=False`` sends them through the micro-batcher
     instead (whole-batch release — the baseline the benchmarks compare
     against).
+
+    Generation requests stream: :meth:`stream` iterates the request's
+    :class:`~repro.serve.sampling.TokenChunk`'s as decode rounds produce
+    them, and :meth:`cancel` aborts an in-flight request, freeing its slot
+    and KV pages immediately (``finish_reason="aborted"``).
+    ``share_generated_suffix=True`` additionally registers decode-sealed KV
+    pages in the page pool's prefix index at retirement, so a follow-up
+    conversation turn (``prompt + generated``) attaches copy-on-write.
     """
 
     def __init__(
@@ -268,6 +308,7 @@ class ServingEngine:
         continuous_batching: bool = True,
         num_slots: Optional[int] = None,
         kv_cache_config: Optional[KVCacheConfig] = None,
+        share_generated_suffix: bool = False,
     ) -> None:
         self.repository = repository or ModelRepository()
         self.clock = clock
@@ -292,6 +333,7 @@ class ServingEngine:
             clock=clock,
             stats=self.stats,
             page_pool=self.page_pool,
+            share_generated_suffix=share_generated_suffix,
         )
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded
@@ -299,6 +341,9 @@ class ServingEngine:
         self.result_buffer = int(result_buffer)
         self._completed: "OrderedDict[str, InferenceResult]" = OrderedDict()
         self._failed: "OrderedDict[str, Exception]" = OrderedDict()
+        # Streamed TokenChunks per request, drained by stream()/next_chunk();
+        # bounded like the registries (oldest request's stream evicted first).
+        self._chunks: "OrderedDict[str, deque]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Request lifecycle
@@ -355,6 +400,7 @@ class ServingEngine:
             self.lm_scheduler.abort_active(exc)
         for request_id, exc in self.lm_scheduler.take_failures():
             self._record_failure(request_id, exc)
+        self._buffer_chunks()
         for result in results:
             self._completed[result.request_id] = result
         while len(self._completed) > self.result_buffer:
@@ -365,6 +411,102 @@ class ServingEngine:
         self._failed[request_id] = exc
         while len(self._failed) > self.result_buffer:
             self._failed.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # Streaming and cancellation
+    # ------------------------------------------------------------------ #
+    def _buffer_chunks(self) -> None:
+        """Move the scheduler's freshly emitted TokenChunks into the buffer."""
+        for chunk in self.lm_scheduler.take_chunks():
+            queue = self._chunks.get(chunk.request_id)
+            if queue is None:
+                queue = self._chunks[chunk.request_id] = deque()
+            queue.append(chunk)
+        while len(self._chunks) > self.result_buffer:
+            self._chunks.popitem(last=False)
+
+    def next_chunk(self, request_id: str) -> Optional[TokenChunk]:
+        """Pop the oldest buffered chunk of ``request_id`` (None when empty).
+
+        The buffer entry is forgotten once its terminal chunk (the one
+        carrying a ``finish_reason``) has been consumed.
+        """
+        queue = self._chunks.get(request_id)
+        if not queue:
+            return None
+        chunk = queue.popleft()
+        if not queue and chunk.finish_reason is not None:
+            del self._chunks[request_id]
+        return chunk
+
+    def stream(self, request_id: str) -> Iterator[TokenChunk]:
+        """Iterate the :class:`TokenChunk`'s of an in-flight generation request.
+
+        Drives the engine (``step(force=True)``) whenever no chunk is
+        buffered, so plain ``for chunk in engine.stream(rid)`` works without a
+        separate serving loop; co-batched requests progress alongside.  The
+        iterator ends after the chunk whose ``finish_reason`` is set
+        (``stop``/``length``/``aborted``/``error``); chunk ``token_ids``
+        concatenate to exactly the non-streamed ``generated_tokens``.  A
+        request that failed before producing tokens raises
+        :class:`ServingError`.
+        """
+        if not self.continuous_batching:
+            raise ServingError(
+                "streaming requires continuous batching "
+                "(ServingEngine(continuous_batching=True))"
+            )
+        while True:
+            chunk = self.next_chunk(request_id)
+            if chunk is not None:
+                yield chunk
+                if chunk.finish_reason is not None:
+                    return
+                continue
+            failure = self._failed.get(request_id)
+            if failure is not None:
+                del self._failed[request_id]
+                raise ServingError(
+                    f"request {request_id!r} failed: {failure}"
+                ) from failure
+            if not self.lm_scheduler.has_request(request_id):
+                raise ServingError(
+                    f"no streaming request {request_id!r} in flight"
+                )
+            self.step(force=True)
+
+    def cancel(self, request_id: str) -> Optional[InferenceResult]:
+        """Abort an in-flight request; returns its ``aborted`` result (or None).
+
+        A generation request queued or decoding in the continuous scheduler
+        retires immediately — its KV cache and page-pool references are
+        released before this method returns — and both the returned result
+        and the buffered stream end with ``finish_reason="aborted"``.  A
+        request still waiting in the micro-batcher is simply removed and gets
+        an aborted result with no output payload.  Returns ``None`` when the
+        request is unknown (already completed, or never submitted).
+        """
+        result = self.lm_scheduler.cancel(request_id)
+        if result is None:
+            queued = self.batcher.cancel(request_id)
+            if queued is None:
+                return None
+            result = InferenceResult(
+                request_id=request_id,
+                model=queued.request.model,
+                family=queued.request.family,
+                output=RequestOutput(
+                    request_id=request_id, finish_reason=FinishReason.ABORTED
+                ),
+                batch_size=0,
+                enqueued_at=queued.enqueued_at,
+                completed_at=self.clock(),
+            )
+        self._buffer_chunks()
+        self._completed[result.request_id] = result
+        while len(self._completed) > self.result_buffer:
+            self._completed.popitem(last=False)
+        return result
 
     def run_until_idle(self) -> List[InferenceResult]:
         """Drain the queues completely (forcing partial batches)."""
@@ -398,14 +540,22 @@ class ServingEngine:
             if result is None:
                 result = self.result(request.request_id)  # raises for failures
             else:
-                self._completed.pop(request.request_id, None)
+                self.discard_result(request.request_id)
             output.append(result)
         return output
 
-    def discard_result(self, request_id: str) -> None:
-        """Drop a stored result/failure without raising (async path cleanup)."""
+    def discard_result(self, request_id: str, drop_chunks: bool = True) -> None:
+        """Drop a stored result/failure without raising (async path cleanup).
+
+        ``drop_chunks=False`` keeps the request's buffered TokenChunks — the
+        async server passes it while a ``stream()`` consumer still needs the
+        tail of the stream; every other caller frees them here so non-streamed
+        generation traffic does not pin its full chunk history in the buffer.
+        """
         self._completed.pop(request_id, None)
         self._failed.pop(request_id, None)
+        if drop_chunks:
+            self._chunks.pop(request_id, None)
 
     def result(self, request_id: str) -> InferenceResult:
         """Fetch (and forget) the result of a completed request.
@@ -413,6 +563,7 @@ class ServingEngine:
         Raises :class:`ServingError` (chained to the original exception) when
         the request's batch failed to execute.
         """
+        self._chunks.pop(request_id, None)  # fetch-and-forget covers the stream
         failure = self._failed.pop(request_id, None)
         if failure is not None:
             raise ServingError(f"request {request_id!r} failed: {failure}") from failure

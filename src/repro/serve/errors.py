@@ -1,0 +1,18 @@
+"""Serving-subsystem errors.
+
+``ServingError`` historically lived in :mod:`repro.serve.requests`; it moved
+here so the bottom-of-stack modules (:mod:`repro.serve.sampling`) can raise it
+without importing the request types that themselves depend on the sampling
+surface.  :mod:`repro.serve.requests` re-exports it, so existing imports keep
+working.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = ["ServingError"]
+
+
+class ServingError(ReproError):
+    """Raised for malformed requests or serving-engine misuse."""

@@ -203,6 +203,7 @@ class PagePool:
         self.pages_dropped = 0
         self.prefix_lookups = 0
         self.prefix_pages_attached = 0
+        self.prefix_pages_indexed = 0
 
     # ------------------------------------------------------------------ #
     # Refcounted page registry
@@ -340,13 +341,16 @@ class PagePool:
         return len(nodes), layers_k, layers_v
 
     def register_prefix(self, key, token_ids: np.ndarray, cache: "SequenceKVCache") -> int:
-        """Index ``cache``'s sealed prompt pages under ``token_ids``' hash chain.
+        """Index ``cache``'s sealed pages under ``token_ids``' hash chain.
 
-        Call after a successful prefill: every full page of prompt tokens is
-        sealed by then.  Pages already indexed (a shared sub-prefix) are
-        refreshed, not duplicated; new nodes take one reference per handle so
-        indexed pages survive the registering sequence's retirement.  The
-        index is LRU-bounded; evicted nodes drop their references.
+        Call with the prompt after a successful prefill (every full page of
+        prompt tokens is sealed by then), or with ``prompt + generated`` at
+        retirement when the scheduler shares generated suffixes — decode
+        seals its pages the same way, so the chain extends naturally.  Pages
+        already indexed (a shared sub-prefix) are refreshed, not duplicated;
+        new nodes take one reference per handle so indexed pages survive the
+        registering sequence's retirement.  The index is LRU-bounded; evicted
+        nodes drop their references.
         """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         page_size = cache.config.page_size
@@ -365,6 +369,7 @@ class PagePool:
             for handle in node.handles():
                 self.incref(handle)
             self._prefix_nodes[node_key] = node
+            self.prefix_pages_indexed += 1
         while len(self._prefix_nodes) > self.prefix_capacity:
             _, evicted = self._prefix_nodes.popitem(last=False)
             for handle in evicted.handles():
@@ -403,6 +408,7 @@ class PagePool:
             "pages_dropped": self.pages_dropped,
             "prefix_lookups": self.prefix_lookups,
             "prefix_pages_attached": self.prefix_pages_attached,
+            "prefix_pages_indexed": self.prefix_pages_indexed,
         }
 
     def stats(self) -> Dict[str, int]:

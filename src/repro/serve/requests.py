@@ -6,17 +6,25 @@ span extraction, LM next-token prediction) and a token-id sequence.  Requests
 are only batchable together when their :attr:`InferenceRequest.batch_key`
 matches: the micro-batcher never mixes models, families or sequence lengths
 inside one forward pass.
+
+LM decoding behaviour lives on :attr:`InferenceRequest.sampling` — a
+:class:`~repro.serve.sampling.SamplingParams` describing temperature /
+top-k / top-p filtering, stop tokens, token budget, reported logprobs and
+seed.  The pre-redesign ``top_k=`` / ``max_new_tokens=`` keyword arguments
+remain as a deprecation shim that maps into it (and the two stay mirrored, so
+old call sites read the same values they always did).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.errors import ReproError
+from repro.serve.errors import ServingError
+from repro.serve.sampling import RequestOutput, SamplingParams
 
 __all__ = [
     "ServingError",
@@ -25,10 +33,6 @@ __all__ = [
     "InferenceResult",
     "normalized_num_classes",
 ]
-
-
-class ServingError(ReproError):
-    """Raised for malformed requests or serving-engine misuse."""
 
 
 class WorkloadFamily:
@@ -72,11 +76,16 @@ class InferenceRequest:
     num_classes:
         Output classes for the classification family (ignored otherwise).
     top_k:
-        Number of next-token candidates returned by the LM family.
+        **Deprecated** — number of candidates reported for the final scored
+        position (the pre-redesign report).  New callers set
+        ``sampling.logprobs``, which also streams per-token candidates.
     max_new_tokens:
-        LM only: number of tokens to generate greedily after the prompt
-        (incremental decode through a KV cache).  0 (the default) scores the
-        prompt's next token without generating.
+        **Deprecated** — maps to ``sampling.max_new_tokens`` (LM tokens to
+        generate after the prompt; 0 scores the prompt only).
+    sampling:
+        The request's :class:`~repro.serve.sampling.SamplingParams`.  When
+        omitted, one is built from the legacy kwargs (greedy decode).
+        Passing both ``sampling`` and conflicting legacy kwargs is an error.
     """
 
     model: str
@@ -85,6 +94,7 @@ class InferenceRequest:
     num_classes: int = 2
     top_k: int = 1
     max_new_tokens: int = 0
+    sampling: Optional[SamplingParams] = None
     request_id: str = field(default_factory=_next_request_id)
 
     def __post_init__(self) -> None:
@@ -98,10 +108,29 @@ class InferenceRequest:
             raise ServingError("token_ids must be a non-empty 1-D array")
         if self.num_classes < 1:
             raise ServingError("num_classes must be >= 1")
-        if self.top_k < 1:
-            raise ServingError("top_k must be >= 1")
-        if self.max_new_tokens < 0:
-            raise ServingError("max_new_tokens must be >= 0")
+        if self.sampling is None:
+            self.sampling = SamplingParams.from_legacy(self.top_k, self.max_new_tokens)
+            self.top_k = int(self.top_k)
+        else:
+            if not isinstance(self.sampling, SamplingParams):
+                raise ServingError("sampling must be a SamplingParams")
+            if self.top_k != 1 and self.top_k != max(1, self.sampling.logprobs):
+                raise ServingError(
+                    "pass top_k (deprecated) or sampling.logprobs, not both"
+                )
+            if (
+                self.max_new_tokens != 0
+                and self.max_new_tokens != self.sampling.max_new_tokens
+            ):
+                raise ServingError(
+                    "pass max_new_tokens (deprecated) or "
+                    "sampling.max_new_tokens, not both"
+                )
+            # New-API requests report sampling.logprobs candidates at the
+            # final position too; legacy requests keep their top_k as-is.
+            self.top_k = max(1, self.sampling.logprobs)
+        # Mirror so pre-redesign readers (request.max_new_tokens) stay correct.
+        self.max_new_tokens = self.sampling.max_new_tokens
         if self.max_new_tokens > 0 and self.family != WorkloadFamily.LM:
             raise ServingError("max_new_tokens applies to the LM family only")
 
@@ -116,7 +145,8 @@ class InferenceRequest:
 
         ``num_classes`` is normalized through the same helper the model
         repository keys on, so span/LM batches are not fragmented by a field
-        their families ignore.
+        their families ignore.  Sampling parameters never fragment batches:
+        each slot/row samples with its own generator.
         """
         num_classes = normalized_num_classes(self.family, self.num_classes)
         return (self.model, self.family, num_classes, self.seq_len)
@@ -130,14 +160,18 @@ class InferenceResult:
 
     * classify — ``label`` (int), ``probs`` (per-class list);
     * span — ``start``/``end`` (ints), ``score`` (float);
-    * lm — ``next_tokens``/``log_probs`` (top-k lists of the final position);
-      generation requests (``max_new_tokens > 0``) add ``generated_tokens``.
+    * lm — a typed :class:`~repro.serve.sampling.RequestOutput` carrying the
+      generated ``token_ids``/``logprobs``, the ``finish_reason``
+      (``stop`` / ``length`` / ``aborted`` / ``error``; ``None`` for
+      score-only requests) and the final position's top candidates.  It also
+      answers the legacy dict keys (``next_tokens``, ``log_probs``,
+      ``generated_tokens``, ``kv_cache``).
     """
 
     request_id: str
     model: str
     family: str
-    output: Dict[str, Any]
+    output: Union[Dict[str, Any], RequestOutput]
     batch_size: int
     enqueued_at: float
     completed_at: float
@@ -147,3 +181,8 @@ class InferenceResult:
     def latency(self) -> float:
         """Seconds from enqueue to completion (queueing + compute)."""
         return self.completed_at - self.enqueued_at
+
+    @property
+    def finish_reason(self) -> Optional[str]:
+        """The LM finish reason (``None`` for non-LM / score-only outputs)."""
+        return getattr(self.output, "finish_reason", None)

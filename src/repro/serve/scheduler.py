@@ -14,15 +14,25 @@ admits/retires sequences *mid-flight*:
   another request already sealed *attach* to those pool entries copy-on-write
   and prefill only the remaining suffix;
 * **decode round** — all active slots advance one token in a single batched
-  incremental forward (the Linear/FFN/LM-head GEMMs stack across slots; only
-  the attention core runs per-slot, since every sequence has its own past);
-* **retire** — a sequence that reaches ``max_new_tokens`` releases its slot
-  immediately, so the next queued request joins the very next round.
+  incremental forward (the Linear/FFN/head GEMMs stack across slots; only
+  the attention core runs per-slot, since every sequence has its own past).
+  Each slot *samples* its token with its request's
+  :class:`~repro.serve.sampling.SamplingParams` — a per-request seeded
+  generator, so co-batched sequences never perturb each other's draws — and
+  stop tokens end a sequence mid-round;
+* **retire** — a sequence that finishes (``stop`` or ``length``) releases its
+  slot immediately, so the next queued request joins the very next round;
+* **cancel** — :meth:`ContinuousBatchingScheduler.cancel` retires an
+  in-flight (or still-queued) sequence *now*: its KV cache and page-pool
+  references are released immediately, the freed slot admits a queued request
+  the same step, and the client sees ``finish_reason="aborted"``.
 
-Every round is recorded as a
-:class:`~repro.serve.stats.DecodeRoundRecord` — slot occupancy plus the
-resident KV bytes (OVP-packed) next to the fp32 footprint the same tokens
-would need.
+Every sampled token is also emitted as a
+:class:`~repro.serve.sampling.TokenChunk` (drained by the engine's
+``stream()``), and every round is recorded as a
+:class:`~repro.serve.stats.DecodeRoundRecord` — slot occupancy, resident KV
+bytes, finish reasons and streamed-token latencies (time-to-first-token and
+inter-token gaps).
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +60,13 @@ from repro.serve.requests import (
     WorkloadFamily,
     normalized_num_classes,
 )
+from repro.serve.sampling import (
+    FinishReason,
+    RequestOutput,
+    Sampler,
+    TokenChunk,
+    top_k_candidates,
+)
 from repro.serve.stats import DecodeRoundRecord, ServingStats
 
 __all__ = ["ContinuousBatchingScheduler", "greedy_top_k"]
@@ -58,22 +75,14 @@ __all__ = ["ContinuousBatchingScheduler", "greedy_top_k"]
 def greedy_top_k(log_probs: np.ndarray, top_k: int) -> dict:
     """Top-k next-token candidates of one vocabulary distribution.
 
-    Runs on every retired request and every scored prompt, so it avoids the
-    O(V log V) full-vocabulary sort: ``np.argpartition`` preselects the k
-    winners in O(V), then only those k are sorted.  ``top_k < 1`` is a caller
-    bug (a bare ``[:0]`` slice would silently return no candidates) and is
-    rejected up front.
+    Runs on every retired request and every scored prompt.  Selection and
+    ordering go through :func:`~repro.serve.sampling.top_k_candidates`, which
+    re-derives the winner set from the k-th value and stable-sorts it —
+    ``np.argpartition`` alone leaves ties unspecified across NumPy versions.
+    ``top_k < 1`` is a caller bug (a bare ``[:0]`` slice would silently
+    return no candidates) and is rejected up front.
     """
-    top_k = int(top_k)
-    if top_k < 1:
-        raise ServingError("top_k must be >= 1")
-    vocab = log_probs.shape[-1]
-    k = min(top_k, vocab)
-    if k < vocab:
-        candidates = np.argpartition(log_probs, vocab - k)[vocab - k:]
-    else:
-        candidates = np.arange(vocab)
-    top = candidates[np.argsort(log_probs[candidates])[::-1]]
+    top = top_k_candidates(log_probs, top_k)
     return {
         "next_tokens": [int(t) for t in top],
         "log_probs": [float(log_probs[t]) for t in top],
@@ -87,8 +96,14 @@ class _Slot:
     queued: QueuedRequest
     entry: PackedModel
     cache: SequenceKVCache
+    sampler: Sampler
+    generator: np.random.Generator
     generated: List[int] = field(default_factory=list)
+    logprobs: List[float] = field(default_factory=list)
+    top_logprobs: List[Tuple[Tuple[int, float], ...]] = field(default_factory=list)
     last_log_probs: Optional[np.ndarray] = None
+    finish_reason: Optional[str] = None
+    last_token_at: Optional[float] = None
     prefill_tokens: int = 0   # prompt tokens actually prefilled (suffix only
     shared_tokens: int = 0    # ... when shared_tokens came from the page pool)
 
@@ -98,7 +113,7 @@ class _Slot:
 
     @property
     def done(self) -> bool:
-        return len(self.generated) >= self.request.max_new_tokens
+        return self.finish_reason is not None
 
 
 class ContinuousBatchingScheduler:
@@ -120,6 +135,13 @@ class ContinuousBatchingScheduler:
         Optional shared :class:`~repro.serve.kvcache.PagePool`; by default the
         scheduler builds its own from ``cache_config`` (decoded-page LRU
         capacity, prefix sharing on/off).
+    share_generated_suffix:
+        Also register pages sealed *during decode* in the pool's prefix index
+        at retirement, so a follow-up turn whose prompt is
+        ``prompt + generated`` attaches the whole previous conversation
+        copy-on-write.  Off by default (generated suffixes are rarely
+        re-prompted outside multi-turn chat, and each registration pins
+        pages in the index LRU).
     """
 
     def __init__(
@@ -130,6 +152,7 @@ class ContinuousBatchingScheduler:
         clock: Callable[[], float] = time.monotonic,
         stats: Optional[ServingStats] = None,
         page_pool: Optional[PagePool] = None,
+        share_generated_suffix: bool = False,
     ) -> None:
         if num_slots < 1:
             raise ServingError("num_slots must be >= 1")
@@ -138,14 +161,24 @@ class ContinuousBatchingScheduler:
         self.cache_config = cache_config or KVCacheConfig(bits=repository.bits)
         self.clock = clock
         self.stats = stats
+        self.share_generated_suffix = bool(share_generated_suffix)
         # One shared pool for every admitted sequence: sealed pages decode at
         # most once across rounds/sequences, and the prefix index lives here.
         self.page_pool = page_pool if page_pool is not None else self.cache_config.make_pool()
         self._queue: Deque[QueuedRequest] = deque()
         self._slots: List[Optional[_Slot]] = [None] * self.num_slots
         self._failed: List[Tuple[str, Exception]] = []
+        self._chunks: List[TokenChunk] = []
+        # Streamed-token latencies and finish reasons accumulate between
+        # stats records; cancellations land here too, so the next recorded
+        # round carries them even though they happened outside step().
+        self._pending_ttfts: List[float] = []
+        self._pending_gaps: List[float] = []
+        self._pending_finishes: List[str] = []
+        self._pending_latencies: List[float] = []
         self.admitted = 0
         self.retired = 0
+        self.cancelled = 0
 
     # ------------------------------------------------------------------ #
     # Queueing
@@ -180,11 +213,26 @@ class ContinuousBatchingScheduler:
         """Fraction of slots currently held."""
         return self.num_active / self.num_slots
 
+    def has_request(self, request_id: str) -> bool:
+        """True while ``request_id`` is queued or holding a slot."""
+        if any(q.request.request_id == request_id for q in self._queue):
+            return True
+        return any(
+            slot is not None and slot.request.request_id == request_id
+            for slot in self._slots
+        )
+
     def take_failures(self) -> List[Tuple[str, Exception]]:
         """Pop ``(request_id, exception)`` pairs of failed admissions."""
         failures = self._failed
         self._failed = []
         return failures
+
+    def take_chunks(self) -> List[TokenChunk]:
+        """Pop the :class:`TokenChunk`'s emitted since the last call."""
+        chunks = self._chunks
+        self._chunks = []
+        return chunks
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -197,40 +245,67 @@ class ContinuousBatchingScheduler:
         rounds with micro-batch steps without starving either path.
         """
         if not len(self):
+            if self._pending_finishes:
+                self._record_round(0, 0, 0, [], self.clock(), self.page_pool.counters())
             return []
         start = self.clock()
         pool_before = self.page_pool.counters()
         prefill_tokens, admitted = self._admit()
         decoded = self._decode_round(exclude=admitted)
         results = self._retire()
+        self._record_round(
+            prefill_tokens, len(admitted), decoded, results, start, pool_before
+        )
+        return results
+
+    def _record_round(
+        self,
+        prefill_tokens: int,
+        admitted: int,
+        decoded: int,
+        results: List[InferenceResult],
+        start: float,
+        pool_before: Dict[str, int],
+    ) -> None:
         compute_seconds = self.clock() - start
         active = self.num_active + len(results)
-        if self.stats is not None and active:
-            pool_after = self.page_pool.counters()
-            self.stats.record_decode_round(
-                DecodeRoundRecord(
-                    active_slots=active,
-                    num_slots=self.num_slots,
-                    new_tokens=prefill_tokens + len(admitted) + decoded,
-                    generated_tokens=len(admitted) + decoded,
-                    compute_seconds=compute_seconds,
-                    kv_cache_bytes=self.kv_cache_bytes,
-                    kv_fp32_bytes=self.kv_fp32_bytes,
-                    latencies=tuple(r.latency for r in results),
-                    pool_hits=pool_after["decode_hits"] - pool_before["decode_hits"],
-                    pool_misses=pool_after["decode_misses"] - pool_before["decode_misses"],
-                    pool_decoded_bytes_saved=(
-                        pool_after["decoded_bytes_saved"]
-                        - pool_before["decoded_bytes_saved"]
-                    ),
-                    prefix_pages_attached=(
-                        pool_after["prefix_pages_attached"]
-                        - pool_before["prefix_pages_attached"]
-                    ),
-                    shared_pages=self.page_pool.num_shared_pages,
-                )
+        finish_reasons = tuple(self._pending_finishes)
+        latencies = tuple(self._pending_latencies) + tuple(r.latency for r in results)
+        ttfts = tuple(self._pending_ttfts)
+        gaps = tuple(self._pending_gaps)
+        self._pending_finishes = []
+        self._pending_latencies = []
+        self._pending_ttfts = []
+        self._pending_gaps = []
+        if self.stats is None or not (active or finish_reasons):
+            return
+        pool_after = self.page_pool.counters()
+        self.stats.record_decode_round(
+            DecodeRoundRecord(
+                active_slots=active,
+                num_slots=self.num_slots,
+                new_tokens=prefill_tokens + admitted + decoded,
+                generated_tokens=admitted + decoded,
+                compute_seconds=compute_seconds,
+                kv_cache_bytes=self.kv_cache_bytes,
+                kv_fp32_bytes=self.kv_fp32_bytes,
+                latencies=latencies,
+                pool_hits=pool_after["decode_hits"] - pool_before["decode_hits"],
+                pool_misses=pool_after["decode_misses"] - pool_before["decode_misses"],
+                pool_decoded_bytes_saved=(
+                    pool_after["decoded_bytes_saved"]
+                    - pool_before["decoded_bytes_saved"]
+                ),
+                prefix_pages_attached=(
+                    pool_after["prefix_pages_attached"]
+                    - pool_before["prefix_pages_attached"]
+                ),
+                shared_pages=self.page_pool.num_shared_pages,
+                finish_reasons=finish_reasons,
+                first_token_seconds=ttfts,
+                inter_token_seconds=gaps,
             )
-        return results
+        )
 
     def run_until_idle(self) -> List[InferenceResult]:
         """Drain queue and slots completely."""
@@ -337,7 +412,8 @@ class ContinuousBatchingScheduler:
 
         Frees the slots (and their page-pool references) so the scheduler
         keeps serving later requests; returns the aborted request ids (the
-        engine records the failures).
+        engine records the failures).  Streams of the aborted sequences end
+        with a terminal ``finish_reason="error"`` marker chunk.
         """
         aborted = []
         for index, slot in enumerate(self._slots):
@@ -345,9 +421,135 @@ class ContinuousBatchingScheduler:
                 continue
             self._failed.append((slot.request.request_id, exc))
             aborted.append(slot.request.request_id)
+            self._chunks.append(
+                TokenChunk(
+                    request_id=slot.request.request_id,
+                    index=len(slot.generated),
+                    token_id=None,
+                    finish_reason=FinishReason.ERROR,
+                )
+            )
+            self._pending_finishes.append(FinishReason.ERROR)
             slot.cache.release()
             self._slots[index] = None
         return aborted
+
+    # ------------------------------------------------------------------ #
+    # Cancellation
+    # ------------------------------------------------------------------ #
+    def cancel(self, request_id: str) -> Optional[InferenceResult]:
+        """Abort one request *now*; returns its ``finish_reason="aborted"`` result.
+
+        A queued request is removed before it ever takes a slot.  An active
+        sequence retires immediately: its slot frees for the next queued
+        request the very next step, and its KV cache / page-pool references
+        are released before this method returns (refcounts drop back to
+        their pre-admission values).  Returns ``None`` when ``request_id``
+        is not queued or in flight here.
+        """
+        now = self.clock()
+        for position, queued in enumerate(self._queue):
+            if queued.request.request_id == request_id:
+                del self._queue[position]
+                self.cancelled += 1
+                result = self._aborted_result(queued, now, active=self.num_active)
+                self._flush_if_idle(now)
+                return result
+        for index, slot in enumerate(self._slots):
+            if slot is None or slot.request.request_id != request_id:
+                continue
+            slot.finish_reason = FinishReason.ABORTED
+            result = self._build_result(slot, now, self.num_active)
+            # Release the page references before returning: the cancelled
+            # sequence's KV memory is reclaimable immediately, not at the
+            # next step.
+            slot.cache.release()
+            self._slots[index] = None
+            self.cancelled += 1
+            self._pending_finishes.append(FinishReason.ABORTED)
+            self._pending_latencies.append(result.latency)
+            self._chunks.append(
+                TokenChunk(
+                    request_id=request_id,
+                    index=len(slot.generated),
+                    token_id=None,
+                    finish_reason=FinishReason.ABORTED,
+                )
+            )
+            self._flush_if_idle(now)
+            return result
+        return None
+
+    def _flush_if_idle(self, now: float) -> None:
+        """Surface a cancellation to stats when no later round will.
+
+        With traffic still queued/active the pending finish rides the next
+        real round's record; emitting a synthetic zero-token round there
+        would dilute occupancy and decode-round counts.  Only when the
+        cancel emptied the scheduler — so no further round is coming — is
+        the event recorded on its own.
+        """
+        if not len(self):
+            self._record_round(0, 0, 0, [], now, self.page_pool.counters())
+
+    def _aborted_result(
+        self, queued: QueuedRequest, now: float, active: int
+    ) -> InferenceResult:
+        """Result of a request cancelled while still queued (no tokens yet)."""
+        request = queued.request
+        self._pending_finishes.append(FinishReason.ABORTED)
+        self._pending_latencies.append(now - queued.enqueued_at)
+        self._chunks.append(
+            TokenChunk(
+                request_id=request.request_id,
+                index=0,
+                token_id=None,
+                finish_reason=FinishReason.ABORTED,
+            )
+        )
+        return InferenceResult(
+            request_id=request.request_id,
+            model=request.model,
+            family=request.family,
+            output=RequestOutput(
+                request_id=request.request_id, finish_reason=FinishReason.ABORTED
+            ),
+            batch_size=active,
+            enqueued_at=queued.enqueued_at,
+            completed_at=now,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Token emission
+    # ------------------------------------------------------------------ #
+    def _emit_token(self, slot: _Slot, log_probs: np.ndarray, now: float) -> None:
+        """Sample one token for ``slot``, stream it, and settle finish state."""
+        sampled = slot.sampler.sample(log_probs, slot.generator)
+        slot.last_log_probs = log_probs
+        index = len(slot.generated)
+        slot.generated.append(sampled.token_id)
+        slot.logprobs.append(sampled.logprob)
+        if sampled.top_logprobs:
+            slot.top_logprobs.append(sampled.top_logprobs)
+        if index == 0:
+            self._pending_ttfts.append(now - slot.queued.enqueued_at)
+        elif slot.last_token_at is not None:
+            self._pending_gaps.append(now - slot.last_token_at)
+        slot.last_token_at = now
+        if slot.sampler.is_stop(sampled.token_id):
+            slot.finish_reason = FinishReason.STOP
+        elif len(slot.generated) >= slot.request.max_new_tokens:
+            slot.finish_reason = FinishReason.LENGTH
+        self._chunks.append(
+            TokenChunk(
+                request_id=slot.request.request_id,
+                index=index,
+                token_id=sampled.token_id,
+                logprob=sampled.logprob,
+                top_logprobs=sampled.top_logprobs,
+                finish_reason=slot.finish_reason,
+            )
+        )
 
     def _prefill_group(
         self, group: List[Tuple[int, QueuedRequest, PackedModel, Optional[tuple]]]
@@ -395,6 +597,7 @@ class ContinuousBatchingScheduler:
                 admitted.extend(self._prefill_group([item]))
             return admitted
         admitted = []
+        now = self.clock()
         for row, (index, queued, _, shared) in enumerate(group):
             if self.cache_config.prefix_sharing:
                 self.page_pool.register_prefix(
@@ -403,15 +606,17 @@ class ContinuousBatchingScheduler:
                     caches[row],
                 )
             shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
+            sampler = Sampler(queued.request.sampling)
             slot = _Slot(
                 queued=queued,
                 entry=entry,
                 cache=caches[row],
+                sampler=sampler,
+                generator=sampler.make_generator(),
                 prefill_tokens=queued.request.seq_len - shared_tokens,
                 shared_tokens=shared_tokens,
             )
-            slot.generated.append(int(np.argmax(log_probs[row])))
-            slot.last_log_probs = log_probs[row]
+            self._emit_token(slot, log_probs[row], now)
             self._slots[index] = slot
             admitted.append(slot)
         return admitted
@@ -436,37 +641,74 @@ class ContinuousBatchingScheduler:
             step_tokens = np.array([[slot.generated[-1]] for slot in slots], dtype=np.int64)
             caches = [slot.cache for slot in slots]
             log_probs = slots[0].entry.model.log_probs_incremental(step_tokens, caches)
+            now = self.clock()
             for row, slot in enumerate(slots):
-                slot.last_log_probs = log_probs[row, -1]
-                slot.generated.append(int(np.argmax(slot.last_log_probs)))
+                self._emit_token(slot, log_probs[row, -1], now)
                 decoded += 1
         return decoded
 
+    def _build_result(
+        self, slot: _Slot, completed_at: float, occupancy_now: int
+    ) -> InferenceResult:
+        """Assemble the typed output of a finished (or cancelled) slot."""
+        request = slot.request
+        top = greedy_top_k(slot.last_log_probs, request.top_k)
+        kv_summary = slot.cache.memory_summary()
+        kv_summary["prefix_shared_tokens"] = slot.shared_tokens
+        output = RequestOutput(
+            request_id=request.request_id,
+            finish_reason=slot.finish_reason,
+            token_ids=list(slot.generated),
+            logprobs=list(slot.logprobs),
+            top_logprobs=list(slot.top_logprobs),
+            next_tokens=top["next_tokens"],
+            log_probs=top["log_probs"],
+            kv_cache=kv_summary,
+        )
+        return InferenceResult(
+            request_id=request.request_id,
+            model=request.model,
+            family=request.family,
+            output=output,
+            batch_size=occupancy_now,
+            enqueued_at=slot.queued.enqueued_at,
+            completed_at=completed_at,
+            scheme=slot.entry.scheme,
+        )
+
+    def _register_generated_suffix(self, slot: _Slot) -> None:
+        """Index the pages sealed during decode under ``prompt + generated``.
+
+        The final generated token is returned but never fed back through the
+        model, so the cache holds ``prompt + generated[:-1]`` — exactly the
+        token chain a follow-up conversation turn re-submits as its prompt.
+        Guarded by ``share_generated_suffix`` (and the config's
+        ``prefix_sharing``); indexed pages take prefix-index references, so
+        they outlive this sequence's retirement.
+        """
+        if not (self.share_generated_suffix and self.cache_config.prefix_sharing):
+            return
+        chain = np.concatenate(
+            [
+                slot.request.token_ids,
+                np.asarray(slot.generated[:-1], dtype=np.int64),
+            ]
+        )
+        self.page_pool.register_prefix(
+            self._prefix_key(slot.request), chain, slot.cache
+        )
+
     def _retire(self) -> List[InferenceResult]:
-        """Free slots whose sequences hit their token budget."""
+        """Free slots whose sequences finished (stop token or token budget)."""
         completed_at = self.clock()
         results: List[InferenceResult] = []
         occupancy_now = self.num_active
         for index, slot in enumerate(self._slots):
             if slot is None or not slot.done:
                 continue
-            request = slot.request
-            output = greedy_top_k(slot.last_log_probs, request.top_k)
-            output["generated_tokens"] = list(slot.generated[: request.max_new_tokens])
-            output["kv_cache"] = slot.cache.memory_summary()
-            output["kv_cache"]["prefix_shared_tokens"] = slot.shared_tokens
-            results.append(
-                InferenceResult(
-                    request_id=request.request_id,
-                    model=request.model,
-                    family=request.family,
-                    output=output,
-                    batch_size=occupancy_now,
-                    enqueued_at=slot.queued.enqueued_at,
-                    completed_at=completed_at,
-                    scheme=slot.entry.scheme,
-                )
-            )
+            results.append(self._build_result(slot, completed_at, occupancy_now))
+            self._pending_finishes.append(slot.finish_reason)
+            self._register_generated_suffix(slot)
             # Retirement releases the sequence's page references; pages kept
             # alive by the prefix index go on serving later requests.
             slot.cache.release()

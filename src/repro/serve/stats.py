@@ -64,6 +64,10 @@ class DecodeRoundRecord:
     pool_decoded_bytes_saved: int = 0  # decode output bytes the hits avoided
     prefix_pages_attached: int = 0     # pages adopted from the prefix index
     shared_pages: int = 0              # pool pages with >1 holder at round end
+    # Streaming / sampling telemetry.
+    finish_reasons: tuple = ()         # "stop"/"length"/"aborted"/"error" per finish
+    first_token_seconds: tuple = ()    # TTFT: enqueue → first streamed token
+    inter_token_seconds: tuple = ()    # gaps between consecutive streamed tokens
 
     @property
     def occupancy(self) -> float:
@@ -107,6 +111,16 @@ class ServingSummary:
     pool_decoded_bytes_saved: int = 0
     prefix_pages_attached: int = 0
     shared_pages_peak: int = 0
+    # Generation finish reasons over the window (zero when nothing finished).
+    finish_stop: int = 0
+    finish_length: int = 0
+    finish_aborted: int = 0
+    finish_error: int = 0
+    # Streamed-token latencies over the window (zero when nothing streamed).
+    ttft_p50_ms: float = 0.0
+    ttft_p95_ms: float = 0.0
+    inter_token_p50_ms: float = 0.0
+    inter_token_p95_ms: float = 0.0
 
     @property
     def kv_compression(self) -> float:
@@ -122,6 +136,16 @@ class ServingSummary:
         """Fraction of sealed-page fetches served from the decoded LRU."""
         fetches = self.pool_hits + self.pool_misses
         return self.pool_hits / fetches if fetches else 0.0
+
+    @property
+    def finish_reasons(self) -> Dict[str, int]:
+        """Finish-reason counts as one dict (dashboard convenience)."""
+        return {
+            "stop": self.finish_stop,
+            "length": self.finish_length,
+            "aborted": self.finish_aborted,
+            "error": self.finish_error,
+        }
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view (for logging / benchmark extra_info)."""
@@ -152,6 +176,14 @@ class ServingSummary:
             "pool_decoded_bytes_saved": self.pool_decoded_bytes_saved,
             "prefix_pages_attached": self.prefix_pages_attached,
             "shared_pages_peak": self.shared_pages_peak,
+            "finish_stop": self.finish_stop,
+            "finish_length": self.finish_length,
+            "finish_aborted": self.finish_aborted,
+            "finish_error": self.finish_error,
+            "ttft_p50_ms": round(self.ttft_p50_ms, 3),
+            "ttft_p95_ms": round(self.ttft_p95_ms, 3),
+            "inter_token_p50_ms": round(self.inter_token_p50_ms, 3),
+            "inter_token_p95_ms": round(self.inter_token_p95_ms, 3),
         }
 
 
@@ -244,6 +276,13 @@ class ServingStats:
         # Report the KV footprint pair of the round holding the most cached
         # tokens, so the compression ratio compares like with like.
         kv_peak = max(rounds, key=lambda r: r.kv_fp32_bytes, default=None)
+        reasons = [reason for r in rounds for reason in r.finish_reasons]
+        ttfts = np.asarray(
+            [s for r in rounds for s in r.first_token_seconds], dtype=np.float64
+        )
+        gaps = np.asarray(
+            [s for r in rounds for s in r.inter_token_seconds], dtype=np.float64
+        )
         return ServingSummary(
             requests=requests,
             batches=len(records),
@@ -271,4 +310,12 @@ class ServingStats:
             pool_decoded_bytes_saved=sum(r.pool_decoded_bytes_saved for r in rounds),
             prefix_pages_attached=sum(r.prefix_pages_attached for r in rounds),
             shared_pages_peak=max((r.shared_pages for r in rounds), default=0),
+            finish_stop=reasons.count("stop"),
+            finish_length=reasons.count("length"),
+            finish_aborted=reasons.count("aborted"),
+            finish_error=reasons.count("error"),
+            ttft_p50_ms=float(np.percentile(ttfts, 50) * 1e3) if ttfts.size else 0.0,
+            ttft_p95_ms=float(np.percentile(ttfts, 95) * 1e3) if ttfts.size else 0.0,
+            inter_token_p50_ms=float(np.percentile(gaps, 50) * 1e3) if gaps.size else 0.0,
+            inter_token_p95_ms=float(np.percentile(gaps, 95) * 1e3) if gaps.size else 0.0,
         )
