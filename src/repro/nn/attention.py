@@ -182,6 +182,7 @@ class MultiHeadAttention(Module):
         hidden: np.ndarray,
         layer_caches: Sequence,
         scratch: Optional[AttendScratch] = None,
+        batched_rounds: Optional[bool] = None,
     ) -> np.ndarray:
         """Causal self-attention over cached K/V plus the new tokens.
 
@@ -193,13 +194,20 @@ class MultiHeadAttention(Module):
             to ``layer_caches[i]`` and attention runs over that sequence's
             full cached history.  Prefill passes one row with the whole
             prompt; a continuous-batching decode round passes one single-token
-            row per active slot.
+            row per active slot; a speculative verify round passes ``m``
+            tokens per slot.
         layer_caches:
             One per-sequence cache (``append``/``kv``/``seq_len``, e.g.
             :class:`~repro.serve.kvcache.LayerKVCache`) per row of ``hidden``.
         scratch:
             Optional round-level :class:`AttendScratch` so the decode-round
             pad/mask buffers allocate once per round, not once per layer.
+        batched_rounds:
+            Route through the ragged round kernel (:meth:`_attend_round`).
+            Defaults to auto: single-token multi-slot rounds take the kernel,
+            everything else (prefill) the per-sequence loop.  Speculative
+            verify passes ``True`` so its ``m``-token rows ride the bucketed
+            round kernel instead of the loop.
 
         The four projections are computed for the new tokens only — one
         batched GEMM across all rows — so a decode step costs O(1) GEMM work
@@ -217,7 +225,9 @@ class MultiHeadAttention(Module):
         v_new = self._split_heads(self.v_proj(hidden))
         num_seqs, t_new = hidden.shape[0], hidden.shape[1]
 
-        if t_new == 1 and num_seqs > 1:
+        if batched_rounds is None:
+            batched_rounds = t_new == 1 and num_seqs > 1
+        if batched_rounds:
             return self.out_proj(
                 self._merge_heads(
                     self._attend_round(q, k_new, v_new, layer_caches, scratch=scratch)
@@ -247,11 +257,15 @@ class MultiHeadAttention(Module):
         layer_caches: Sequence,
         scratch: Optional[AttendScratch] = None,
     ) -> np.ndarray:
-        """Single-token attend across ragged sequences (one decode round).
+        """Batched attend across ragged sequences (one decode/verify round).
 
-        Appends each slot's new K/V, fetches every slot's cached history
-        (one batched page-pool pass for caches that support ``kv_many``) and
-        dispatches to the bucketed kernel or the padded oracle according to
+        ``q`` is ``(num_seqs, heads, t_new, head_dim)``: ``t_new == 1`` is
+        the classic continuous-batching decode round, ``t_new > 1`` the
+        speculative verify round where every slot advances ``m`` tokens at
+        once (queries mask causally inside the appended block).  Appends each
+        slot's new K/V, fetches every slot's cached history (one batched
+        page-pool pass for caches that support ``kv_many``) and dispatches to
+        the bucketed kernel or the padded oracle according to
         :attr:`ragged_attend`.
         """
         for i, cache in enumerate(layer_caches):
@@ -268,6 +282,29 @@ class MultiHeadAttention(Module):
             return self._padded_attend(q, kvs, lengths)
         return self._bucketed_attend(q, kvs, lengths, scratch=scratch)
 
+    @staticmethod
+    def _round_mask(
+        lengths: Sequence[int], indices: Sequence[int], pad_len: int, t_new: int
+    ) -> np.ndarray:
+        """Additive length mask of one bucket of a decode/verify round.
+
+        For ``t_new == 1`` this is the classic per-slot length mask.  For a
+        verify round the block of ``t_new`` appended tokens masks causally:
+        query row ``j`` of slot ``i`` may attend the ``lengths[i] - t_new +
+        1 + j`` oldest keys (its full past plus the appended tokens up to and
+        including itself).
+        """
+        if t_new == 1:
+            mask = np.full((len(indices), 1, 1, pad_len), -np.inf)
+            for row, i in enumerate(indices):
+                mask[row, ..., : lengths[i]] = 0.0
+            return mask
+        mask = np.full((len(indices), 1, t_new, pad_len), -np.inf)
+        for row, i in enumerate(indices):
+            for j in range(t_new):
+                mask[row, 0, j, : lengths[i] - t_new + 1 + j] = 0.0
+        return mask
+
     def _padded_attend(
         self, q: np.ndarray, kvs: Sequence, lengths: Sequence[int]
     ) -> np.ndarray:
@@ -280,15 +317,14 @@ class MultiHeadAttention(Module):
         slot counts the short slots pay the longest slot's GEMM — the padding
         waste the bucketed kernel removes.
         """
-        num_seqs, num_heads, _, head_dim = q.shape
+        num_seqs, num_heads, t_new, head_dim = q.shape
         max_len = max(lengths)
         k_pad = np.zeros((num_seqs, num_heads, max_len, head_dim))
         v_pad = np.zeros((num_seqs, num_heads, max_len, head_dim))
-        mask = np.full((num_seqs, 1, 1, max_len), -np.inf)
+        mask = self._round_mask(lengths, range(num_seqs), max_len, t_new)
         for i, (k, v) in enumerate(kvs):
             k_pad[i, :, : lengths[i]] = k
             v_pad[i, :, : lengths[i]] = v
-            mask[i, ..., : lengths[i]] = 0.0
         scores = q @ k_pad.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim) + mask
         return F.softmax(scores, axis=-1) @ v_pad
 
@@ -310,7 +346,7 @@ class MultiHeadAttention(Module):
         the same columns as the padded oracle, so the kernels agree to
         floating-point round-off and on every greedy token.
         """
-        num_heads, head_dim = q.shape[1], q.shape[3]
+        num_heads, t_new, head_dim = q.shape[1], q.shape[2], q.shape[3]
         attended = np.empty_like(q)
         for key, (indices, pad_len) in enumerate(bucket_by_length(lengths)):
             shape = (len(indices), num_heads, pad_len, head_dim)
@@ -320,10 +356,7 @@ class MultiHeadAttention(Module):
                 k_pad, v_pad = np.zeros(shape), np.zeros(shape)
 
             def build_mask(indices=indices, pad_len=pad_len):
-                mask = np.full((len(indices), 1, 1, pad_len), -np.inf)
-                for row, i in enumerate(indices):
-                    mask[row, ..., : lengths[i]] = 0.0
-                return mask
+                return self._round_mask(lengths, indices, pad_len, t_new)
 
             mask = scratch.mask(key, build_mask) if scratch is not None else build_mask()
             for row, i in enumerate(indices):

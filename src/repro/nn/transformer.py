@@ -110,12 +110,15 @@ class TransformerDecoderLayer(Module):
         x: np.ndarray,
         layer_caches: Sequence,
         scratch: Optional[AttendScratch] = None,
+        batched_rounds: Optional[bool] = None,
     ) -> np.ndarray:
         """Decode new tokens against per-sequence KV caches (decoder-only).
 
         ``x`` is ``(num_seqs, t_new, hidden)`` with one cache per row; see
         :meth:`MultiHeadAttention.forward_incremental`.  ``scratch`` is the
-        round-level pad/mask buffer pool shared across layers.
+        round-level pad/mask buffer pool shared across layers;
+        ``batched_rounds`` forces the ragged round kernel (speculative
+        verify rounds feed ``m`` tokens per slot through it).
         """
         if self.cross_attention is not None:
             raise ValueError(
@@ -123,7 +126,8 @@ class TransformerDecoderLayer(Module):
                 "cross-attention layers recompute against encoder states"
             )
         x = x + self.self_attention.forward_incremental(
-            self.norm_self(x), layer_caches, scratch=scratch
+            self.norm_self(x), layer_caches, scratch=scratch,
+            batched_rounds=batched_rounds,
         )
         x = x + self.ffn(self.norm_ffn(x))
         return x
@@ -228,7 +232,12 @@ class TransformerDecoder(Module):
             hidden = getattr(self, f"layer_{i}")(hidden)
         return self.final_norm(hidden)
 
-    def forward_incremental(self, token_ids: np.ndarray, caches: Sequence) -> np.ndarray:
+    def forward_incremental(
+        self,
+        token_ids: np.ndarray,
+        caches: Sequence,
+        batched_rounds: Optional[bool] = None,
+    ) -> np.ndarray:
         """Run only the new tokens, appending K/V to per-sequence caches.
 
         Parameters
@@ -240,6 +249,11 @@ class TransformerDecoder(Module):
         caches:
             One :class:`~repro.serve.kvcache.SequenceKVCache` (or anything
             exposing ``seq_len``/``layer(i)``) per row.
+        batched_rounds:
+            Route attention through the ragged round kernel.  Defaults to
+            auto (single-token multi-slot rounds only); a speculative verify
+            round passes ``True`` so all ``m`` tokens of every slot advance
+            in one bucketed attend instead of the per-sequence prefill loop.
 
         Returns hidden states of the new positions, ``(num_seqs, t_new, h)``.
         Appending a whole sequence to an empty cache computes exactly what
@@ -256,14 +270,15 @@ class TransformerDecoder(Module):
             )
         offsets = np.array([cache.seq_len for cache in caches], dtype=np.int64)
         hidden = self.embeddings(token_ids, position_offsets=offsets)
-        # A multi-slot decode round reuses one pad/mask scratch across all
-        # layers (bucket shapes are identical layer to layer within a round).
-        is_decode_round = token_ids.shape[0] > 1 and token_ids.shape[1] == 1
-        scratch = AttendScratch() if is_decode_round else None
+        # A multi-slot decode/verify round reuses one pad/mask scratch across
+        # all layers (bucket shapes are identical layer to layer in a round).
+        if batched_rounds is None:
+            batched_rounds = token_ids.shape[0] > 1 and token_ids.shape[1] == 1
+        scratch = AttendScratch() if batched_rounds else None
         for i in range(self.num_layers):
             layer_caches = [cache.layer(i) for cache in caches]
             hidden = getattr(self, f"layer_{i}").forward_incremental(
-                hidden, layer_caches, scratch=scratch
+                hidden, layer_caches, scratch=scratch, batched_rounds=batched_rounds
             )
         return self.final_norm(hidden)
 

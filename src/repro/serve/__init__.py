@@ -24,6 +24,11 @@ request/response engine:
   and retires generation sequences mid-flight, samples per-slot with
   per-request seeded generators, honors stop tokens mid-round and cancels
   in-flight sequences on demand;
+* :mod:`repro.serve.spec` — draft-model speculative decoding: a
+  layer-truncated zoo draft with calibrated multi-position speculative
+  heads proposes ``k`` tokens per slot per round, confidence-gated, and the
+  target verifies all ``k + 1`` positions in one batched multi-token pass
+  (greedy outputs stay token-for-token identical);
 * :mod:`repro.serve.aio` — asyncio front-end for concurrent clients
   (``infer`` / ``stream`` / ``cancel``);
 * :mod:`repro.serve.stats` — throughput, p50/p95 latency, batch fill,
@@ -39,6 +44,7 @@ from repro.serve.sampling import (
     FinishReason,
     LogitsProcessor,
     RequestOutput,
+    SampledToken,
     Sampler,
     SamplingParams,
     TemperatureWarper,
@@ -48,6 +54,7 @@ from repro.serve.sampling import (
     default_processors,
     top_k_candidates,
 )
+from repro.serve.spec import SpeculativeConfig, SpeculativeDecoder
 from repro.serve.kvcache import (
     KVCacheConfig,
     LayerKVCache,
@@ -91,9 +98,12 @@ __all__ = [
     "QueuedRequest",
     "RepositoryStats",
     "RequestOutput",
+    "SampledToken",
     "Sampler",
     "SamplingParams",
     "SequenceKVCache",
+    "SpeculativeConfig",
+    "SpeculativeDecoder",
     "ServingEngine",
     "ServingError",
     "ServingStats",

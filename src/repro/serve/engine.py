@@ -296,6 +296,10 @@ class ServingEngine:
     ``share_generated_suffix=True`` additionally registers decode-sealed KV
     pages in the page pool's prefix index at retirement, so a follow-up
     conversation turn (``prompt + generated``) attaches copy-on-write.
+    ``speculative=SpeculativeConfig(...)`` turns on draft-model speculative
+    decoding (:mod:`repro.serve.spec`): slots propose draft tokens each
+    round and verify them in one batched multi-token target pass, leaving
+    greedy outputs token-for-token unchanged.
     """
 
     def __init__(
@@ -309,6 +313,7 @@ class ServingEngine:
         num_slots: Optional[int] = None,
         kv_cache_config: Optional[KVCacheConfig] = None,
         share_generated_suffix: bool = False,
+        speculative=None,
     ) -> None:
         self.repository = repository or ModelRepository()
         self.clock = clock
@@ -334,6 +339,7 @@ class ServingEngine:
             stats=self.stats,
             page_pool=self.page_pool,
             share_generated_suffix=share_generated_suffix,
+            speculative=speculative,
         )
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded
@@ -366,6 +372,15 @@ class ServingEngine:
     def warm(self, model: str, family: str, num_classes: int = 2) -> PackedModel:
         """Pre-quantize a model so first-request latency excludes the build."""
         return self.repository.get(model, family, num_classes)
+
+    def warm_speculative(self, model: str) -> None:
+        """Pack the draft and calibrate ``model``'s speculative pairing now.
+
+        Like :meth:`warm`, but for the draft side: the one-off head
+        calibration otherwise lands on the first request's decode latency.
+        Requires ``ServingEngine(speculative=...)``.
+        """
+        self.lm_scheduler.warm_speculative(model)
 
     def step(self, force: bool = False) -> List[InferenceResult]:
         """Process at most one ready micro-batch plus one decode round.

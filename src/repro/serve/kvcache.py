@@ -447,6 +447,10 @@ class LayerKVCache:
         self._open_v = np.zeros((self.num_heads, config.page_size, self.head_dim))
         self._open_len = 0
         self._seq_len = 0
+        # Deferred-seal mode (speculative verify): appends accumulate in a
+        # grown open buffer instead of sealing, so a rollback of rejected
+        # draft tokens never has to reopen a quantized page.
+        self._hold_seals = False
 
     # ------------------------------------------------------------------ #
     # Append (quantize-on-append)
@@ -467,6 +471,19 @@ class LayerKVCache:
             )
         size = self.config.page_size
         offset, total = 0, k_new.shape[1]
+        if self._hold_seals:
+            # Speculative verify appends: keep everything in full precision
+            # (growing the open buffer past page_size if needed) so rejected
+            # tokens roll back exactly; flush_seals() restores the invariant.
+            needed = self._open_len + total
+            if needed > self._open_k.shape[1]:
+                self._open_k = self._grown(self._open_k, needed)
+                self._open_v = self._grown(self._open_v, needed)
+            self._open_k[:, self._open_len:needed] = k_new
+            self._open_v[:, self._open_len:needed] = v_new
+            self._open_len = needed
+            self._seq_len += total
+            return
         while offset < total:
             take = min(size - self._open_len, total - offset)
             stop = self._open_len + take
@@ -480,22 +497,27 @@ class LayerKVCache:
         self._seq_len += total
 
     def _seal_open_page(self) -> None:
+        size = self.config.page_size
+        self._seal_page(self._open_k[:, :size], self._open_v[:, :size])
+
+    def _seal_page(self, k_page: np.ndarray, v_page: np.ndarray) -> None:
+        """Seal one full ``(num_heads, page_size, head_dim)`` K/V page pair."""
         if not self.config.quantize:
-            self._sealed_k.append(self.pool.register(self._open_k.copy()))
-            self._sealed_v.append(self.pool.register(self._open_v.copy()))
+            self._sealed_k.append(self.pool.register(k_page.copy()))
+            self._sealed_v.append(self.pool.register(v_page.copy()))
             return
-        if self._open_k.size % 2 == 0:
+        if k_page.size % 2 == 0:
             # K and V pages seal together through one codec pass.
             pages = self.codec.encode_tensor_batch(
-                [self._open_k, self._open_v],
-                [self._page_scale(self._open_k), self._page_scale(self._open_v)],
+                [k_page, v_page],
+                [self._page_scale(k_page), self._page_scale(v_page)],
                 self.codec.normal_dtype.max_value,
             )
             self._sealed_k.append(self.pool.register(pages[0]))
             self._sealed_v.append(self.pool.register(pages[1]))
             return
-        self._sealed_k.append(self.pool.register(self._seal(self._open_k)))
-        self._sealed_v.append(self.pool.register(self._seal(self._open_v)))
+        self._sealed_k.append(self.pool.register(self._seal(k_page)))
+        self._sealed_v.append(self.pool.register(self._seal(v_page)))
 
     def _seal(self, page: np.ndarray) -> PackedOVPTensor:
         scale = self._page_scale(page)
@@ -556,6 +578,101 @@ class LayerKVCache:
         self._sealed_k, self._sealed_v = [], []
         self._open_len = 0
         self._seq_len = 0
+        self._hold_seals = False
+
+    # ------------------------------------------------------------------ #
+    # Rollback (speculative decoding)
+    # ------------------------------------------------------------------ #
+    def _grown(self, buffer: np.ndarray, capacity: int) -> np.ndarray:
+        """A larger open buffer carrying the current rows.
+
+        Growth is geometric and the grown buffer is kept for the cache's
+        lifetime, so a steady stream of speculative verify rounds amortizes
+        to zero allocations per round.
+        """
+        capacity = max(capacity, 2 * buffer.shape[1])
+        grown = np.zeros((self.num_heads, capacity, self.head_dim))
+        grown[:, : self._open_len] = buffer[:, : self._open_len]
+        return grown
+
+    def hold_seals(self) -> None:
+        """Defer page sealing: subsequent appends stay in full precision.
+
+        The speculative verify pass appends ``k + 1`` tokens that may be
+        partially rolled back; holding the seals keeps every appended row in
+        the (grown) open buffer so :meth:`truncate_to` is exact — no sealed
+        page has to be reopened through the lossy OVP round-trip.  Call
+        :meth:`flush_seals` once the accepted length is settled.
+        """
+        self._hold_seals = True
+
+    def flush_seals(self) -> None:
+        """Leave deferred-seal mode, sealing any full pages accumulated.
+
+        Pages seal from exactly the same full-precision rows a non-deferred
+        append sequence would have sealed, so the packed byte streams are
+        bitwise identical to the eager-sealing path.
+        """
+        self._hold_seals = False
+        size = self.config.page_size
+        offset = 0
+        while self._open_len - offset >= size:
+            self._seal_page(
+                self._open_k[:, offset:offset + size],
+                self._open_v[:, offset:offset + size],
+            )
+            offset += size
+        if offset:
+            remainder = self._open_len - offset
+            self._open_k[:, :remainder] = self._open_k[:, offset:self._open_len]
+            self._open_v[:, :remainder] = self._open_v[:, offset:self._open_len]
+            self._open_len = remainder
+
+    def truncate_to(self, num_tokens: int) -> None:
+        """Roll the cache back to its first ``num_tokens`` timesteps.
+
+        Speculative decoding appends draft tokens optimistically and rolls
+        the rejected suffix back here.  Truncating to the current length is
+        an exact no-op.  A cut inside the open page just shortens it; a cut
+        inside a sealed page reopens that page *copy-on-write* — the payload
+        is decoded (never mutated, so pool-shared pages stay valid for every
+        other holder) and the kept rows move into the open buffer — then this
+        cache's references to the dropped pages are released.
+        """
+        num_tokens = int(num_tokens)
+        if not 0 <= num_tokens <= self._seq_len:
+            raise ServingError(
+                f"cannot truncate a {self._seq_len}-token cache to {num_tokens}"
+            )
+        if num_tokens == self._seq_len:
+            return
+        size = self.config.page_size
+        sealed_tokens = len(self._sealed_k) * size
+        if num_tokens >= sealed_tokens:
+            # The cut lands in the open page: forget the tail rows (stale
+            # values beyond _open_len are never read and get overwritten).
+            self._open_len = num_tokens - sealed_tokens
+            self._seq_len = num_tokens
+            return
+        keep_pages, tail = divmod(num_tokens, size)
+        kept_k = kept_v = None
+        if tail:
+            decoded = self.pool.decoded_many(
+                [self._sealed_k[keep_pages], self._sealed_v[keep_pages]], self.codec
+            )
+            kept_k = decoded[0][:, :tail].copy()
+            kept_v = decoded[1][:, :tail].copy()
+        for handle in self._sealed_k[keep_pages:]:
+            self.pool.release(handle)
+        for handle in self._sealed_v[keep_pages:]:
+            self.pool.release(handle)
+        del self._sealed_k[keep_pages:]
+        del self._sealed_v[keep_pages:]
+        if tail:
+            self._open_k[:, :tail] = kept_k
+            self._open_v[:, :tail] = kept_v
+        self._open_len = tail
+        self._seq_len = num_tokens
 
     # ------------------------------------------------------------------ #
     # Attend (decode-once-on-attend)
@@ -748,6 +865,23 @@ class SequenceKVCache:
         """Drop every layer's page references (call on retire/abort)."""
         for layer in self._layers:
             layer.release()
+
+    def hold_seals(self) -> None:
+        """Defer page sealing on every layer (speculative verify append)."""
+        for layer in self._layers:
+            layer.hold_seals()
+
+    def flush_seals(self) -> None:
+        """Leave deferred-seal mode on every layer, sealing full pages."""
+        for layer in self._layers:
+            layer.flush_seals()
+
+    def truncate_to(self, num_tokens: int) -> None:
+        """Roll every layer back to ``num_tokens`` timesteps (see
+        :meth:`LayerKVCache.truncate_to`); refcount-safe against shared
+        sealed pages, exact no-op at the current length."""
+        for layer in self._layers:
+            layer.truncate_to(num_tokens)
 
     @property
     def fp32_bytes(self) -> int:

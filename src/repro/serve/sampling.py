@@ -42,6 +42,7 @@ __all__ = [
     "FinishReason",
     "LogitsProcessor",
     "RequestOutput",
+    "SampledToken",
     "Sampler",
     "SamplingParams",
     "TemperatureWarper",
@@ -292,6 +293,14 @@ class Sampler:
         :func:`default_processors`.  The chain only runs on the sampled path —
         ``temperature=0`` short-circuits to ``argmax`` so the greedy result is
         bitwise identical to the pre-sampling decoder.
+
+    Speculative decoding (:mod:`repro.serve.spec`) relies on exactly this
+    per-position contract: the verify round calls :meth:`sample` once per
+    target position with the request's own generator, so every emitted token
+    — accepted draft, correction or bonus — consumes one draw from the true
+    target conditional, the same sequence of draws a plain decode performs.
+    Greedy requests therefore accept a draft token iff it *is* the argmax
+    (exact-prefix match).
     """
 
     def __init__(

@@ -25,7 +25,12 @@ admits/retires sequences *mid-flight*:
 * **cancel** — :meth:`ContinuousBatchingScheduler.cancel` retires an
   in-flight (or still-queued) sequence *now*: its KV cache and page-pool
   references are released immediately, the freed slot admits a queued request
-  the same step, and the client sees ``finish_reason="aborted"``.
+  the same step, and the client sees ``finish_reason="aborted"``;
+* **speculate** — with ``speculative=`` set, slots first collect draft-token
+  proposals (:mod:`repro.serve.spec`) and verify all of them in one batched
+  multi-token round, emitting several tokens per slot per round while
+  staying token-for-token identical to plain decode; un-proposed slots ride
+  the same round as ordinary one-token rows.
 
 Every sampled token is also emitted as a
 :class:`~repro.serve.sampling.TokenChunk` (drained by the engine's
@@ -67,6 +72,7 @@ from repro.serve.sampling import (
     TokenChunk,
     top_k_candidates,
 )
+from repro.serve.spec import SpeculativeConfig, SpeculativeDecoder
 from repro.serve.stats import DecodeRoundRecord, ServingStats
 
 __all__ = ["ContinuousBatchingScheduler", "greedy_top_k"]
@@ -142,6 +148,14 @@ class ContinuousBatchingScheduler:
         copy-on-write.  Off by default (generated suffixes are rarely
         re-prompted outside multi-turn chat, and each registration pins
         pages in the index LRU).
+    speculative:
+        Enable draft-model speculative decoding: a
+        :class:`~repro.serve.spec.SpeculativeConfig` (the scheduler builds
+        its own :class:`~repro.serve.spec.SpeculativeDecoder`) or an
+        existing decoder instance to share calibrated pairs across
+        schedulers.  Slots then propose up to ``k`` draft tokens per round
+        and verify them in one batched multi-token target pass; slots whose
+        model cannot be paired keep decoding plainly.
     """
 
     def __init__(
@@ -153,6 +167,7 @@ class ContinuousBatchingScheduler:
         stats: Optional[ServingStats] = None,
         page_pool: Optional[PagePool] = None,
         share_generated_suffix: bool = False,
+        speculative=None,
     ) -> None:
         if num_slots < 1:
             raise ServingError("num_slots must be >= 1")
@@ -162,6 +177,18 @@ class ContinuousBatchingScheduler:
         self.clock = clock
         self.stats = stats
         self.share_generated_suffix = bool(share_generated_suffix)
+        if speculative is None:
+            self.spec = None
+        elif isinstance(speculative, SpeculativeDecoder):
+            self.spec = speculative
+        elif isinstance(speculative, SpeculativeConfig):
+            self.spec = SpeculativeDecoder(
+                repository, speculative, target_cache_config=self.cache_config
+            )
+        else:
+            raise ServingError(
+                "speculative must be a SpeculativeConfig or SpeculativeDecoder"
+            )
         # One shared pool for every admitted sequence: sealed pages decode at
         # most once across rounds/sequences, and the prefix index lives here.
         self.page_pool = page_pool if page_pool is not None else self.cache_config.make_pool()
@@ -176,6 +203,8 @@ class ContinuousBatchingScheduler:
         self._pending_gaps: List[float] = []
         self._pending_finishes: List[str] = []
         self._pending_latencies: List[float] = []
+        self._pending_proposed = 0
+        self._pending_accepted = 0
         self.admitted = 0
         self.retired = 0
         self.cancelled = 0
@@ -234,15 +263,28 @@ class ContinuousBatchingScheduler:
         self._chunks = []
         return chunks
 
+    def warm_speculative(self, model: str) -> None:
+        """Calibrate ``model``'s draft pairing now instead of on first decode.
+
+        Raises :class:`ServingError` when speculation is not enabled, and
+        re-raises the pairing error when ``model`` cannot be paired.
+        """
+        if self.spec is None:
+            raise ServingError(
+                "speculative decoding is not enabled on this scheduler"
+            )
+        self.spec.warm(model)
+
     # ------------------------------------------------------------------ #
     # Scheduling
     # ------------------------------------------------------------------ #
     def step(self) -> List[InferenceResult]:
         """Run one round: admit into free slots, decode, retire finished.
 
-        Returns the results of sequences retired this round.  One round
-        generates at most one token per active slot, so callers interleave
-        rounds with micro-batch steps without starving either path.
+        Returns the results of sequences retired this round.  A plain round
+        generates at most one token per active slot (a speculative verify
+        round up to ``k + 1``), so callers interleave rounds with
+        micro-batch steps without starving either path.
         """
         if not len(self):
             if self._pending_finishes:
@@ -273,10 +315,13 @@ class ContinuousBatchingScheduler:
         latencies = tuple(self._pending_latencies) + tuple(r.latency for r in results)
         ttfts = tuple(self._pending_ttfts)
         gaps = tuple(self._pending_gaps)
+        proposed, accepted = self._pending_proposed, self._pending_accepted
         self._pending_finishes = []
         self._pending_latencies = []
         self._pending_ttfts = []
         self._pending_gaps = []
+        self._pending_proposed = 0
+        self._pending_accepted = 0
         if self.stats is None or not (active or finish_reasons):
             return
         pool_after = self.page_pool.counters()
@@ -304,6 +349,8 @@ class ContinuousBatchingScheduler:
                 finish_reasons=finish_reasons,
                 first_token_seconds=ttfts,
                 inter_token_seconds=gaps,
+                draft_proposed_tokens=proposed,
+                draft_accepted_tokens=accepted,
             )
         )
 
@@ -622,7 +669,14 @@ class ContinuousBatchingScheduler:
         return admitted
 
     def _decode_round(self, exclude: List[_Slot]) -> int:
-        """One batched incremental step for every unfinished slot."""
+        """One batched incremental step for every unfinished slot.
+
+        With speculation enabled, each slot first gets a (possibly empty)
+        draft proposal; slots sharing a model entry and proposal depth
+        verify all their ``k + 1`` positions in one batched multi-token
+        pass, while un-proposed slots advance one token exactly as before —
+        speculative and plain slots mix freely in the same round.
+        """
         skip = {id(slot) for slot in exclude}
         active = [
             slot
@@ -638,14 +692,170 @@ class ContinuousBatchingScheduler:
             by_entry.setdefault(id(slot.entry), []).append(slot)
         decoded = 0
         for slots in by_entry.values():
-            step_tokens = np.array([[slot.generated[-1]] for slot in slots], dtype=np.int64)
-            caches = [slot.cache for slot in slots]
-            log_probs = slots[0].entry.model.log_probs_incremental(step_tokens, caches)
-            now = self.clock()
-            for row, slot in enumerate(slots):
-                self._emit_token(slot, log_probs[row, -1], now)
-                decoded += 1
+            proposals = self._plan_speculation(slots)
+            if any(proposals):
+                decoded += self._verify_round(slots, proposals)
+            else:
+                # No slot speculates this round: the classic single-token
+                # path, numerically untouched.
+                decoded += self._plain_round(slots)
         return decoded
+
+    def _plain_round(self, slots: List[_Slot]) -> int:
+        """Advance ``slots`` one token in a single batched incremental pass."""
+        step_tokens = np.array([[slot.generated[-1]] for slot in slots], dtype=np.int64)
+        caches = [slot.cache for slot in slots]
+        log_probs = slots[0].entry.model.log_probs_incremental(step_tokens, caches)
+        now = self.clock()
+        for row, slot in enumerate(slots):
+            self._emit_token(slot, log_probs[row, -1], now)
+        return len(slots)
+
+    def _plan_speculation(self, slots: List[_Slot]) -> List[List[int]]:
+        """Draft proposals for one entry group (all empty when not speculating).
+
+        Each slot's proposal depth is capped so a fully accepted round —
+        ``k`` drafts plus the bonus token — never overruns the request's
+        ``max_new_tokens`` (which also keeps the verify pass inside the
+        positional budget the admission check validated).
+
+        Quantized caches add a page-boundary cap: a slot's *kept* verify
+        tokens must not complete a KV page under deferred seals, because
+        eager plain decode attends a page quantized from the moment it
+        seals, while the deferred window sees its own in-flight rows in
+        full precision.  Speculation therefore stops one token short of
+        every boundary; the boundary token itself still rides the verify
+        batch, just with eager sealing (see ``_verify_batch``), keeping
+        speculative greedy decode token-for-token identical to the
+        non-speculative path.
+        """
+        if self.spec is None:
+            return [[] for _ in slots]
+        cap = self.spec.config.num_speculative_tokens
+        page_size = self.cache_config.page_size
+        max_tokens = []
+        for slot in slots:
+            depth = min(
+                cap, slot.request.max_new_tokens - len(slot.generated) - 1
+            )
+            if self.cache_config.quantize:
+                room = page_size - 1 - slot.cache.seq_len % page_size
+                depth = min(depth, room - 1)
+            max_tokens.append(depth)
+        return self.spec.plan(slots, max_tokens)
+
+    def _verify_round(self, slots: List[_Slot], proposals: List[List[int]]) -> int:
+        """Verify one entry group's proposals in as few target passes as possible.
+
+        Proposal depths are ragged, but per-depth sub-passes would fragment
+        the round into several tiny forwards, wasting the batching the
+        scheduler exists to provide.  Instead every slot's verify row pads to
+        the group's deepest proposal (repeating its last token): the padded
+        positions ride the same batched pass, their log-probs are simply
+        never consumed, and their K/V roll back with the rejected suffix.
+        Un-proposed slots join the same pass as plain one-token rows.  Only
+        a slot whose positional table cannot absorb the padding (possible
+        right at the context limit) drops to an exact-depth sub-pass.
+        """
+        entry = slots[0].entry
+        max_positions = getattr(
+            getattr(entry.model, "config", None), "max_positions", None
+        )
+        page_size = self.cache_config.page_size
+        width = 1 + max(len(proposal) for proposal in proposals)
+        padded: List[Tuple[_Slot, List[int]]] = []
+        leftover: Dict[int, List[Tuple[_Slot, List[int]]]] = {}
+        eager: List[_Slot] = []
+        for slot, proposal in zip(slots, proposals):
+            at_boundary = (
+                self.cache_config.quantize
+                and slot.cache.seq_len % page_size == page_size - 1
+            )
+            if at_boundary and width > page_size:
+                # Padding would spill past the fresh page and seal garbage;
+                # only possible when page_size < k + 1.  Decode plainly.
+                eager.append(slot)
+            elif max_positions is None or slot.cache.seq_len + width <= max_positions:
+                padded.append((slot, proposal))
+            else:
+                leftover.setdefault(len(proposal), []).append((slot, proposal))
+        emitted = 0
+        if eager:
+            emitted += self._plain_round(eager)
+        if padded:
+            emitted += self._verify_batch(entry, padded, width)
+        for depth, group in sorted(leftover.items()):
+            emitted += self._verify_batch(entry, group, depth + 1)
+        return emitted
+
+    def _verify_batch(
+        self, entry: PackedModel, group: List[Tuple[_Slot, List[int]]], width: int
+    ) -> int:
+        """One batched ``width``-token verify pass over ``group``.
+
+        Feeds ``[last_token, d_1 … d_k, pad…]`` per slot through the
+        multi-token round kernel (seals deferred so the rollback below is
+        exact), then samples each verified position with the slot's own
+        sampler: the sampled token is always emitted, and the row keeps
+        consuming positions while the sample matches the draft's proposal —
+        ending with a correction, the post-acceptance bonus token, or the
+        stop/length finish.  The rejected (and padded) suffix of the
+        optimistic K/V append rolls back with ``truncate_to``; pool-shared
+        sealed pages stay untouched.
+        """
+        page_size = self.cache_config.page_size
+        rows = []
+        for slot, proposal in group:
+            fed = [slot.generated[-1], *proposal]
+            fed.extend(fed[-1:] * (width - len(fed)))
+            rows.append(fed)
+        step_tokens = np.array(rows, dtype=np.int64)
+        caches = [slot.cache for slot, _ in group]
+        base_lengths = [cache.seq_len for cache in caches]
+        for (slot, proposal), cache in zip(group, caches):
+            # A slot whose next token completes a KV page must seal it
+            # *during the append* — eager plain decode attends a just-sealed
+            # page quantized, and deferring the seal would attend it in full
+            # precision and could emit a different token.  Such a slot never
+            # carries proposals (the page-boundary cap in _plan_speculation
+            # zeroed them), so its only consumed row seals exactly the
+            # boundary page from correct rows, the padding lands in the
+            # fresh open page, and the rollback below drops it without
+            # reopening anything.  Every other slot defers seals so the
+            # rejected-suffix rollback is exact.
+            boundary = (
+                self.cache_config.quantize
+                and not proposal
+                and cache.seq_len % page_size == page_size - 1
+                and width <= page_size
+            )
+            if not boundary:
+                cache.hold_seals()
+        log_probs = entry.model.log_probs_incremental(
+            step_tokens, caches, batched_rounds=True
+        )
+        now = self.clock()
+        emitted_total = 0
+        for row, (slot, proposal) in enumerate(group):
+            emitted = 0
+            accepted = 0
+            for position in range(len(proposal) + 1):
+                self._emit_token(slot, log_probs[row, position], now)
+                emitted += 1
+                matched = (
+                    position < len(proposal)
+                    and slot.generated[-1] == proposal[position]
+                )
+                if matched:
+                    accepted += 1
+                if slot.done or not matched:
+                    break
+            slot.cache.truncate_to(base_lengths[row] + emitted)
+            slot.cache.flush_seals()
+            self._pending_proposed += len(proposal)
+            self._pending_accepted += accepted
+            emitted_total += emitted
+        return emitted_total
 
     def _build_result(
         self, slot: _Slot, completed_at: float, occupancy_now: int

@@ -21,6 +21,37 @@ import numpy as np
 __all__ = ["BatchRecord", "DecodeRoundRecord", "ServingSummary", "ServingStats"]
 
 
+def _finite(values) -> np.ndarray:
+    """The finite float values of ``values`` (drops NaN/Inf measurements).
+
+    A single wild measurement — a clock hiccup, an aborted round stamped
+    with NaN — must degrade one sample, not poison every aggregate of the
+    window with NaN.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size and not np.all(np.isfinite(arr)):
+        arr = arr[np.isfinite(arr)]
+    return arr
+
+
+def _pct_ms(values: np.ndarray, q: float) -> float:
+    """Percentile in milliseconds; an exact ``0.0`` float for empty pools.
+
+    All percentile fields of :class:`ServingSummary` funnel through here so
+    the no-completed-requests window reports NaN-free zeros that round (and
+    JSON-encode) the same way everywhere.
+    """
+    if not values.size:
+        return 0.0
+    return float(np.percentile(values, q) * 1e3)
+
+
+def _first_finite(value: float) -> float:
+    """``value`` when finite, else ``0.0`` (guards the window-start stamp)."""
+    value = float(value)
+    return value if np.isfinite(value) else 0.0
+
+
 @dataclass(frozen=True)
 class BatchRecord:
     """Measurements of one processed micro-batch."""
@@ -68,6 +99,9 @@ class DecodeRoundRecord:
     finish_reasons: tuple = ()         # "stop"/"length"/"aborted"/"error" per finish
     first_token_seconds: tuple = ()    # TTFT: enqueue → first streamed token
     inter_token_seconds: tuple = ()    # gaps between consecutive streamed tokens
+    # Speculative decoding this round (zero when no slot speculated).
+    draft_proposed_tokens: int = 0     # draft tokens fed to the verify pass
+    draft_accepted_tokens: int = 0     # draft tokens the target emitted
 
     @property
     def occupancy(self) -> float:
@@ -79,6 +113,15 @@ class DecodeRoundRecord:
         """Fraction of sealed-page fetches that skipped the OVP decode."""
         fetches = self.pool_hits + self.pool_misses
         return self.pool_hits / fetches if fetches else 0.0
+
+    @property
+    def draft_acceptance_rate(self) -> float:
+        """Fraction of proposed draft tokens the target accepted this round."""
+        return (
+            self.draft_accepted_tokens / self.draft_proposed_tokens
+            if self.draft_proposed_tokens
+            else 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -121,6 +164,18 @@ class ServingSummary:
     ttft_p95_ms: float = 0.0
     inter_token_p50_ms: float = 0.0
     inter_token_p95_ms: float = 0.0
+    # Speculative decoding over the window (zero when nothing speculated).
+    draft_proposed_tokens: int = 0
+    draft_accepted_tokens: int = 0
+
+    @property
+    def draft_acceptance_rate(self) -> float:
+        """Fraction of proposed draft tokens the target model accepted."""
+        return (
+            self.draft_accepted_tokens / self.draft_proposed_tokens
+            if self.draft_proposed_tokens
+            else 0.0
+        )
 
     @property
     def kv_compression(self) -> float:
@@ -184,6 +239,9 @@ class ServingSummary:
             "ttft_p95_ms": round(self.ttft_p95_ms, 3),
             "inter_token_p50_ms": round(self.inter_token_p50_ms, 3),
             "inter_token_p95_ms": round(self.inter_token_p95_ms, 3),
+            "draft_proposed_tokens": self.draft_proposed_tokens,
+            "draft_accepted_tokens": self.draft_accepted_tokens,
+            "draft_acceptance_rate": round(self.draft_acceptance_rate, 4),
         }
 
 
@@ -251,38 +309,37 @@ class ServingStats:
         records = [record for _, record in stamped]
         rounds = [record for _, record in stamped_rounds]
         # The window opens when the first retained batch/round *started*
-        # computing and closes when the last one was recorded.
+        # computing and closes when the last one was recorded.  Compute
+        # durations, latencies and streamed-token timings all pass through
+        # _finite(): one non-finite measurement degrades one sample instead
+        # of turning wall_seconds/throughput/percentiles into NaN.
         starts, ends = [], []
         if stamped:
-            starts.append(stamped[0][0] - stamped[0][1].compute_seconds)
+            starts.append(stamped[0][0] - _first_finite(stamped[0][1].compute_seconds))
             ends.append(stamped[-1][0])
         if stamped_rounds:
-            starts.append(stamped_rounds[0][0] - stamped_rounds[0][1].compute_seconds)
+            starts.append(
+                stamped_rounds[0][0]
+                - _first_finite(stamped_rounds[0][1].compute_seconds)
+            )
             ends.append(stamped_rounds[-1][0])
         started_at = min(starts)
         last_at = max(ends)
-        latency_pools = [np.asarray(r.latencies, dtype=np.float64) for r in records]
-        latency_pools += [
-            np.asarray(r.latencies, dtype=np.float64) for r in rounds if r.latencies
-        ]
-        latencies = (
-            np.concatenate(latency_pools) if latency_pools else np.empty(0, dtype=np.float64)
+        latencies = _finite(
+            [s for r in records for s in r.latencies]
+            + [s for r in rounds for s in r.latencies]
         )
         requests = int(latencies.size)
         tokens = sum(r.tokens for r in records) + sum(r.new_tokens for r in rounds)
-        compute = sum(r.compute_seconds for r in records)
-        decode_seconds = sum(r.compute_seconds for r in rounds)
+        compute = float(_finite(r.compute_seconds for r in records).sum())
+        decode_seconds = float(_finite(r.compute_seconds for r in rounds).sum())
         wall = max(float(last_at - started_at), compute + decode_seconds, 1e-12)
         # Report the KV footprint pair of the round holding the most cached
         # tokens, so the compression ratio compares like with like.
         kv_peak = max(rounds, key=lambda r: r.kv_fp32_bytes, default=None)
         reasons = [reason for r in rounds for reason in r.finish_reasons]
-        ttfts = np.asarray(
-            [s for r in rounds for s in r.first_token_seconds], dtype=np.float64
-        )
-        gaps = np.asarray(
-            [s for r in rounds for s in r.inter_token_seconds], dtype=np.float64
-        )
+        ttfts = _finite(s for r in rounds for s in r.first_token_seconds)
+        gaps = _finite(s for r in rounds for s in r.inter_token_seconds)
         return ServingSummary(
             requests=requests,
             batches=len(records),
@@ -292,8 +349,8 @@ class ServingStats:
             throughput_rps=requests / wall,
             tokens_per_second=tokens / wall,
             latency_mean_ms=float(np.mean(latencies) * 1e3) if requests else 0.0,
-            latency_p50_ms=float(np.percentile(latencies, 50) * 1e3) if requests else 0.0,
-            latency_p95_ms=float(np.percentile(latencies, 95) * 1e3) if requests else 0.0,
+            latency_p50_ms=_pct_ms(latencies, 50),
+            latency_p95_ms=_pct_ms(latencies, 95),
             mean_batch_fill=float(np.mean([r.fill for r in records])) if records else 0.0,
             weight_stream_bytes=sum(r.weight_stream_bytes for r in records),
             dram_bytes=sum(r.dram_bytes for r in records),
@@ -314,8 +371,10 @@ class ServingStats:
             finish_length=reasons.count("length"),
             finish_aborted=reasons.count("aborted"),
             finish_error=reasons.count("error"),
-            ttft_p50_ms=float(np.percentile(ttfts, 50) * 1e3) if ttfts.size else 0.0,
-            ttft_p95_ms=float(np.percentile(ttfts, 95) * 1e3) if ttfts.size else 0.0,
-            inter_token_p50_ms=float(np.percentile(gaps, 50) * 1e3) if gaps.size else 0.0,
-            inter_token_p95_ms=float(np.percentile(gaps, 95) * 1e3) if gaps.size else 0.0,
+            ttft_p50_ms=_pct_ms(ttfts, 50),
+            ttft_p95_ms=_pct_ms(ttfts, 95),
+            inter_token_p50_ms=_pct_ms(gaps, 50),
+            inter_token_p95_ms=_pct_ms(gaps, 95),
+            draft_proposed_tokens=sum(r.draft_proposed_tokens for r in rounds),
+            draft_accepted_tokens=sum(r.draft_accepted_tokens for r in rounds),
         )

@@ -243,3 +243,106 @@ class TestIncrementalAPI:
             np.testing.assert_allclose(
                 batched[row], single[0], rtol=1e-9, atol=1e-12
             )
+
+
+class TestMultiTokenRound:
+    """The speculative verify round: ``m`` tokens per slot through the
+    batched ragged kernel (``batched_rounds=True``)."""
+
+    def _prefilled(self, model, prompts, config):
+        caches = []
+        for prompt in prompts:
+            cache = cache_for_model(model, config)
+            model.log_probs_incremental(prompt[None], [cache])
+            caches.append(cache)
+        return caches
+
+    def test_m1_explicit_flag_bitwise_equal_to_auto_dispatch(self, model):
+        """batched_rounds=True with one token per slot IS the decode round."""
+        rng = np.random.default_rng(11)
+        prompts = [rng.integers(0, 96, size=n) for n in (5, 12, 20)]
+        config = KVCacheConfig(bits=4, page_size=4)
+        step = rng.integers(0, 96, size=(3, 1))
+        auto = model.log_probs_incremental(step, self._prefilled(model, prompts, config))
+        explicit = model.log_probs_incremental(
+            step, self._prefilled(model, prompts, config), batched_rounds=True
+        )
+        np.testing.assert_array_equal(explicit, auto)
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=5),
+        m=st.integers(min_value=2, max_value=5),
+        quantize=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_multi_token_round_matches_per_sequence_loop(
+        self, model, lengths, m, quantize, seed
+    ):
+        """Property: an m-token batched round equals the per-sequence loop.
+
+        Same appends, same causal visibility — only the GEMM batching
+        differs, so logits agree to float64 round-off and greedy tokens
+        match exactly, in quantized and reference cache modes."""
+        rng = np.random.default_rng(seed)
+        prompts = [rng.integers(0, 96, size=n) for n in lengths]
+        config = KVCacheConfig(bits=4, page_size=4, quantize=quantize)
+        step = rng.integers(0, 96, size=(len(prompts), m))
+        batched = model.log_probs_incremental(
+            step, self._prefilled(model, prompts, config), batched_rounds=True
+        )
+        looped = model.log_probs_incremental(
+            step, self._prefilled(model, prompts, config), batched_rounds=False
+        )
+        np.testing.assert_allclose(batched, looped, rtol=1e-9, atol=1e-12)
+        np.testing.assert_array_equal(
+            batched.argmax(axis=-1), looped.argmax(axis=-1)
+        )
+
+    def test_multi_token_round_padded_oracle_agrees(self, model):
+        rng = np.random.default_rng(13)
+        prompts = [rng.integers(0, 96, size=n) for n in (4, 18, 9)]
+        config = KVCacheConfig(bits=4, page_size=4)
+        step = rng.integers(0, 96, size=(3, 4))
+        bucketed = model.log_probs_incremental(
+            step, self._prefilled(model, prompts, config), batched_rounds=True
+        )
+        set_ragged_attend(model, "padded")
+        try:
+            padded = model.log_probs_incremental(
+                step, self._prefilled(model, prompts, config), batched_rounds=True
+            )
+        finally:
+            set_ragged_attend(model, "bucketed")
+        np.testing.assert_allclose(bucketed, padded, rtol=1e-9, atol=1e-12)
+        np.testing.assert_array_equal(
+            bucketed.argmax(axis=-1), padded.argmax(axis=-1)
+        )
+
+    def test_verify_then_rollback_continues_like_stepwise(self, model):
+        """Feed m tokens, roll back to 1 kept, continue — matches stepwise."""
+        rng = np.random.default_rng(17)
+        prompt = rng.integers(0, 96, size=9)
+        config = KVCacheConfig(quantize=False, page_size=4)
+        speculative = cache_for_model(model, config)
+        model.log_probs_incremental(prompt[None], [speculative])
+        tokens = rng.integers(0, 96, size=4)
+        speculative.hold_seals()
+        verified = model.log_probs_incremental(
+            tokens[None], [speculative], batched_rounds=True
+        )
+        speculative.truncate_to(10)  # keep tokens[0] only
+        speculative.flush_seals()
+        stepwise = cache_for_model(model, config)
+        model.log_probs_incremental(prompt[None], [stepwise])
+        single = model.log_probs_incremental(tokens[:1][None], [stepwise])
+        np.testing.assert_allclose(
+            verified[0, 0], single[0, -1], rtol=1e-9, atol=1e-12
+        )
+        follow = rng.integers(0, 96, size=(1, 1))
+        after_rollback = model.log_probs_incremental(follow, [speculative])
+        after_stepwise = model.log_probs_incremental(follow, [stepwise])
+        np.testing.assert_allclose(
+            after_rollback, after_stepwise, rtol=1e-9, atol=1e-12
+        )
+        assert speculative.seq_len == stepwise.seq_len == 11

@@ -143,3 +143,147 @@ class TestCacheForModel:
         model = build_classifier("bert-base", num_classes=2, seed=0)
         with pytest.raises(ServingError):
             cache_for_model(model)
+
+
+class TestTruncateAndDeferredSeals:
+    """Rollback support for speculative decoding: ``truncate_to`` and the
+    deferred-seal append mode (``hold_seals``/``flush_seals``)."""
+
+    def _filled(self, config, total, rng=None, pool=None):
+        rng = rng or np.random.default_rng(0)
+        cache = LayerKVCache(HEADS, DIM, config, pool=pool)
+        values = step(rng, t=total)
+        cache.append(values, values * 0.5)
+        return cache, values
+
+    def test_truncate_within_open_page(self):
+        config = KVCacheConfig(quantize=False, page_size=4)
+        cache, values = self._filled(config, 7)
+        cache.truncate_to(5)
+        assert cache.seq_len == 5
+        k, _ = cache.kv()
+        np.testing.assert_array_equal(k, values[:, :5])
+        # the freed rows are rewritable
+        cache.append(step(np.random.default_rng(9), t=1), step(np.random.default_rng(9), t=1))
+        assert cache.seq_len == 6
+
+    def test_truncate_to_current_length_is_noop(self):
+        config = KVCacheConfig(bits=4, page_size=4)
+        cache, _ = self._filled(config, 9)
+        handles = list(cache._sealed_k)
+        before = cache.pool.counters()
+        cache.truncate_to(9)
+        assert cache.seq_len == 9
+        assert cache._sealed_k == handles
+        assert cache.pool.counters() == before
+
+    def test_truncate_bounds_validated(self):
+        config = KVCacheConfig(bits=4, page_size=4)
+        cache, _ = self._filled(config, 6)
+        with pytest.raises(ServingError):
+            cache.truncate_to(-1)
+        with pytest.raises(ServingError):
+            cache.truncate_to(7)
+
+    @pytest.mark.parametrize("quantize", [False, True])
+    def test_truncate_into_sealed_page_reopens_decoded_rows(self, quantize):
+        config = KVCacheConfig(bits=4, page_size=4, quantize=quantize)
+        cache, _ = self._filled(config, 10)  # 2 sealed pages + 2 open rows
+        decoded = cache.pool.decoded_many([cache._sealed_k[1]], cache.codec)[0].copy()
+        cache.truncate_to(6)  # cut inside sealed page 1
+        assert cache.seq_len == 6
+        assert len(cache._sealed_k) == 1
+        k, _ = cache.kv()
+        np.testing.assert_array_equal(k[:, 4:6], decoded[:, :2])
+
+    def test_truncate_shared_page_is_copy_on_write(self):
+        config = KVCacheConfig(bits=4, page_size=4)
+        owner, _ = self._filled(config, 9)
+        borrower = LayerKVCache(HEADS, DIM, config, pool=owner.pool)
+        borrower.attach(owner._sealed_k[:2], owner._sealed_v[:2], 8)
+        shared = owner._sealed_k[1]
+        assert shared.refcount == 2
+        before_k, before_v = borrower.kv()
+        before_k, before_v = before_k.copy(), before_v.copy()
+        owner.truncate_to(6)  # cuts inside the shared page
+        # the other holder's view is untouched and the page stays alive
+        after_k, after_v = borrower.kv()
+        np.testing.assert_array_equal(after_k, before_k)
+        np.testing.assert_array_equal(after_v, before_v)
+        assert shared.refcount == 1
+        assert owner.pool.num_entries > 0
+
+    def test_truncate_releases_dropped_pages(self):
+        config = KVCacheConfig(bits=4, page_size=4)
+        cache, _ = self._filled(config, 12)  # 3 sealed pages
+        dropped_before = cache.pool.pages_dropped
+        cache.truncate_to(4)
+        # pages 1 and 2 released: 2 K + 2 V pages dropped
+        assert cache.pool.pages_dropped == dropped_before + 4
+        assert cache.num_sealed_pages == 2  # one K + one V page
+
+    @pytest.mark.parametrize("quantize", [False, True])
+    def test_deferred_seals_match_eager_bitwise(self, quantize):
+        """hold → append across page boundaries → flush = eager appends."""
+        rng = np.random.default_rng(3)
+        values = step(rng, t=11)
+        config = KVCacheConfig(bits=4, page_size=4, quantize=quantize)
+        eager = LayerKVCache(HEADS, DIM, config)
+        for t in range(11):
+            eager.append(values[:, t:t + 1], values[:, t:t + 1] * 0.5)
+        deferred = LayerKVCache(HEADS, DIM, config)
+        deferred.append(values[:, :5], values[:, :5] * 0.5)
+        deferred.hold_seals()
+        deferred.append(values[:, 5:], values[:, 5:] * 0.5)
+        assert deferred.num_sealed_pages == 2  # only the pre-hold page pair
+        deferred.flush_seals()
+        assert deferred.num_sealed_pages == eager.num_sealed_pages
+        for ours, theirs in zip(deferred._sealed_k, eager._sealed_k):
+            if quantize:
+                np.testing.assert_array_equal(ours.payload.data, theirs.payload.data)
+            else:
+                np.testing.assert_array_equal(ours.payload, theirs.payload)
+        ek, ev = eager.kv()
+        dk, dv = deferred.kv()
+        np.testing.assert_array_equal(dk, ek)
+        np.testing.assert_array_equal(dv, ev)
+
+    def test_truncate_under_hold_matches_eager_appends(self):
+        """The speculative pattern — hold, append m, truncate back, flush —
+        leaves the cache bitwise identical to eagerly appending only the
+        kept tokens (flush seals from the same full-precision rows)."""
+        rng = np.random.default_rng(4)
+        config = KVCacheConfig(bits=4, page_size=4)
+        cache, values = self._filled(config, 6)
+        cache.hold_seals()
+        speculative = step(rng, t=5)
+        cache.append(speculative, speculative * 0.5)
+        assert cache.seq_len == 11
+        cache.truncate_to(8)  # keep two speculative tokens
+        cache.flush_seals()
+        assert cache.seq_len == 8
+        reference = LayerKVCache(HEADS, DIM, config)
+        kept = np.concatenate([values, speculative[:, :2]], axis=1)
+        reference.append(kept, kept * 0.5)
+        rk, rv = reference.kv()
+        k, v = cache.kv()
+        np.testing.assert_array_equal(k, rk)
+        np.testing.assert_array_equal(v, rv)
+
+    def test_release_clears_hold_flag(self):
+        config = KVCacheConfig(bits=4, page_size=4)
+        cache, _ = self._filled(config, 6)
+        cache.hold_seals()
+        cache.release()
+        assert not cache._hold_seals
+        assert cache.seq_len == 0
+
+    def test_sequence_cache_truncates_all_layers(self):
+        model = build_causal_lm("gpt2-xl", seed=0)
+        cache = cache_for_model(model, KVCacheConfig(bits=4, page_size=4))
+        tokens = np.random.default_rng(0).integers(0, 96, size=10)
+        model.log_probs_incremental(tokens[None], [cache])
+        cache.truncate_to(7)
+        assert cache.seq_len == 7
+        for i in range(cache.num_layers):
+            assert cache.layer(i).seq_len == 7

@@ -85,3 +85,107 @@ class TestSummary:
         assert d["requests"] == 4
         assert d["batches"] == 1
         assert d["mean_batch_fill"] == 0.5
+
+
+class TestPercentileHardening:
+    """Regression: percentile fields are NaN-free zeros and round
+    consistently when no completed requests exist, and one non-finite
+    measurement never poisons the window aggregates."""
+
+    def _round(self, **overrides):
+        from repro.serve.stats import DecodeRoundRecord
+
+        base = dict(
+            active_slots=2, num_slots=4, new_tokens=10, generated_tokens=2,
+            compute_seconds=0.01, kv_cache_bytes=100, kv_fp32_bytes=800,
+        )
+        base.update(overrides)
+        return DecodeRoundRecord(**base)
+
+    @staticmethod
+    def _assert_finite(summary):
+        import json
+
+        import numpy as np
+
+        payload = summary.as_dict()
+        for key, value in payload.items():
+            if isinstance(value, float):
+                assert np.isfinite(value), f"{key} is not finite: {value}"
+        json.dumps(payload, allow_nan=False)  # raises on NaN/Inf
+
+    def test_no_completed_requests_reports_exact_zero_percentiles(self):
+        stats = ServingStats(clock=FakeClock())
+        stats.record_decode_round(self._round())  # in-flight, nothing retired
+        summary = stats.summary()
+        for field in (
+            "latency_mean_ms", "latency_p50_ms", "latency_p95_ms",
+            "ttft_p50_ms", "ttft_p95_ms",
+            "inter_token_p50_ms", "inter_token_p95_ms",
+        ):
+            value = getattr(summary, field)
+            assert isinstance(value, float) and value == 0.0
+        assert summary.requests == 0
+        self._assert_finite(summary)
+
+    def test_non_finite_measurements_do_not_poison_the_window(self):
+        stats = ServingStats(clock=FakeClock())
+        stats.record_decode_round(
+            self._round(
+                compute_seconds=float("nan"),
+                latencies=(float("nan"), 0.02),
+                first_token_seconds=(float("inf"), 0.001),
+                inter_token_seconds=(float("nan"),),
+            )
+        )
+        summary = stats.summary()
+        self._assert_finite(summary)
+        assert summary.requests == 1          # the finite latency survives
+        assert summary.latency_p50_ms == pytest.approx(20.0)
+        assert summary.ttft_p50_ms == pytest.approx(1.0)
+        assert summary.inter_token_p50_ms == 0.0
+
+    def test_non_finite_batch_compute_keeps_wall_finite(self):
+        stats = ServingStats(clock=FakeClock())
+        stats.record_batch(
+            BatchRecord(
+                batch_size=1, max_batch_size=4, compute_seconds=float("nan"),
+                tokens=4, weight_stream_bytes=0, dram_bytes=0.0,
+                latencies=(0.005,),
+            )
+        )
+        summary = stats.summary()
+        self._assert_finite(summary)
+        assert summary.wall_seconds > 0.0
+
+
+class TestDraftCounters:
+    def test_acceptance_rate_aggregates_over_rounds(self):
+        from repro.serve.stats import DecodeRoundRecord
+
+        stats = ServingStats(clock=FakeClock())
+        for proposed, accepted in ((4, 3), (2, 0), (0, 0)):
+            stats.record_decode_round(
+                DecodeRoundRecord(
+                    active_slots=1, num_slots=2, new_tokens=1, generated_tokens=1,
+                    compute_seconds=0.001, kv_cache_bytes=0, kv_fp32_bytes=0,
+                    draft_proposed_tokens=proposed, draft_accepted_tokens=accepted,
+                )
+            )
+        summary = stats.summary()
+        assert summary.draft_proposed_tokens == 6
+        assert summary.draft_accepted_tokens == 3
+        assert summary.draft_acceptance_rate == pytest.approx(0.5)
+        assert summary.as_dict()["draft_acceptance_rate"] == pytest.approx(0.5)
+
+    def test_acceptance_rate_zero_when_nothing_proposed(self):
+        from repro.serve.stats import DecodeRoundRecord
+
+        record = DecodeRoundRecord(
+            active_slots=1, num_slots=2, new_tokens=1, generated_tokens=1,
+            compute_seconds=0.001, kv_cache_bytes=0, kv_fp32_bytes=0,
+        )
+        assert record.draft_acceptance_rate == 0.0
+        stats = ServingStats(clock=FakeClock())
+        stats.record_decode_round(record)
+        assert stats.summary().draft_acceptance_rate == 0.0
