@@ -1,0 +1,160 @@
+"""Benchmark: telemetry overhead and the traced-round phase breakdown.
+
+Two perf properties guard the observability layer:
+
+* **off means free** — serving with a disabled tracer (the instrumented hot
+  path hitting ``tracer.enabled`` checks and the shared null span) must stay
+  within 2% of serving with no tracer argument at all (``NULL_TRACER``);
+* **on means cheap** — the fully-enabled tracer's overhead on a speculative
+  serving run is reported informationally, and its phase report must name at
+  least 90% of where the round wall-clock went (the report is useless if
+  most of the round is unattributed).
+
+The enabled run's phase breakdown is attached to ``BENCH_serve.json`` via the
+``serve_phase_report`` fixture, so CI archives the round profile alongside
+the throughput trajectory.
+"""
+
+import json
+
+import numpy as np
+
+from repro.serve import (
+    InferenceRequest,
+    KVCacheConfig,
+    ModelRepository,
+    SamplingParams,
+    ServingEngine,
+    SpeculativeConfig,
+    Tracer,
+    WorkloadFamily,
+    validate_chrome_trace,
+)
+
+MODEL = "gpt2-xl"
+VOCAB = 96
+
+SPEC = SpeculativeConfig(
+    num_speculative_tokens=2,
+    calibration_sequences=6,
+    calibration_tokens=12,
+    calibration_prompt_len=4,
+)
+
+
+def lm_requests(seed, count=4, seq_len=8, max_new_tokens=12):
+    rng = np.random.default_rng(seed)
+    return [
+        InferenceRequest(
+            MODEL,
+            WorkloadFamily.LM,
+            rng.integers(0, VOCAB, size=seq_len),
+            sampling=SamplingParams(max_new_tokens=max_new_tokens),
+        )
+        for _ in range(count)
+    ]
+
+
+def make_engine(repository, tracer=None):
+    engine = ServingEngine(
+        repository,
+        num_slots=4,
+        kv_cache_config=KVCacheConfig(bits=4, page_size=16),
+        speculative=SPEC,
+        tracer=tracer,
+    )
+    return engine
+
+
+def test_bench_disabled_tracer_is_free(run_once, best_of, benchmark, serve_trajectory):
+    """Serving with ``Tracer(enabled=False)`` must match no-tracer serving.
+
+    Every instrumented call site pays only an ``enabled`` attribute check on
+    the null path, so the regression budget is 2% (best-of-N paired runs on
+    one warmed repository absorb machine noise).
+    """
+    repository = ModelRepository(bits=4, seed=0)
+    absent = make_engine(repository)
+    disabled = make_engine(repository, tracer=Tracer(enabled=False))
+    for engine in (absent, disabled):
+        engine.warm(MODEL, WorkloadFamily.LM)
+        engine.warm_speculative(MODEL)
+        engine.serve(lm_requests(0))  # warm pools, caches, code paths
+
+    absent_seconds = best_of(lambda: absent.serve(lm_requests(1)), repeats=9)
+    disabled_seconds = best_of(lambda: disabled.serve(lm_requests(1)), repeats=9)
+    ratio = disabled_seconds / absent_seconds
+
+    results = run_once(disabled.serve, lm_requests(2))
+    assert len(results) == 4
+    assert disabled.tracer.num_spans == 0  # recorded nothing
+    assert disabled.chrome_trace()["traceEvents"] == []
+
+    benchmark.extra_info.update(
+        {
+            "absent_ms": round(absent_seconds * 1e3, 2),
+            "disabled_ms": round(disabled_seconds * 1e3, 2),
+            "disabled_over_absent": round(ratio, 4),
+        }
+    )
+    serve_trajectory(
+        "telemetry",
+        disabled_over_absent=round(ratio, 4),
+        absent_ms=round(absent_seconds * 1e3, 2),
+        disabled_ms=round(disabled_seconds * 1e3, 2),
+    )
+    assert ratio <= 1.02, (
+        f"disabled tracer costs {ratio:.3f}x over no tracer (budget 1.02x)"
+    )
+
+
+def test_bench_enabled_tracer_overhead_and_coverage(
+    run_once, best_of, benchmark, serve_trajectory, serve_phase_report
+):
+    """Enabled-tracer overhead (informational) + phase-report coverage gate."""
+    repository = ModelRepository(bits=4, seed=0)
+    baseline = make_engine(repository)
+    tracer = Tracer()
+    traced = make_engine(repository, tracer=tracer)
+    for engine in (baseline, traced):
+        engine.warm(MODEL, WorkloadFamily.LM)
+        engine.warm_speculative(MODEL)
+        engine.serve(lm_requests(0))
+
+    baseline_seconds = best_of(lambda: baseline.serve(lm_requests(3)), repeats=5)
+
+    def traced_serve():
+        tracer.reset()
+        traced.serve(lm_requests(3))
+
+    enabled_seconds = best_of(traced_serve, repeats=5)
+    enabled_ratio = enabled_seconds / baseline_seconds
+
+    tracer.reset()
+    results = run_once(traced.serve, lm_requests(4))
+    assert [r.output.finish_reason for r in results] == ["length"] * 4
+
+    report = traced.phase_report()
+    assert report.rounds > 0
+    assert report.coverage >= 0.9, (
+        f"phase report names only {report.coverage:.1%} of the round wall"
+    )
+    counts = validate_chrome_trace(json.dumps(traced.chrome_trace()))
+    assert counts["B"] == counts["E"] > 0
+
+    benchmark.extra_info.update(
+        {
+            "enabled_over_absent": round(enabled_ratio, 3),
+            "enabled_ms": round(enabled_seconds * 1e3, 2),
+            "spans_per_serve": tracer.num_spans,
+            "phase_coverage": round(report.coverage, 4),
+            "round_ms": round(report.round_ms, 2),
+        }
+    )
+    serve_trajectory(
+        "telemetry",
+        enabled_over_absent=round(enabled_ratio, 3),
+        spans_per_serve=tracer.num_spans,
+        phase_coverage=round(report.coverage, 4),
+    )
+    serve_phase_report("telemetry", report)

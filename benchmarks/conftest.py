@@ -63,6 +63,23 @@ def serve_trajectory():
     return _record
 
 
+@pytest.fixture
+def serve_phase_report():
+    """Attach a tracer's per-phase round breakdown to BENCH_serve.json.
+
+    Usage: ``serve_phase_report("section", report)`` with a
+    :class:`repro.serve.telemetry.PhaseReport` — the report's ``as_dict()``
+    (rounds, round wall, named-phase coverage, per-phase count/total/self/
+    share) lands under the section's ``phase_report`` key, so CI archives
+    where round wall-clock goes alongside the throughput trajectory.
+    """
+
+    def _record(section, report):
+        _SERVE_TRAJECTORY.setdefault(str(section), {})["phase_report"] = report.as_dict()
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write the serving trajectory artifact when any serve bench recorded one."""
     if not _SERVE_TRAJECTORY:

@@ -93,6 +93,7 @@ class CausalLM(Module):
         caches,
         last_only: bool = False,
         batched_rounds: Optional[bool] = None,
+        tracer=None,
     ) -> np.ndarray:
         """Log-probabilities of new tokens only, via per-sequence KV caches.
 
@@ -104,13 +105,18 @@ class CausalLM(Module):
         O(prompt × vocab) head GEMM; the returned array then has one
         position.  ``batched_rounds=True`` routes attention through the
         ragged round kernel — the speculative verify pass uses it to advance
-        ``m`` tokens per slot in one batched pass.
+        ``m`` tokens per slot in one batched pass.  ``tracer`` (duck-typed,
+        optional — the serving tracer's span protocol) records per-phase
+        spans down the forward path.
         """
         hidden = self.backbone.forward_incremental(
-            token_ids, caches, batched_rounds=batched_rounds
+            token_ids, caches, batched_rounds=batched_rounds, tracer=tracer
         )
         if last_only:
             hidden = hidden[:, -1:]
+        if tracer is not None and tracer.enabled:
+            with tracer.span("lm_head"):
+                return self.head.log_probs(hidden)
         return self.head.log_probs(hidden)
 
 

@@ -22,6 +22,21 @@ __all__ = [
 MIN_ATTEND_BUCKET = 16
 
 
+class _NullSpan:
+    """No-op context manager so the untraced bucket loop stays branch-free."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_BUCKET_SPAN = _NullSpan()
+
+
 def bucket_by_length(
     lengths: Sequence[int], min_bucket: int = MIN_ATTEND_BUCKET
 ) -> List[Tuple[List[int], int]]:
@@ -183,6 +198,7 @@ class MultiHeadAttention(Module):
         layer_caches: Sequence,
         scratch: Optional[AttendScratch] = None,
         batched_rounds: Optional[bool] = None,
+        tracer=None,
     ) -> np.ndarray:
         """Causal self-attention over cached K/V plus the new tokens.
 
@@ -208,6 +224,11 @@ class MultiHeadAttention(Module):
             everything else (prefill) the per-sequence loop.  Speculative
             verify passes ``True`` so its ``m``-token rows ride the bucketed
             round kernel instead of the loop.
+        tracer:
+            Optional span tracer (``span(name, attrs=None)`` context-manager
+            protocol, duck-typed so this module stays serve-agnostic).  The
+            round kernel records ``kv_append`` and per-bucket ``attend``
+            spans; ``None`` (the default) keeps the hot path untouched.
 
         The four projections are computed for the new tokens only — one
         batched GEMM across all rows — so a decode step costs O(1) GEMM work
@@ -220,19 +241,27 @@ class MultiHeadAttention(Module):
             raise ValueError(
                 f"got {hidden.shape[0]} sequences but {len(layer_caches)} layer caches"
             )
-        q = self._split_heads(self.q_proj(hidden))
-        k_new = self._split_heads(self.k_proj(hidden))
-        v_new = self._split_heads(self.v_proj(hidden))
+        if tracer is not None and tracer.enabled:
+            with tracer.span("qkv_proj"):
+                q = self._split_heads(self.q_proj(hidden))
+                k_new = self._split_heads(self.k_proj(hidden))
+                v_new = self._split_heads(self.v_proj(hidden))
+        else:
+            q = self._split_heads(self.q_proj(hidden))
+            k_new = self._split_heads(self.k_proj(hidden))
+            v_new = self._split_heads(self.v_proj(hidden))
         num_seqs, t_new = hidden.shape[0], hidden.shape[1]
 
         if batched_rounds is None:
             batched_rounds = t_new == 1 and num_seqs > 1
         if batched_rounds:
-            return self.out_proj(
-                self._merge_heads(
-                    self._attend_round(q, k_new, v_new, layer_caches, scratch=scratch)
-                )
+            attended = self._attend_round(
+                q, k_new, v_new, layer_caches, scratch=scratch, tracer=tracer
             )
+            if tracer is not None and tracer.enabled:
+                with tracer.span("out_proj"):
+                    return self.out_proj(self._merge_heads(attended))
+            return self.out_proj(self._merge_heads(attended))
         attended = np.empty_like(q)
         for i, cache in enumerate(layer_caches):
             past = cache.seq_len
@@ -256,6 +285,7 @@ class MultiHeadAttention(Module):
         v_new: np.ndarray,
         layer_caches: Sequence,
         scratch: Optional[AttendScratch] = None,
+        tracer=None,
     ) -> np.ndarray:
         """Batched attend across ragged sequences (one decode/verify round).
 
@@ -268,8 +298,14 @@ class MultiHeadAttention(Module):
         the bucketed kernel or the padded oracle according to
         :attr:`ragged_attend`.
         """
-        for i, cache in enumerate(layer_caches):
-            cache.append(k_new[i], v_new[i])
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            with tracer.span("kv_append", attrs={"slots": len(layer_caches)}):
+                for i, cache in enumerate(layer_caches):
+                    cache.append(k_new[i], v_new[i])
+        else:
+            for i, cache in enumerate(layer_caches):
+                cache.append(k_new[i], v_new[i])
         # Caches that support it decode every slot's sealed pages in one
         # batched pass (duck-typed so this module stays serve-agnostic).
         kv_many = getattr(type(layer_caches[0]), "kv_many", None)
@@ -279,8 +315,13 @@ class MultiHeadAttention(Module):
             kvs = [cache.kv() for cache in layer_caches]
         lengths = [k.shape[1] for k, _ in kvs]
         if self.ragged_attend == "padded":
+            if traced:
+                with tracer.span(
+                    "attend", attrs={"bucket": max(lengths), "slots": len(lengths)}
+                ):
+                    return self._padded_attend(q, kvs, lengths)
             return self._padded_attend(q, kvs, lengths)
-        return self._bucketed_attend(q, kvs, lengths, scratch=scratch)
+        return self._bucketed_attend(q, kvs, lengths, scratch=scratch, tracer=tracer)
 
     @staticmethod
     def _round_mask(
@@ -334,6 +375,7 @@ class MultiHeadAttention(Module):
         kvs: Sequence,
         lengths: Sequence[int],
         scratch: Optional[AttendScratch] = None,
+        tracer=None,
     ) -> np.ndarray:
         """Length-bucketed ragged attend: one padded GEMM per pow-2 bucket.
 
@@ -347,24 +389,34 @@ class MultiHeadAttention(Module):
         floating-point round-off and on every greedy token.
         """
         num_heads, t_new, head_dim = q.shape[1], q.shape[2], q.shape[3]
+        traced = tracer is not None and tracer.enabled
         attended = np.empty_like(q)
         for key, (indices, pad_len) in enumerate(bucket_by_length(lengths)):
-            shape = (len(indices), num_heads, pad_len, head_dim)
-            if scratch is not None:
-                k_pad, v_pad = scratch.pads(key, shape)
-            else:
-                k_pad, v_pad = np.zeros(shape), np.zeros(shape)
-
-            def build_mask(indices=indices, pad_len=pad_len):
-                return self._round_mask(lengths, indices, pad_len, t_new)
-
-            mask = scratch.mask(key, build_mask) if scratch is not None else build_mask()
-            for row, i in enumerate(indices):
-                k, v = kvs[i]
-                k_pad[row, :, : lengths[i]] = k
-                v_pad[row, :, : lengths[i]] = v
-            scores = (
-                q[indices] @ k_pad.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim) + mask
+            span = (
+                tracer.span("attend", attrs={"bucket": pad_len, "slots": len(indices)})
+                if traced
+                else _NULL_BUCKET_SPAN
             )
-            attended[indices] = F.softmax(scores, axis=-1) @ v_pad
+            with span:
+                shape = (len(indices), num_heads, pad_len, head_dim)
+                if scratch is not None:
+                    k_pad, v_pad = scratch.pads(key, shape)
+                else:
+                    k_pad, v_pad = np.zeros(shape), np.zeros(shape)
+
+                def build_mask(indices=indices, pad_len=pad_len):
+                    return self._round_mask(lengths, indices, pad_len, t_new)
+
+                mask = (
+                    scratch.mask(key, build_mask) if scratch is not None else build_mask()
+                )
+                for row, i in enumerate(indices):
+                    k, v = kvs[i]
+                    k_pad[row, :, : lengths[i]] = k
+                    v_pad[row, :, : lengths[i]] = v
+                scores = (
+                    q[indices] @ k_pad.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+                    + mask
+                )
+                attended[indices] = F.softmax(scores, axis=-1) @ v_pad
         return attended

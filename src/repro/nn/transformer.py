@@ -111,6 +111,7 @@ class TransformerDecoderLayer(Module):
         layer_caches: Sequence,
         scratch: Optional[AttendScratch] = None,
         batched_rounds: Optional[bool] = None,
+        tracer=None,
     ) -> np.ndarray:
         """Decode new tokens against per-sequence KV caches (decoder-only).
 
@@ -118,7 +119,8 @@ class TransformerDecoderLayer(Module):
         :meth:`MultiHeadAttention.forward_incremental`.  ``scratch`` is the
         round-level pad/mask buffer pool shared across layers;
         ``batched_rounds`` forces the ragged round kernel (speculative
-        verify rounds feed ``m`` tokens per slot through it).
+        verify rounds feed ``m`` tokens per slot through it); ``tracer``
+        (duck-typed, optional) records attend/FFN phase spans.
         """
         if self.cross_attention is not None:
             raise ValueError(
@@ -127,8 +129,11 @@ class TransformerDecoderLayer(Module):
             )
         x = x + self.self_attention.forward_incremental(
             self.norm_self(x), layer_caches, scratch=scratch,
-            batched_rounds=batched_rounds,
+            batched_rounds=batched_rounds, tracer=tracer,
         )
+        if tracer is not None and tracer.enabled:
+            with tracer.span("ffn"):
+                return x + self.ffn(self.norm_ffn(x))
         x = x + self.ffn(self.norm_ffn(x))
         return x
 
@@ -237,6 +242,7 @@ class TransformerDecoder(Module):
         token_ids: np.ndarray,
         caches: Sequence,
         batched_rounds: Optional[bool] = None,
+        tracer=None,
     ) -> np.ndarray:
         """Run only the new tokens, appending K/V to per-sequence caches.
 
@@ -269,7 +275,11 @@ class TransformerDecoder(Module):
                 f"got {token_ids.shape[0]} sequences but {len(caches)} caches"
             )
         offsets = np.array([cache.seq_len for cache in caches], dtype=np.int64)
-        hidden = self.embeddings(token_ids, position_offsets=offsets)
+        if tracer is not None and tracer.enabled:
+            with tracer.span("embed"):
+                hidden = self.embeddings(token_ids, position_offsets=offsets)
+        else:
+            hidden = self.embeddings(token_ids, position_offsets=offsets)
         # A multi-slot decode/verify round reuses one pad/mask scratch across
         # all layers (bucket shapes are identical layer to layer in a round).
         if batched_rounds is None:
@@ -278,7 +288,8 @@ class TransformerDecoder(Module):
         for i in range(self.num_layers):
             layer_caches = [cache.layer(i) for cache in caches]
             hidden = getattr(self, f"layer_{i}").forward_incremental(
-                hidden, layer_caches, scratch=scratch, batched_rounds=batched_rounds
+                hidden, layer_caches, scratch=scratch, batched_rounds=batched_rounds,
+                tracer=tracer,
             )
         return self.final_norm(hidden)
 

@@ -34,7 +34,14 @@ request/response engine:
 * :mod:`repro.serve.stats` — throughput, p50/p95 latency, batch fill,
   DRAM-byte, KV-cache/slot-occupancy, finish-reason and streamed-token
   latency (TTFT / inter-token) accounting aligned with the performance
-  simulators.
+  simulators;
+* :mod:`repro.serve.telemetry` — span-based request-lifecycle tracing and
+  per-phase round profiling (:class:`~repro.serve.telemetry.Tracer`, off by
+  default via the :data:`~repro.serve.telemetry.NULL_TRACER` null object)
+  plus the Prometheus-style
+  :class:`~repro.serve.telemetry.MetricsRegistry`; exports Chrome
+  ``trace_event`` JSON, JSONL span logs and ``phase_report()`` wall-clock
+  breakdowns.
 """
 
 from repro.serve.aio import AsyncServer
@@ -77,13 +84,30 @@ from repro.serve.stats import (
     ServingStats,
     ServingSummary,
 )
+from repro.serve.telemetry import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    PhaseReport,
+    PhaseRow,
+    Span,
+    Tracer,
+    exponential_buckets,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "AsyncServer",
     "BatchRecord",
     "ContinuousBatchingScheduler",
+    "Counter",
     "DecodeRoundRecord",
     "FinishReason",
+    "Gauge",
+    "Histogram",
     "InferenceEngine",
     "InferenceRequest",
     "InferenceResult",
@@ -91,10 +115,15 @@ __all__ = [
     "LayerKVCache",
     "LogitsProcessor",
     "MicroBatcher",
+    "MetricsRegistry",
     "ModelRepository",
+    "NULL_TRACER",
+    "NullTracer",
     "PackedModel",
     "PageHandle",
     "PagePool",
+    "PhaseReport",
+    "PhaseRow",
     "QueuedRequest",
     "RepositoryStats",
     "RequestOutput",
@@ -102,6 +131,7 @@ __all__ = [
     "Sampler",
     "SamplingParams",
     "SequenceKVCache",
+    "Span",
     "SpeculativeConfig",
     "SpeculativeDecoder",
     "ServingEngine",
@@ -110,10 +140,13 @@ __all__ = [
     "ServingSummary",
     "TemperatureWarper",
     "TokenChunk",
+    "Tracer",
     "TopKFilter",
     "TopPFilter",
     "WorkloadFamily",
     "cache_for_model",
     "default_processors",
+    "exponential_buckets",
     "top_k_candidates",
+    "validate_chrome_trace",
 ]

@@ -174,6 +174,18 @@ class AsyncServer:
         """Requests submitted but not yet resolved."""
         return len(self._futures)
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the engine's serving metrics.
+
+        Synchronous and lock-protected — an HTTP ``/metrics`` handler can
+        call it from any task without touching the scheduler.
+        """
+        return self.engine.metrics_text()
+
+    def phase_report(self, root: str = "round"):
+        """Wall-clock phase breakdown of the engine's traced decode rounds."""
+        return self.engine.phase_report(root=root)
+
     # ------------------------------------------------------------------ #
     # Scheduler
     # ------------------------------------------------------------------ #

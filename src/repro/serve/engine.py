@@ -40,6 +40,7 @@ from repro.serve.requests import (
 from repro.serve.sampling import FinishReason, RequestOutput, Sampler, TokenChunk
 from repro.serve.scheduler import ContinuousBatchingScheduler, greedy_top_k
 from repro.serve.stats import BatchRecord, ServingStats
+from repro.serve.telemetry import NULL_TRACER
 
 __all__ = ["InferenceEngine", "ServingEngine"]
 
@@ -314,9 +315,11 @@ class ServingEngine:
         kv_cache_config: Optional[KVCacheConfig] = None,
         share_generated_suffix: bool = False,
         speculative=None,
+        tracer=None,
     ) -> None:
         self.repository = repository or ModelRepository()
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.batcher = MicroBatcher(
             max_batch_size=max_batch_size, max_wait=max_wait, clock=clock
         )
@@ -324,6 +327,7 @@ class ServingEngine:
         # One page pool for the whole engine: continuous-batching slots and
         # whole-batch generation share decoded pages and the prefix index.
         self.page_pool = self.kv_cache_config.make_pool()
+        self.page_pool.tracer = self.tracer
         self.engine = InferenceEngine(
             self.repository,
             kv_cache_config=self.kv_cache_config,
@@ -340,6 +344,7 @@ class ServingEngine:
             page_pool=self.page_pool,
             share_generated_suffix=share_generated_suffix,
             speculative=speculative,
+            tracer=tracer,
         )
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded
@@ -396,9 +401,12 @@ class ServingEngine:
         batch = self.batcher.next_batch(force=force)
         if batch is not None:
             try:
-                batch_results, record = self.engine.run_batch(
-                    batch, clock=self.clock, max_batch_size=self.batcher.max_batch_size
-                )
+                with self.tracer.span("batch"):
+                    batch_results, record = self.engine.run_batch(
+                        batch,
+                        clock=self.clock,
+                        max_batch_size=self.batcher.max_batch_size,
+                    )
             except Exception as exc:
                 for queued in batch:
                     self._record_failure(queued.request.request_id, exc)
@@ -432,13 +440,14 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     def _buffer_chunks(self) -> None:
         """Move the scheduler's freshly emitted TokenChunks into the buffer."""
-        for chunk in self.lm_scheduler.take_chunks():
-            queue = self._chunks.get(chunk.request_id)
-            if queue is None:
-                queue = self._chunks[chunk.request_id] = deque()
-            queue.append(chunk)
-        while len(self._chunks) > self.result_buffer:
-            self._chunks.popitem(last=False)
+        with self.tracer.span("emit"):
+            for chunk in self.lm_scheduler.take_chunks():
+                queue = self._chunks.get(chunk.request_id)
+                if queue is None:
+                    queue = self._chunks[chunk.request_id] = deque()
+                queue.append(chunk)
+            while len(self._chunks) > self.result_buffer:
+                self._chunks.popitem(last=False)
 
     def next_chunk(self, request_id: str) -> Optional[TokenChunk]:
         """Pop the oldest buffered chunk of ``request_id`` (None when empty).
@@ -591,3 +600,18 @@ class ServingEngine:
     def pending(self) -> int:
         """Requests queued or decoding but not yet completed."""
         return len(self.batcher) + len(self.lm_scheduler)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the engine's serving metrics."""
+        return self.stats.metrics_text()
+
+    def phase_report(self, root: str = "round"):
+        """Wall-clock breakdown of traced decode rounds (see the tracer)."""
+        return self.tracer.phase_report(root=root)
+
+    def chrome_trace(self) -> str:
+        """Chrome ``trace_event`` JSON of everything traced so far."""
+        return self.tracer.chrome_trace()

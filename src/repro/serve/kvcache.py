@@ -55,6 +55,7 @@ import numpy as np
 from repro.core.ovp import OVPairCodec, PackedOVPTensor
 from repro.core.quantizer import OVPQuantizerConfig
 from repro.serve.requests import ServingError
+from repro.serve.telemetry import NULL_TRACER
 
 __all__ = [
     "KVCacheConfig",
@@ -191,6 +192,10 @@ class PagePool:
             raise ServingError("prefix_capacity must be >= 1")
         self.decoded_capacity_bytes = int(decoded_capacity_bytes)
         self.prefix_capacity = int(prefix_capacity)
+        # Span tracer for the batched pool decode; the owning engine/
+        # scheduler assigns its own tracer here (last assignment wins when a
+        # pool is shared, so share a tracer along with the pool).
+        self.tracer = NULL_TRACER
         self._entries: Dict[int, PageHandle] = {}
         self._decoded: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._decoded_bytes = 0
@@ -271,24 +276,39 @@ class PagePool:
         if pending:
             if codec is None:
                 raise ServingError("decoding packed KV pages requires a codec")
-            by_shape: Dict[Tuple[int, ...], List[List[int]]] = {}
-            for positions in pending.values():
-                shape = tuple(handles[positions[0]].payload.shape)
-                by_shape.setdefault(shape, []).append(positions)
-            for groups in by_shape.values():
-                pages = codec.decode_tensor_batch(
-                    [handles[positions[0]].payload for positions in groups]
-                )
-                for row, positions in enumerate(groups):
-                    array = self._admit_decoded(handles[positions[0]], pages[row])
-                    out[positions[0]] = array
-                    for j in positions[1:]:
-                        # Same page requested twice in one round: the extra
-                        # decode was saved even if the LRU is disabled.
-                        self.decode_hits += 1
-                        self.decoded_bytes_saved += array.nbytes
-                        out[j] = array
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("pool_decode", attrs={"pages": len(pending)}):
+                    self._decode_pending(handles, pending, codec, out)
+            else:
+                self._decode_pending(handles, pending, codec, out)
         return out  # type: ignore[return-value]
+
+    def _decode_pending(
+        self,
+        handles: Sequence[PageHandle],
+        pending: "OrderedDict[int, List[int]]",
+        codec: OVPairCodec,
+        out: List[Optional[np.ndarray]],
+    ) -> None:
+        """Batched OVP decode of the LRU misses (one codec pass per shape)."""
+        by_shape: Dict[Tuple[int, ...], List[List[int]]] = {}
+        for positions in pending.values():
+            shape = tuple(handles[positions[0]].payload.shape)
+            by_shape.setdefault(shape, []).append(positions)
+        for groups in by_shape.values():
+            pages = codec.decode_tensor_batch(
+                [handles[positions[0]].payload for positions in groups]
+            )
+            for row, positions in enumerate(groups):
+                array = self._admit_decoded(handles[positions[0]], pages[row])
+                out[positions[0]] = array
+                for j in positions[1:]:
+                    # Same page requested twice in one round: the extra
+                    # decode was saved even if the LRU is disabled.
+                    self.decode_hits += 1
+                    self.decoded_bytes_saved += array.nbytes
+                    out[j] = array
 
     def _admit_decoded(self, handle: PageHandle, array: np.ndarray) -> np.ndarray:
         if self.decoded_capacity_bytes <= 0 or array.nbytes > self.decoded_capacity_bytes:

@@ -74,6 +74,7 @@ from repro.serve.sampling import (
 )
 from repro.serve.spec import SpeculativeConfig, SpeculativeDecoder
 from repro.serve.stats import DecodeRoundRecord, ServingStats
+from repro.serve.telemetry import NULL_TRACER
 
 __all__ = ["ContinuousBatchingScheduler", "greedy_top_k"]
 
@@ -168,6 +169,7 @@ class ContinuousBatchingScheduler:
         page_pool: Optional[PagePool] = None,
         share_generated_suffix: bool = False,
         speculative=None,
+        tracer=None,
     ) -> None:
         if num_slots < 1:
             raise ServingError("num_slots must be >= 1")
@@ -176,6 +178,7 @@ class ContinuousBatchingScheduler:
         self.cache_config = cache_config or KVCacheConfig(bits=repository.bits)
         self.clock = clock
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.share_generated_suffix = bool(share_generated_suffix)
         if speculative is None:
             self.spec = None
@@ -183,7 +186,10 @@ class ContinuousBatchingScheduler:
             self.spec = speculative
         elif isinstance(speculative, SpeculativeConfig):
             self.spec = SpeculativeDecoder(
-                repository, speculative, target_cache_config=self.cache_config
+                repository,
+                speculative,
+                target_cache_config=self.cache_config,
+                tracer=self.tracer,
             )
         else:
             raise ServingError(
@@ -192,6 +198,10 @@ class ContinuousBatchingScheduler:
         # One shared pool for every admitted sequence: sealed pages decode at
         # most once across rounds/sequences, and the prefix index lives here.
         self.page_pool = page_pool if page_pool is not None else self.cache_config.make_pool()
+        if tracer is not None:
+            # Only adopt the pool when a tracer was passed explicitly, so a
+            # shared pool's tracer is never clobbered with the null default.
+            self.page_pool.tracer = self.tracer
         self._queue: Deque[QueuedRequest] = deque()
         self._slots: List[Optional[_Slot]] = [None] * self.num_slots
         self._failed: List[Tuple[str, Exception]] = []
@@ -222,6 +232,10 @@ class ContinuousBatchingScheduler:
                 "use the micro-batcher for score-only LM requests"
             )
         self._queue.append(QueuedRequest(request=request, enqueued_at=self.clock()))
+        if self.tracer.enabled:
+            self.tracer.lifecycle_begin(
+                request.request_id, "queued", {"model": request.model}
+            )
         return request.request_id
 
     def __len__(self) -> int:
@@ -292,9 +306,10 @@ class ContinuousBatchingScheduler:
             return []
         start = self.clock()
         pool_before = self.page_pool.counters()
-        prefill_tokens, admitted = self._admit()
-        decoded = self._decode_round(exclude=admitted)
-        results = self._retire()
+        with self.tracer.span("round"):
+            prefill_tokens, admitted = self._admit()
+            decoded = self._decode_round(exclude=admitted)
+            results = self._retire()
         self._record_round(
             prefill_tokens, len(admitted), decoded, results, start, pool_before
         )
@@ -389,26 +404,33 @@ class ContinuousBatchingScheduler:
         sequence's first generated token, so freshly admitted slots are
         excluded from this round's decode step.
         """
-        free = [index for index, slot in enumerate(self._slots) if slot is None]
-        staged: List[Tuple[int, QueuedRequest, PackedModel, Optional[tuple]]] = []
-        while free and self._queue:
-            queued = self._queue.popleft()
-            entry = self._prepare(queued)
-            if entry is not None:
-                shared = self._lookup_prefix(queued.request)
-                staged.append((free.pop(0), queued, entry, shared))
-        groups = {}
-        for item in staged:
-            _, queued, entry, shared = item
-            shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
-            suffix_len = queued.request.seq_len - shared_tokens
-            groups.setdefault((id(entry), suffix_len), []).append(item)
-        admitted: List[_Slot] = []
-        for group in groups.values():
-            admitted.extend(self._prefill_group(group))
-        self.admitted += len(admitted)
-        prefilled = sum(slot.prefill_tokens for slot in admitted)
-        return prefilled, admitted
+        with self.tracer.span("admit"):
+            free = [index for index, slot in enumerate(self._slots) if slot is None]
+            staged: List[Tuple[int, QueuedRequest, PackedModel, Optional[tuple]]] = []
+            while free and self._queue:
+                queued = self._queue.popleft()
+                if self.tracer.enabled:
+                    self.tracer.lifecycle_begin(queued.request.request_id, "prefill")
+                entry = self._prepare(queued)
+                if entry is not None:
+                    shared = self._lookup_prefix(queued.request)
+                    staged.append((free.pop(0), queued, entry, shared))
+                elif self.tracer.enabled:
+                    self.tracer.lifecycle_end(
+                        queued.request.request_id, {"reason": FinishReason.ERROR}
+                    )
+            groups = {}
+            for item in staged:
+                _, queued, entry, shared = item
+                shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
+                suffix_len = queued.request.seq_len - shared_tokens
+                groups.setdefault((id(entry), suffix_len), []).append(item)
+            admitted: List[_Slot] = []
+            for group in groups.values():
+                admitted.extend(self._prefill_group(group))
+            self.admitted += len(admitted)
+            prefilled = sum(slot.prefill_tokens for slot in admitted)
+            return prefilled, admitted
 
     def _prefix_key(self, request: InferenceRequest) -> tuple:
         """Prefix-index scope: one model's pages never serve another model.
@@ -477,6 +499,10 @@ class ContinuousBatchingScheduler:
                 )
             )
             self._pending_finishes.append(FinishReason.ERROR)
+            if self.tracer.enabled:
+                self.tracer.lifecycle_end(
+                    slot.request.request_id, {"reason": FinishReason.ERROR}
+                )
             slot.cache.release()
             self._slots[index] = None
         return aborted
@@ -500,6 +526,10 @@ class ContinuousBatchingScheduler:
                 del self._queue[position]
                 self.cancelled += 1
                 result = self._aborted_result(queued, now, active=self.num_active)
+                if self.tracer.enabled:
+                    self.tracer.lifecycle_end(
+                        request_id, {"reason": FinishReason.ABORTED}
+                    )
                 self._flush_if_idle(now)
                 return result
         for index, slot in enumerate(self._slots):
@@ -523,6 +553,11 @@ class ContinuousBatchingScheduler:
                     finish_reason=FinishReason.ABORTED,
                 )
             )
+            if self.tracer.enabled:
+                self.tracer.lifecycle_end(
+                    request_id,
+                    {"reason": FinishReason.ABORTED, "tokens": len(slot.generated)},
+                )
             self._flush_if_idle(now)
             return result
         return None
@@ -636,6 +671,10 @@ class ContinuousBatchingScheduler:
                 cache.release()
             if len(group) == 1:
                 self._failed.append((group[0][1].request.request_id, exc))
+                if self.tracer.enabled:
+                    self.tracer.lifecycle_end(
+                        group[0][1].request.request_id, {"reason": FinishReason.ERROR}
+                    )
                 return []
             # One bad prompt (e.g. an out-of-vocabulary id) fails the batched
             # pass; retry individually with fresh caches.
@@ -664,6 +703,8 @@ class ContinuousBatchingScheduler:
                 shared_tokens=shared_tokens,
             )
             self._emit_token(slot, log_probs[row], now)
+            if self.tracer.enabled:
+                self.tracer.lifecycle_begin(queued.request.request_id, "decode")
             self._slots[index] = slot
             admitted.append(slot)
         return admitted
@@ -703,13 +744,20 @@ class ContinuousBatchingScheduler:
 
     def _plain_round(self, slots: List[_Slot]) -> int:
         """Advance ``slots`` one token in a single batched incremental pass."""
-        step_tokens = np.array([[slot.generated[-1]] for slot in slots], dtype=np.int64)
-        caches = [slot.cache for slot in slots]
-        log_probs = slots[0].entry.model.log_probs_incremental(step_tokens, caches)
-        now = self.clock()
-        for row, slot in enumerate(slots):
-            self._emit_token(slot, log_probs[row, -1], now)
-        return len(slots)
+        tracer = self.tracer
+        with tracer.span("plain_round"):
+            step_tokens = np.array(
+                [[slot.generated[-1]] for slot in slots], dtype=np.int64
+            )
+            caches = [slot.cache for slot in slots]
+            log_probs = slots[0].entry.model.log_probs_incremental(
+                step_tokens, caches, tracer=tracer if tracer.enabled else None
+            )
+            now = self.clock()
+            with tracer.span("sample"):
+                for row, slot in enumerate(slots):
+                    self._emit_token(slot, log_probs[row, -1], now)
+            return len(slots)
 
     def _plan_speculation(self, slots: List[_Slot]) -> List[List[int]]:
         """Draft proposals for one entry group (all empty when not speculating).
@@ -742,7 +790,8 @@ class ContinuousBatchingScheduler:
                 room = page_size - 1 - slot.cache.seq_len % page_size
                 depth = min(depth, room - 1)
             max_tokens.append(depth)
-        return self.spec.plan(slots, max_tokens)
+        with self.tracer.span("draft_propose"):
+            return self.spec.plan(slots, max_tokens)
 
     def _verify_round(self, slots: List[_Slot], proposals: List[List[int]]) -> int:
         """Verify one entry group's proposals in as few target passes as possible.
@@ -803,6 +852,7 @@ class ContinuousBatchingScheduler:
         optimistic K/V append rolls back with ``truncate_to``; pool-shared
         sealed pages stay untouched.
         """
+        tracer = self.tracer
         page_size = self.cache_config.page_size
         rows = []
         for slot, proposal in group:
@@ -812,50 +862,60 @@ class ContinuousBatchingScheduler:
         step_tokens = np.array(rows, dtype=np.int64)
         caches = [slot.cache for slot, _ in group]
         base_lengths = [cache.seq_len for cache in caches]
-        for (slot, proposal), cache in zip(group, caches):
-            # A slot whose next token completes a KV page must seal it
-            # *during the append* — eager plain decode attends a just-sealed
-            # page quantized, and deferring the seal would attend it in full
-            # precision and could emit a different token.  Such a slot never
-            # carries proposals (the page-boundary cap in _plan_speculation
-            # zeroed them), so its only consumed row seals exactly the
-            # boundary page from correct rows, the padding lands in the
-            # fresh open page, and the rollback below drops it without
-            # reopening anything.  Every other slot defers seals so the
-            # rejected-suffix rollback is exact.
-            boundary = (
-                self.cache_config.quantize
-                and not proposal
-                and cache.seq_len % page_size == page_size - 1
-                and width <= page_size
-            )
-            if not boundary:
-                cache.hold_seals()
-        log_probs = entry.model.log_probs_incremental(
-            step_tokens, caches, batched_rounds=True
-        )
-        now = self.clock()
-        emitted_total = 0
-        for row, (slot, proposal) in enumerate(group):
-            emitted = 0
-            accepted = 0
-            for position in range(len(proposal) + 1):
-                self._emit_token(slot, log_probs[row, position], now)
-                emitted += 1
-                matched = (
-                    position < len(proposal)
-                    and slot.generated[-1] == proposal[position]
+        with tracer.span(
+            "verify_batch",
+            attrs={"slots": len(group), "width": width} if tracer.enabled else None,
+        ):
+            for (slot, proposal), cache in zip(group, caches):
+                # A slot whose next token completes a KV page must seal it
+                # *during the append* — eager plain decode attends a
+                # just-sealed page quantized, and deferring the seal would
+                # attend it in full precision and could emit a different
+                # token.  Such a slot never carries proposals (the
+                # page-boundary cap in _plan_speculation zeroed them), so its
+                # only consumed row seals exactly the boundary page from
+                # correct rows, the padding lands in the fresh open page, and
+                # the rollback below drops it without reopening anything.
+                # Every other slot defers seals so the rejected-suffix
+                # rollback is exact.
+                boundary = (
+                    self.cache_config.quantize
+                    and not proposal
+                    and cache.seq_len % page_size == page_size - 1
+                    and width <= page_size
                 )
-                if matched:
-                    accepted += 1
-                if slot.done or not matched:
-                    break
-            slot.cache.truncate_to(base_lengths[row] + emitted)
-            slot.cache.flush_seals()
-            self._pending_proposed += len(proposal)
-            self._pending_accepted += accepted
-            emitted_total += emitted
-        return emitted_total
+                if not boundary:
+                    cache.hold_seals()
+            log_probs = entry.model.log_probs_incremental(
+                step_tokens,
+                caches,
+                batched_rounds=True,
+                tracer=tracer if tracer.enabled else None,
+            )
+            now = self.clock()
+            emitted_total = 0
+            with tracer.span("sample"):
+                for row, (slot, proposal) in enumerate(group):
+                    emitted = 0
+                    accepted = 0
+                    for position in range(len(proposal) + 1):
+                        self._emit_token(slot, log_probs[row, position], now)
+                        emitted += 1
+                        matched = (
+                            position < len(proposal)
+                            and slot.generated[-1] == proposal[position]
+                        )
+                        if matched:
+                            accepted += 1
+                        if slot.done or not matched:
+                            break
+                    with tracer.span("kv_rollback"):
+                        slot.cache.truncate_to(base_lengths[row] + emitted)
+                        slot.cache.flush_seals()
+                    self._pending_proposed += len(proposal)
+                    self._pending_accepted += accepted
+                    emitted_total += emitted
+            return emitted_total
 
     def _build_result(
         self, slot: _Slot, completed_at: float, occupancy_now: int
@@ -910,18 +970,24 @@ class ContinuousBatchingScheduler:
 
     def _retire(self) -> List[InferenceResult]:
         """Free slots whose sequences finished (stop token or token budget)."""
-        completed_at = self.clock()
-        results: List[InferenceResult] = []
-        occupancy_now = self.num_active
-        for index, slot in enumerate(self._slots):
-            if slot is None or not slot.done:
-                continue
-            results.append(self._build_result(slot, completed_at, occupancy_now))
-            self._pending_finishes.append(slot.finish_reason)
-            self._register_generated_suffix(slot)
-            # Retirement releases the sequence's page references; pages kept
-            # alive by the prefix index go on serving later requests.
-            slot.cache.release()
-            self._slots[index] = None
-            self.retired += 1
-        return results
+        with self.tracer.span("retire"):
+            completed_at = self.clock()
+            results: List[InferenceResult] = []
+            occupancy_now = self.num_active
+            for index, slot in enumerate(self._slots):
+                if slot is None or not slot.done:
+                    continue
+                results.append(self._build_result(slot, completed_at, occupancy_now))
+                self._pending_finishes.append(slot.finish_reason)
+                self._register_generated_suffix(slot)
+                if self.tracer.enabled:
+                    self.tracer.lifecycle_end(
+                        slot.request.request_id,
+                        {"reason": slot.finish_reason, "tokens": len(slot.generated)},
+                    )
+                # Retirement releases the sequence's page references; pages
+                # kept alive by the prefix index go on serving later requests.
+                slot.cache.release()
+                self._slots[index] = None
+                self.retired += 1
+            return results

@@ -60,6 +60,7 @@ from repro.serve.errors import ServingError
 from repro.serve.kvcache import KVCacheConfig, SequenceKVCache, cache_for_model
 from repro.serve.repository import ModelRepository, PackedModel
 from repro.serve.requests import WorkloadFamily
+from repro.serve.telemetry import NULL_TRACER
 
 __all__ = ["SpeculativeConfig", "SpeculativeDecoder"]
 
@@ -226,9 +227,11 @@ class SpeculativeDecoder:
         repository: ModelRepository,
         config: Optional[SpeculativeConfig] = None,
         target_cache_config: Optional[KVCacheConfig] = None,
+        tracer=None,
     ) -> None:
         self.repository = repository
         self.config = config or SpeculativeConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Calibration rollouts decode through the same cache precision the
         # scheduler serves with, so the fitted heads see the on-policy
         # trajectories (quantized-KV greedy loops included), not an fp proxy.
@@ -266,7 +269,11 @@ class SpeculativeDecoder:
         if key in self._pairs:
             return self._pairs[key]
         try:
-            pair = self._build_pair(model, family, target_entry)
+            with self.tracer.span(
+                "spec_calibrate",
+                attrs={"model": model} if self.tracer.enabled else None,
+            ):
+                pair = self._build_pair(model, family, target_entry)
         except Exception as exc:  # fall back to plain decode for this model
             self.pair_errors[key] = exc
             pair = None

@@ -18,7 +18,14 @@ from typing import Callable, Deque, Dict, Tuple
 
 import numpy as np
 
+from repro.serve.telemetry import MetricsRegistry, exponential_buckets
+
 __all__ = ["BatchRecord", "DecodeRoundRecord", "ServingSummary", "ServingStats"]
+
+#: Request-scale latencies (enqueue → completion, TTFT): 0.1 ms … ~6.5 s.
+_LATENCY_BUCKETS = exponential_buckets(1e-4, 2.0, 16)
+#: Token-scale gaps (inter-token, decode rounds): 10 µs … ~82 ms.
+_TOKEN_BUCKETS = exponential_buckets(1e-5, 2.0, 14)
 
 
 def _finite(values) -> np.ndarray:
@@ -258,6 +265,7 @@ class ServingStats:
         self,
         clock: Callable[[], float] = time.monotonic,
         max_records: int = 4096,
+        registry: MetricsRegistry = None,
     ) -> None:
         self.clock = clock
         self._lock = threading.Lock()
@@ -265,18 +273,127 @@ class ServingStats:
         # well-defined even after old records have been evicted.
         self._records: Deque[Tuple[float, BatchRecord]] = deque(maxlen=int(max_records))
         self._rounds: Deque[Tuple[float, DecodeRoundRecord]] = deque(maxlen=int(max_records))
+        # Cumulative named metrics, updated in lock-step with the windowed
+        # records.  Counters never reset with the window, so a registry
+        # shared between several ServingStats instances (sharded workers)
+        # rolls their totals up automatically.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._m_batches = r.counter("serve_batches_total", "Micro-batches executed")
+        self._m_tokens = r.counter("serve_tokens_total", "Prompt + generated tokens processed")
+        self._m_weight_bytes = r.counter(
+            "serve_weight_stream_bytes_total", "Packed OVP weight bytes streamed"
+        )
+        self._m_dram_bytes = r.counter(
+            "serve_dram_bytes_total", "Modelled DRAM traffic (weights + activations)"
+        )
+        self._m_rounds = r.counter("serve_decode_rounds_total", "Continuous-batching decode rounds")
+        self._m_generated = r.counter(
+            "serve_generated_tokens_total", "Tokens generated by decode rounds"
+        )
+        self._m_pool_hits = r.counter(
+            "serve_pool_hits_total", "Sealed-page fetches served from the decoded LRU"
+        )
+        self._m_pool_misses = r.counter(
+            "serve_pool_misses_total", "Sealed-page fetches that had to OVP-decode"
+        )
+        self._m_pool_saved = r.counter(
+            "serve_pool_decoded_bytes_saved_total", "Decode output bytes avoided by pool hits"
+        )
+        self._m_prefix_pages = r.counter(
+            "serve_prefix_pages_attached_total", "Pages adopted from the prefix index"
+        )
+        self._m_finished = r.counter(
+            "serve_requests_finished_total", "Finished generation requests", labels=("reason",)
+        )
+        self._m_proposed = r.counter(
+            "serve_draft_proposed_tokens_total", "Draft tokens fed to the verify pass"
+        )
+        self._m_accepted = r.counter(
+            "serve_draft_accepted_tokens_total", "Draft tokens the target emitted"
+        )
+        self._m_latency = r.histogram(
+            "serve_request_latency_seconds", "Enqueue-to-completion latency", _LATENCY_BUCKETS
+        )
+        self._m_ttft = r.histogram(
+            "serve_ttft_seconds", "Enqueue to first streamed token", _LATENCY_BUCKETS
+        )
+        self._m_gap = r.histogram(
+            "serve_inter_token_seconds", "Gap between consecutive streamed tokens", _TOKEN_BUCKETS
+        )
+        self._m_round_seconds = r.histogram(
+            "serve_round_seconds", "Wall time of one decode round", _TOKEN_BUCKETS
+        )
+        self._m_kv_bytes = r.gauge(
+            "serve_kv_cache_bytes", "Resident packed KV footprint, last round"
+        )
+        self._m_kv_fp32 = r.gauge(
+            "serve_kv_fp32_bytes", "fp32 KV footprint for the same tokens, last round"
+        )
+        self._m_occupancy = r.gauge("serve_slot_occupancy", "Active-slot fraction, last round")
+        self._m_shared = r.gauge("serve_shared_pages", "Pool pages with >1 holder, last round")
+        self._m_fill = r.gauge("serve_batch_fill", "Fill of the last micro-batch")
+        self._m_accept_ratio = r.gauge(
+            "serve_draft_acceptance_ratio", "Accepted / proposed draft tokens, cumulative"
+        )
+        self._m_hit_rate = r.gauge(
+            "serve_pool_hit_rate", "Pool hits / fetches, cumulative"
+        )
 
     def record_batch(self, record: BatchRecord) -> None:
         """Append one batch record (stamps the wall-clock window)."""
         now = self.clock()
         with self._lock:
             self._records.append((now, record))
+        self._m_batches.inc()
+        self._m_tokens.inc(record.tokens)
+        self._m_weight_bytes.inc(record.weight_stream_bytes)
+        self._m_dram_bytes.inc(max(record.dram_bytes, 0.0))
+        self._m_fill.set(record.fill)
+        for latency in record.latencies:
+            self._m_latency.observe(latency)
 
     def record_decode_round(self, record: DecodeRoundRecord) -> None:
         """Append one continuous-batching decode-round record."""
         now = self.clock()
         with self._lock:
             self._rounds.append((now, record))
+        self._m_rounds.inc()
+        self._m_tokens.inc(record.new_tokens)
+        self._m_generated.inc(record.generated_tokens)
+        self._m_round_seconds.observe(record.compute_seconds)
+        self._m_pool_hits.inc(record.pool_hits)
+        self._m_pool_misses.inc(record.pool_misses)
+        self._m_pool_saved.inc(record.pool_decoded_bytes_saved)
+        self._m_prefix_pages.inc(record.prefix_pages_attached)
+        self._m_proposed.inc(record.draft_proposed_tokens)
+        self._m_accepted.inc(record.draft_accepted_tokens)
+        for reason in record.finish_reasons:
+            self._m_finished.inc(reason=str(reason))
+        for latency in record.latencies:
+            self._m_latency.observe(latency)
+        for ttft in record.first_token_seconds:
+            self._m_ttft.observe(ttft)
+        for gap in record.inter_token_seconds:
+            self._m_gap.observe(gap)
+        self._m_kv_bytes.set(record.kv_cache_bytes)
+        self._m_kv_fp32.set(record.kv_fp32_bytes)
+        self._m_occupancy.set(record.occupancy)
+        self._m_shared.set(record.shared_pages)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the metrics registry.
+
+        Ratio gauges are refreshed from the cumulative counters at scrape
+        time, so they stay consistent with the `_total` samples beside them.
+        """
+        proposed = self._m_proposed.value()
+        self._m_accept_ratio.set(
+            self._m_accepted.value() / proposed if proposed else 0.0
+        )
+        fetches = self._m_pool_hits.value() + self._m_pool_misses.value()
+        self._m_hit_rate.set(self._m_pool_hits.value() / fetches if fetches else 0.0)
+        return self.registry.render()
 
     def reset(self) -> None:
         """Clear the window."""

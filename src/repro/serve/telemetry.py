@@ -1,0 +1,819 @@
+"""Request-lifecycle tracing, per-phase round profiling, and serving metrics.
+
+The serving stack models memory traffic with byte-level accounting; this
+module gives *time* the same treatment.  Three pieces:
+
+``Tracer``
+    A span-based profiler with a low-overhead context-manager API.  Two kinds
+    of spans are recorded:
+
+    * **phase spans** — strictly nested ``with tracer.span("attend")`` blocks
+      on the scheduler/engine thread (one logical track), reconstructed into a
+      tree for :meth:`Tracer.phase_report`;
+    * **lifecycle spans** — per-request phases (``queued -> prefill ->
+      decode -> end``) keyed by an opaque track id (the request id), driven by
+      :meth:`Tracer.lifecycle_begin` / :meth:`Tracer.lifecycle_end`.
+
+    The clock is injected (like the scheduler's ``clock``) so tests can drive
+    it deterministically.  A disabled tracer — either :data:`NULL_TRACER` or a
+    real ``Tracer`` after :meth:`Tracer.disable` — records nothing and
+    allocates nothing on the hot path: ``span()`` returns a shared no-op
+    context manager.  Hot call sites guard attribute construction with
+    ``if tracer.enabled:``.
+
+``MetricsRegistry``
+    Named counters, gauges, and histograms (fixed exponential buckets) with a
+    Prometheus text exposition.  ``ServingStats`` keeps a registry in lock-step
+    with its windowed records; sharing one registry across several
+    ``ServingStats`` instances merges their counts (the sharded-worker rollup
+    story).
+
+Exporters
+    :meth:`Tracer.chrome_trace` emits Chrome ``trace_event`` JSON (load it at
+    ``chrome://tracing`` or https://ui.perfetto.dev), :meth:`Tracer.jsonl`
+    emits one JSON object per span, and :meth:`Tracer.phase_report` renders a
+    wall-clock breakdown table.  :func:`validate_chrome_trace` checks a trace
+    for well-formedness (balanced B/E events, per-thread monotone timestamps).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "PhaseReport",
+    "PhaseRow",
+    "Span",
+    "Tracer",
+    "exponential_buckets",
+    "validate_chrome_trace",
+]
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` bucket upper bounds: ``start, start*factor, ...`` (ascending)."""
+    if start <= 0.0:
+        raise ValueError(f"start must be positive, got {start}")
+    if factor <= 1.0:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render bare, floats via repr."""
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{n}="{_escape_label(v)}"' for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, label names, registry lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...], lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._lock = lock
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+
+class Counter(_Metric):
+    """Monotonically increasing sample (optionally per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, label_names, lock):
+        super().__init__(name, help, label_names, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease (inc {amount})")
+        if not math.isfinite(amount):
+            return  # never poison the exposition with NaN/Inf
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _render(self, lines: List[str]) -> None:
+        values = dict(self._values) or ({(): 0.0} if not self.label_names else {})
+        for key in sorted(values):
+            lines.append(
+                f"{self.name}{_render_labels(self.label_names, key)} {_format_value(values[key])}"
+            )
+
+
+class Gauge(_Metric):
+    """Last-observed sample (set to any finite value)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, label_names, lock):
+        super().__init__(name, help, label_names, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not math.isfinite(value):
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _render(self, lines: List[str]) -> None:
+        values = dict(self._values) or ({(): 0.0} if not self.label_names else {})
+        for key in sorted(values):
+            lines.append(
+                f"{self.name}{_render_labels(self.label_names, key)} {_format_value(values[key])}"
+            )
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative ``le`` buckets, ``_sum``/``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, buckets: Sequence[float], lock):
+        super().__init__(name, help, (), lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"{name}: bucket bounds must be strictly ascending, got {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            return
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Cumulative counts per bucket bound (plus +Inf), Prometheus-style."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative, total = [], 0
+        for c in counts:
+            total += c
+            cumulative.append(total)
+        return tuple(cumulative)
+
+    def _render(self, lines: List[str]) -> None:
+        cumulative = self.bucket_counts()
+        for bound, count in zip(self.buckets, cumulative):
+            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}} {count}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+
+
+class MetricsRegistry:
+    """Create-or-get named instruments; render Prometheus text exposition.
+
+    Instrument creation is idempotent: asking for an existing name returns the
+    existing instrument (so several ``ServingStats`` can share one registry);
+    asking with a conflicting kind or label set raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, factory: Callable[[], _Metric]) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        label_names = tuple(labels)
+        metric = self._get_or_create(
+            Counter, name, lambda: Counter(name, help, label_names, self._lock)
+        )
+        if metric.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} registered with labels {metric.label_names}, not {label_names}"
+            )
+        return metric
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        label_names = tuple(labels)
+        metric = self._get_or_create(
+            Gauge, name, lambda: Gauge(name, help, label_names, self._lock)
+        )
+        if metric.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} registered with labels {metric.label_names}, not {label_names}"
+            )
+        return metric
+
+    def histogram(self, name: str, help: str = "", buckets: Sequence[float] = ()) -> Histogram:
+        bounds = tuple(buckets) or exponential_buckets(1e-4, 2.0, 14)
+        metric = self._get_or_create(
+            Histogram, name, lambda: Histogram(name, help, bounds, self._lock)
+        )
+        if metric.buckets != tuple(float(b) for b in bounds):
+            raise ValueError(f"metric {name!r} registered with different buckets")
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._metrics)
+
+    def render(self) -> str:
+        """Prometheus text exposition (``# HELP`` / ``# TYPE`` / samples)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            metric._render(lines)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+_B = "B"
+_E = "E"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A reconstructed phase span. ``end is None`` means still open."""
+
+    name: str
+    cat: str
+    start: float
+    end: Optional[float]
+    depth: int
+    index: int
+    parent: Optional[int]
+    attrs: Optional[Dict[str, Any]]
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    name: str
+    count: int
+    total_ms: float  # inclusive (children counted)
+    self_ms: float  # exclusive (children subtracted)
+    share: float  # self_ms / total round wall
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Per-phase wall-clock breakdown over all ``root`` spans."""
+
+    rounds: int
+    round_ms: float
+    coverage: float  # fraction of round wall inside *named* child phases
+    rows: Tuple[PhaseRow, ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "round_ms": round(self.round_ms, 4),
+            "coverage": round(self.coverage, 4),
+            "phases": {
+                row.name: {
+                    "count": row.count,
+                    "total_ms": round(row.total_ms, 4),
+                    "self_ms": round(row.self_ms, 4),
+                    "share": round(row.share, 4),
+                }
+                for row in self.rows
+            },
+        }
+
+    def table(self) -> str:
+        """Human-readable breakdown, widest phases first."""
+        header = f"{'phase':<16} {'count':>7} {'total ms':>10} {'self ms':>10} {'share':>7}"
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.name:<16} {row.count:>7} {row.total_ms:>10.2f} "
+                f"{row.self_ms:>10.2f} {row.share:>6.1%}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"rounds: {self.rounds}  round wall: {self.round_ms:.2f} ms  "
+            f"named-phase coverage: {self.coverage:.1%}"
+        )
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Shared context manager for an enabled tracer.
+
+    Spans close strictly LIFO under ``with`` nesting, so one handle per
+    tracer suffices: ``__exit__`` always closes the innermost open span.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer._end()
+        return False
+
+
+class NullTracer:
+    """No-op tracer: zero spans, zero allocations, always disabled.
+
+    The single shared instance is :data:`NULL_TRACER`; engine/scheduler/pool
+    default to it so untraced serving pays only an attribute check.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def enable(self) -> None:
+        raise RuntimeError("NULL_TRACER cannot be enabled; pass a Tracer instead")
+
+    def disable(self) -> None:
+        pass
+
+    def span(self, name: str = "", cat: str = "phase", attrs: Optional[Dict[str, Any]] = None):
+        return _NULL_SPAN
+
+    def lifecycle_begin(self, track, name, attrs=None) -> None:
+        pass
+
+    def lifecycle_end(self, track, attrs=None) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    @property
+    def num_spans(self) -> int:
+        return 0
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def lifecycles(self) -> List[Tuple[Any, str, float, float, Optional[Dict[str, Any]]]]:
+        return []
+
+    def phase_report(self, root: str = "round") -> PhaseReport:
+        return PhaseReport(rounds=0, round_ms=0.0, coverage=0.0, rows=())
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def jsonl(self) -> str:
+        return ""
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records phase spans (one nested track) and per-request lifecycle spans.
+
+    ``clock`` must be monotonic; inject a fake for deterministic tests.  The
+    event log is bounded by ``max_events`` — once full, new spans are silently
+    dropped (balance is preserved: suppressed opens swallow their matching
+    close).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        max_events: int = 500_000,
+        enabled: bool = True,
+    ):
+        self.clock = clock
+        self.max_events = int(max_events)
+        self.enabled = bool(enabled)
+        self._handle = _SpanHandle(self)
+        # Event log: ("B", ts, name, cat, attrs|None) / ("E", ts). Appending
+        # tuples (not objects) keeps the enabled hot path to one allocation.
+        self._events: List[tuple] = []
+        self._depth = 0
+        self._suppressed = 0
+        # Closed lifecycle phases: (track, name, start, end, attrs|None).
+        self._lifecycle: List[Tuple[Any, str, float, float, Optional[Dict[str, Any]]]] = []
+        self._open_lifecycle: Dict[Any, list] = {}
+
+    # -- control ------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._depth = 0
+        self._suppressed = 0
+        self._lifecycle.clear()
+        self._open_lifecycle.clear()
+
+    # -- phase spans --------------------------------------------------------
+
+    def span(self, name: str, cat: str = "phase", attrs: Optional[Dict[str, Any]] = None):
+        """Open a phase span; close it by exiting the returned context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        if len(self._events) >= self.max_events:
+            self._suppressed += 1
+            return self._handle
+        self._events.append((_B, self.clock(), name, cat, attrs))
+        self._depth += 1
+        return self._handle
+
+    def _end(self) -> None:
+        if self._suppressed:
+            self._suppressed -= 1
+            return
+        if self._depth == 0:
+            return  # defensive: mismatched exit
+        self._depth -= 1
+        self._events.append((_E, self.clock()))
+
+    # -- lifecycle spans ----------------------------------------------------
+
+    def lifecycle_begin(self, track: Any, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Start lifecycle phase ``name`` on ``track``, closing any open phase."""
+        if not self.enabled:
+            return
+        self.lifecycle_end(track)
+        if len(self._lifecycle) >= self.max_events:
+            return
+        self._open_lifecycle[track] = [name, self.clock(), attrs]
+
+    def lifecycle_end(self, track: Any, attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Close the open lifecycle phase on ``track`` (no-op when none)."""
+        open_phase = self._open_lifecycle.pop(track, None)
+        if open_phase is None:
+            return
+        name, start, base = open_phase
+        if attrs:
+            base = {**(base or {}), **attrs}
+        self._lifecycle.append((track, name, start, self.clock(), base))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def num_spans(self) -> int:
+        """Closed phase spans recorded so far."""
+        return sum(1 for ev in self._events if ev[0] == _E)
+
+    def spans(self) -> List[Span]:
+        """Reconstruct phase spans (recording order); open spans have ``end=None``.
+
+        ``parent`` indexes into this same list, so ancestry can be walked
+        without a separate tree structure.
+        """
+        items: List[list] = []
+        stack: List[int] = []
+        for ev in self._events:
+            if ev[0] == _B:
+                parent = stack[-1] if stack else None
+                items.append([ev[2], ev[3], ev[1], None, len(stack), len(items), parent, ev[4]])
+                stack.append(len(items) - 1)
+            elif stack:
+                items[stack.pop()][3] = ev[1]
+        return [Span(*item) for item in items]
+
+    def lifecycles(self) -> List[Tuple[Any, str, float, float, Optional[Dict[str, Any]]]]:
+        return list(self._lifecycle)
+
+    # -- phase report -------------------------------------------------------
+
+    def phase_report(self, root: str = "round") -> PhaseReport:
+        """Aggregate wall time of every named phase inside ``root`` spans.
+
+        ``self_ms`` excludes nested child spans, so the rows sum (with the
+        root's own uninstrumented gap) to the total round wall; ``coverage``
+        is the fraction of round wall accounted for by named child phases.
+        """
+        spans = self.spans()
+        child_time = [0.0] * len(spans)
+        inside = [False] * len(spans)
+        for span in spans:
+            if span.parent is not None:
+                child_time[span.parent] += span.duration
+                inside[span.index] = spans[span.parent].name == root or inside[span.parent]
+
+        rounds = 0
+        round_total = 0.0
+        covered = 0.0
+        agg: Dict[str, List[float]] = {}  # name -> [count, total, self]
+        for span in spans:
+            if span.end is None:
+                continue
+            if span.name == root and not inside[span.index]:
+                rounds += 1
+                round_total += span.duration
+                covered += child_time[span.index]
+            elif inside[span.index]:
+                entry = agg.setdefault(span.name, [0, 0.0, 0.0])
+                entry[0] += 1
+                entry[1] += span.duration
+                entry[2] += span.duration - child_time[span.index]
+
+        scale = 1e3
+        rows = tuple(
+            sorted(
+                (
+                    PhaseRow(
+                        name=name,
+                        count=int(entry[0]),
+                        total_ms=entry[1] * scale,
+                        self_ms=entry[2] * scale,
+                        share=(entry[2] / round_total) if round_total > 0 else 0.0,
+                    )
+                    for name, entry in agg.items()
+                ),
+                key=lambda row: (-row.self_ms, row.name),
+            )
+        )
+        coverage = (covered / round_total) if round_total > 0 else 0.0
+        return PhaseReport(
+            rounds=rounds, round_ms=round_total * scale, coverage=coverage, rows=rows
+        )
+
+    # -- exporters ----------------------------------------------------------
+
+    def _epoch(self) -> float:
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][1])
+        if self._lifecycle:
+            candidates.append(min(entry[2] for entry in self._lifecycle))
+        for open_phase in self._open_lifecycle.values():
+            candidates.append(open_phase[1])
+        return min(candidates) if candidates else 0.0
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON: phase spans as B/E on tid 0, request
+        lifecycles as X complete-events on one tid per request."""
+        t0 = self._epoch()
+
+        def us(t: float) -> float:
+            return round((t - t0) * 1e6, 3)
+
+        events: List[Dict[str, Any]] = []
+        if self._events:
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": "rounds"}}
+            )
+
+        # Unmatched opens (still-open spans) are dropped so B/E stay balanced.
+        stack: List[int] = []
+        for pos, ev in enumerate(self._events):
+            if ev[0] == _B:
+                stack.append(pos)
+            elif stack:
+                stack.pop()
+        unmatched = set(stack)
+
+        tids: Dict[Any, int] = {}
+        for entry in self._lifecycle:
+            if entry[0] not in tids:
+                tids[entry[0]] = len(tids) + 1
+        for track, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": f"request {track}"},
+                }
+            )
+
+        for pos, ev in enumerate(self._events):
+            if ev[0] == _B:
+                if pos in unmatched:
+                    continue
+                event: Dict[str, Any] = {
+                    "name": ev[2],
+                    "cat": ev[3],
+                    "ph": _B,
+                    "ts": us(ev[1]),
+                    "pid": 0,
+                    "tid": 0,
+                }
+                if ev[4]:
+                    event["args"] = dict(ev[4])
+                events.append(event)
+            else:
+                events.append({"ph": _E, "ts": us(ev[1]), "pid": 0, "tid": 0})
+
+        lifecycle = sorted(self._lifecycle, key=lambda entry: (tids[entry[0]], entry[2]))
+        for track, name, start, end, attrs in lifecycle:
+            event = {
+                "name": name,
+                "cat": "request",
+                "ph": "X",
+                "ts": us(start),
+                "dur": round((end - start) * 1e6, 3),
+                "pid": 0,
+                "tid": tids[track],
+                "args": {"track": str(track), **(attrs or {})},
+            }
+            events.append(event)
+
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def jsonl(self) -> str:
+        """One JSON object per closed span (phase spans, then lifecycles).
+
+        Deterministic byte-for-byte given a deterministic clock: keys are
+        sorted and timestamps are rounded microseconds relative to the first
+        event.
+        """
+        t0 = self._epoch()
+
+        def us(t: float) -> float:
+            return round((t - t0) * 1e6, 3)
+
+        lines = []
+        for span in self.spans():
+            if span.end is None:
+                continue
+            lines.append(
+                {
+                    "type": "span",
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ts_us": us(span.start),
+                    "dur_us": round(span.duration * 1e6, 3),
+                    "depth": span.depth,
+                    "attrs": span.attrs or {},
+                }
+            )
+        for track, name, start, end, attrs in self._lifecycle:
+            lines.append(
+                {
+                    "type": "lifecycle",
+                    "track": str(track),
+                    "name": name,
+                    "ts_us": us(start),
+                    "dur_us": round((end - start) * 1e6, 3),
+                    "attrs": attrs or {},
+                }
+            )
+        if not lines:
+            return ""
+        return "\n".join(json.dumps(line, sort_keys=True) for line in lines) + "\n"
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.jsonl())
+
+
+def validate_chrome_trace(payload) -> Dict[str, int]:
+    """Validate Chrome ``trace_event`` JSON; raise ``ValueError`` on violation.
+
+    Checks: the payload parses (str input) and has a ``traceEvents`` list;
+    every event carries a known phase; timestamps are non-negative and
+    monotone non-decreasing per tid; B/E events balance (per tid, LIFO);
+    X events carry a non-negative ``dur``.  Returns event counts by phase.
+    """
+    if isinstance(payload, (str, bytes)):
+        payload = json.loads(payload)
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise ValueError("trace payload must be an object with a traceEvents list")
+    stacks: Dict[Any, List[str]] = {}
+    last_ts: Dict[Any, float] = {}
+    counts = {"B": 0, "E": 0, "X": 0, "M": 0}
+    for i, event in enumerate(payload["traceEvents"]):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i}: not an object")
+        ph = event.get("ph")
+        if ph not in counts:
+            raise ValueError(f"event {i}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            raise ValueError(f"event {i}: bad ts {ts!r}")
+        tid = event.get("tid", 0)
+        if ts < last_ts.get(tid, 0.0):
+            raise ValueError(f"event {i}: ts {ts} not monotone on tid {tid}")
+        last_ts[tid] = ts
+        if ph == "B":
+            stacks.setdefault(tid, []).append(event.get("name", ""))
+        elif ph == "E":
+            if not stacks.get(tid):
+                raise ValueError(f"event {i}: E without matching B on tid {tid}")
+            stacks[tid].pop()
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+                raise ValueError(f"event {i}: bad dur {dur!r}")
+    for tid, stack in stacks.items():
+        if stack:
+            raise ValueError(f"unbalanced B events on tid {tid}: {stack}")
+    return counts

@@ -1,5 +1,7 @@
 """Serving-stats aggregation tests (synthetic batch records, fake clock)."""
 
+import threading
+
 import pytest
 
 from repro.serve.stats import BatchRecord, ServingStats
@@ -157,6 +159,104 @@ class TestPercentileHardening:
         summary = stats.summary()
         self._assert_finite(summary)
         assert summary.wall_seconds > 0.0
+
+
+class TestThreadSafety:
+    """Regression: recording and summarising from different threads must not
+    corrupt the windows or the metrics registry — the async server reads
+    ``metrics_text()`` from request handlers while the scheduler records."""
+
+    def test_two_thread_hammer_record_vs_summary(self):
+        from repro.serve.stats import DecodeRoundRecord
+
+        stats = ServingStats()
+        rounds = 500
+        errors = []
+        start = threading.Barrier(2)
+
+        def writer():
+            start.wait()
+            try:
+                for i in range(rounds):
+                    stats.record_batch(record())
+                    stats.record_decode_round(
+                        DecodeRoundRecord(
+                            active_slots=1 + i % 4, num_slots=4, new_tokens=4,
+                            generated_tokens=4, compute_seconds=0.0001,
+                            kv_cache_bytes=100, kv_fp32_bytes=800,
+                            latencies=(0.01,), finish_reasons=("length",),
+                            first_token_seconds=(0.001,),
+                            inter_token_seconds=(0.0005,),
+                        )
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            start.wait()
+            try:
+                for _ in range(rounds):
+                    summary = stats.summary()
+                    assert summary.requests >= 0
+                    assert "serve_decode_rounds_total" in stats.metrics_text()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Nothing dropped: the cumulative counters saw every round.
+        registry = stats.registry
+        assert registry.get("serve_decode_rounds_total").value() == rounds
+        assert registry.get("serve_batches_total").value() == rounds
+        assert registry.get("serve_requests_finished_total").value(reason="length") == rounds
+        final = stats.summary()
+        assert final.decode_rounds == stats.num_decode_rounds
+
+
+class TestMetricsText:
+    def test_metrics_text_tracks_summary(self):
+        from repro.serve.stats import DecodeRoundRecord
+
+        stats = ServingStats(clock=FakeClock())
+        stats.record_batch(record())
+        stats.record_decode_round(
+            DecodeRoundRecord(
+                active_slots=2, num_slots=4, new_tokens=6, generated_tokens=3,
+                compute_seconds=0.01, kv_cache_bytes=128, kv_fp32_bytes=1024,
+                pool_hits=3, pool_misses=1,
+                draft_proposed_tokens=4, draft_accepted_tokens=2,
+            )
+        )
+        text = stats.metrics_text()
+        lines = text.splitlines()
+        assert "serve_batches_total 1" in lines
+        assert "serve_decode_rounds_total 1" in lines
+        assert "serve_generated_tokens_total 3" in lines
+        assert "serve_pool_hits_total 3" in lines
+        assert "serve_kv_cache_bytes 128" in lines
+        assert "serve_draft_acceptance_ratio 0.5" in lines
+        assert "serve_pool_hit_rate 0.75" in lines
+
+    def test_shared_registry_rolls_up_two_workers(self):
+        from repro.serve.stats import DecodeRoundRecord
+        from repro.serve.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        workers = [ServingStats(registry=registry) for _ in range(2)]
+        for worker in workers:
+            worker.record_decode_round(
+                DecodeRoundRecord(
+                    active_slots=1, num_slots=2, new_tokens=2, generated_tokens=2,
+                    compute_seconds=0.001, kv_cache_bytes=0, kv_fp32_bytes=0,
+                )
+            )
+        assert registry.get("serve_decode_rounds_total").value() == 2
+        # Each worker's windowed summary stays its own.
+        assert all(w.summary().decode_rounds == 1 for w in workers)
 
 
 class TestDraftCounters:
