@@ -16,6 +16,7 @@ pytest-benchmark output.
 import json
 import os
 import platform
+import statistics
 import time
 
 import pytest
@@ -47,6 +48,40 @@ def best_of():
         return best
 
     return _best
+
+
+@pytest.fixture
+def paired_ratio():
+    """Noise-robust candidate/baseline wall-clock ratio for overhead pins.
+
+    Separate best-of-N runs of the two sides sample machine noise
+    *independently*, so a tight pin (e.g. 1.02×) can report 0.94 one run and
+    1.05 the next on identical code.  This fixture instead runs the two
+    callables as **paired interleaved trials** — alternating which side goes
+    first each trial, so drift hits both symmetrically — and compares the
+    **medians** (robust to a single descheduled trial, unlike min or mean).
+
+    Returns ``(ratio, candidate_median_seconds, baseline_median_seconds)``.
+    """
+
+    def _ratio(candidate, baseline, trials=9, warmup=1):
+        for _ in range(warmup):
+            baseline()
+            candidate()
+        candidate_times, baseline_times = [], []
+        for trial in range(trials):
+            pair = ((candidate, candidate_times), (baseline, baseline_times))
+            if trial % 2:
+                pair = pair[::-1]
+            for func, sink in pair:
+                start = time.perf_counter()
+                func()
+                sink.append(time.perf_counter() - start)
+        candidate_median = statistics.median(candidate_times)
+        baseline_median = statistics.median(baseline_times)
+        return candidate_median / baseline_median, candidate_median, baseline_median
+
+    return _ratio
 
 
 @pytest.fixture

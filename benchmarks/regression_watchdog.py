@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Bench-regression watchdog: diff BENCH_serve.json against a committed baseline.
+
+The serving benchmarks write their headline trajectory numbers (tokens/s,
+pool hit rate, overhead ratios, phase coverage, ...) to
+``benchmarks/BENCH_serve.json`` on every run.  This script compares that
+fresh artifact against the committed ``benchmarks/BENCH_baseline.json`` and
+flags metrics that moved in the *bad* direction beyond a per-metric
+tolerance.  Timing on shared CI runners is noisy, so the tolerances are
+deliberately loose and the default exit status is always 0 — the watchdog
+annotates, it does not gate.  Pass ``--strict`` to turn regressions into a
+nonzero exit (useful locally on a quiet machine).
+
+Direction and tolerance are inferred from the metric name:
+
+========================  ============  =====================================
+name pattern              direction     tolerance
+========================  ============  =====================================
+``*_over_absent``         lower better  +0.05 absolute (overhead ratios)
+``*coverage``             higher better -0.02 absolute
+``*_ms`` / ``*_wall_ms``  lower better  +25% relative (wall-clock noise)
+``*waste_fraction``       lower better  +0.05 absolute
+``*overhead_pct``         lower better  +5 absolute percentage points
+``*speedup`` / ratios     higher better -20% relative
+``*tokens_per_s*``        higher better -20% relative
+``*hit_rate`` / rates     higher better -0.05 absolute
+everything else           informational never flagged
+========================  ============  =====================================
+
+Usage::
+
+    python benchmarks/regression_watchdog.py            # human-readable diff
+    python benchmarks/regression_watchdog.py --annotate # GitHub ::warning:: lines
+    python benchmarks/regression_watchdog.py --strict   # exit 1 on regression
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_CURRENT = os.path.join(HERE, "BENCH_serve.json")
+DEFAULT_BASELINE = os.path.join(HERE, "BENCH_baseline.json")
+
+LOWER = "lower"
+HIGHER = "higher"
+INFO = "info"
+
+# (suffix-or-substring, match kind, direction, tolerance kind, tolerance).
+# First matching rule wins; tolerance kind "abs" compares current vs
+# baseline +/- tol, "rel" allows a fractional move of the baseline.
+_RULES = (
+    ("_over_absent", "suffix", LOWER, "abs", 0.05),
+    ("coverage", "suffix", HIGHER, "abs", 0.02),
+    ("waste_fraction", "suffix", LOWER, "abs", 0.05),
+    ("overhead_pct", "suffix", LOWER, "abs", 5.0),
+    ("_ms", "suffix", LOWER, "rel", 0.25),
+    ("speedup", "suffix", HIGHER, "rel", 0.20),
+    ("wall_ratio", "suffix", HIGHER, "rel", 0.20),
+    ("tokens_per_s", "contains", HIGHER, "rel", 0.20),
+    ("hit_rate", "suffix", HIGHER, "abs", 0.05),
+    ("acceptance", "contains", HIGHER, "abs", 0.05),
+    ("occupancy", "suffix", HIGHER, "abs", 0.10),
+)
+
+
+def classify(name):
+    """Return (direction, tolerance_kind, tolerance) for a metric name."""
+    for needle, kind, direction, tol_kind, tol in _RULES:
+        if (kind == "suffix" and name.endswith(needle)) or (
+            kind == "contains" and needle in name
+        ):
+            return direction, tol_kind, tol
+    return INFO, "abs", 0.0
+
+
+def is_regression(name, baseline, current):
+    """Return (regressed, direction, allowed_bound) for one metric."""
+    direction, tol_kind, tol = classify(name)
+    if direction == INFO:
+        return False, direction, None
+    if tol_kind == "rel":
+        slack = abs(baseline) * tol
+    else:
+        slack = tol
+    if direction == LOWER:
+        bound = baseline + slack
+        return current > bound, direction, bound
+    bound = baseline - slack
+    return current < bound, direction, bound
+
+
+def flatten(sections):
+    """Yield (section, metric, value) for every scalar trajectory number.
+
+    Nested blocks (the per-phase ``phase_report``) are skipped except for
+    their top-level ``coverage`` and ``round_ms`` scalars, which carry the
+    regression signal without the per-phase noise.
+    """
+    for section, metrics in sorted(sections.items()):
+        if not isinstance(metrics, dict):
+            continue
+        for name, value in sorted(metrics.items()):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                yield section, name, float(value)
+            elif name == "phase_report" and isinstance(value, dict):
+                for sub in ("coverage", "round_ms"):
+                    if isinstance(value.get(sub), (int, float)):
+                        yield section, f"phase_report.{sub}", float(value[sub])
+
+
+def load(path, label):
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        print(f"watchdog: {label} artifact not found at {path}; nothing to diff")
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"watchdog: {label} artifact at {path} is not valid JSON: {exc}")
+        return None
+    sections = payload.get("sections")
+    if not isinstance(sections, dict):
+        print(f"watchdog: {label} artifact at {path} has no 'sections' block")
+        return None
+    return sections
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default=DEFAULT_CURRENT,
+                        help="fresh bench artifact (default: %(default)s)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--annotate", action="store_true",
+                        help="emit GitHub Actions ::warning:: lines for regressions")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any metric regressed (default: always 0)")
+    args = parser.parse_args(argv)
+
+    current = load(args.current, "current")
+    baseline = load(args.baseline, "baseline")
+    if current is None or baseline is None:
+        # A missing artifact is a setup problem, not a perf regression; stay
+        # green so the non-blocking CI step never masks the bench job itself.
+        return 0
+
+    base_flat = {(s, m): v for s, m, v in flatten(baseline)}
+    regressions, compared = [], 0
+    rows = []
+    for section, metric, value in flatten(current):
+        base = base_flat.pop((section, metric), None)
+        if base is None:
+            rows.append((section, metric, None, value, "new"))
+            continue
+        regressed, direction, bound = is_regression(metric, base, value)
+        compared += 1
+        if direction == INFO:
+            status = "info"
+        elif regressed:
+            status = "REGRESSED"
+            regressions.append((section, metric, base, value, bound, direction))
+        else:
+            status = "ok"
+        rows.append((section, metric, base, value, status))
+    for (section, metric), base in sorted(base_flat.items()):
+        rows.append((section, metric, base, None, "missing"))
+
+    width = max((len(f"{s}.{m}") for s, m, *_ in rows), default=20)
+    print(f"bench watchdog: {compared} metrics compared, "
+          f"{len(regressions)} regressed")
+    for section, metric, base, value, status in rows:
+        name = f"{section}.{metric}"
+        base_s = "-" if base is None else f"{base:g}"
+        cur_s = "-" if value is None else f"{value:g}"
+        print(f"  {name:<{width}}  {base_s:>12} -> {cur_s:>12}  [{status}]")
+
+    for section, metric, base, value, bound, direction in regressions:
+        arrow = "above" if direction == LOWER else "below"
+        message = (f"{section}.{metric} regressed: {value:g} vs baseline "
+                   f"{base:g} ({arrow} allowed {bound:g})")
+        if args.annotate:
+            print(f"::warning title=Bench regression::{message}")
+        else:
+            print(f"watchdog: {message}")
+
+    if args.strict and regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

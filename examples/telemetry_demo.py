@@ -9,9 +9,13 @@ Run with ``python examples/telemetry_demo.py``.  The demo
    (queued -> prefill -> decode -> finish);
 2. prints the per-phase wall-clock breakdown (``phase_report``) and an
    excerpt of the Prometheus metrics exposition (``metrics_text``);
-3. writes the Chrome ``trace_event`` JSON to ``telemetry_trace.json`` —
-   load it at chrome://tracing or https://ui.perfetto.dev — and validates
-   it (balanced B/E events, per-track monotone timestamps).
+3. writes the Chrome ``trace_event`` JSON to
+   ``artifacts/telemetry_trace.json`` — load it at chrome://tracing or
+   https://ui.perfetto.dev — and validates it (balanced B/E events,
+   per-track monotone timestamps).
+
+Set ``REPRO_ARTIFACTS_DIR`` to redirect the output directory; it is
+created on demand and ignored by git (CI uploads it instead).
 """
 
 import json
@@ -34,7 +38,11 @@ from repro.serve import (
 MODEL = "gpt2-xl"
 NUM_REQUESTS = 8
 NEW_TOKENS = 24
-TRACE_PATH = os.path.join(os.path.dirname(__file__), "..", "telemetry_trace.json")
+ARTIFACTS_DIR = os.environ.get(
+    "REPRO_ARTIFACTS_DIR",
+    os.path.join(os.path.dirname(__file__), "..", "artifacts"),
+)
+TRACE_PATH = os.path.join(ARTIFACTS_DIR, "telemetry_trace.json")
 
 
 def requests():
@@ -82,6 +90,7 @@ def main():
             print(f"   {line}")
 
     trace_path = os.path.normpath(TRACE_PATH)
+    os.makedirs(os.path.dirname(trace_path), exist_ok=True)
     tracer.write_chrome_trace(trace_path)
     with open(trace_path, "r", encoding="utf-8") as handle:
         counts = validate_chrome_trace(handle.read())

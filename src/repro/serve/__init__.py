@@ -41,12 +41,29 @@ request/response engine:
   plus the Prometheus-style
   :class:`~repro.serve.telemetry.MetricsRegistry`; exports Chrome
   ``trace_event`` JSON, JSONL span logs and ``phase_report()`` wall-clock
-  breakdowns.
+  breakdowns;
+* :mod:`repro.serve.health` — the serving health layer: declarative
+  :class:`~repro.serve.health.SLOClass` objectives (TTFT / latency /
+  availability per traffic class) evaluated continuously against the
+  telemetry instruments, a multi-window burn-rate alert engine with
+  hysteresis emitting correlation-id'd
+  :class:`~repro.serve.health.HealthEvent` records, and the
+  ``health_report()`` / ``event_log()`` snapshots on
+  :class:`~repro.serve.engine.ServingEngine` and
+  :class:`~repro.serve.aio.AsyncServer`.
 """
 
 from repro.serve.aio import AsyncServer
 from repro.serve.batcher import MicroBatcher, QueuedRequest
 from repro.serve.engine import InferenceEngine, ServingEngine
+from repro.serve.health import (
+    BurnRatePolicy,
+    HealthConfig,
+    HealthEvent,
+    HealthMonitor,
+    SLOClass,
+    unified_event_log,
+)
 from repro.serve.sampling import (
     FinishReason,
     LogitsProcessor,
@@ -97,16 +114,21 @@ from repro.serve.telemetry import (
     Tracer,
     exponential_buckets,
     validate_chrome_trace,
+    validate_exposition,
 )
 
 __all__ = [
     "AsyncServer",
     "BatchRecord",
+    "BurnRatePolicy",
     "ContinuousBatchingScheduler",
     "Counter",
     "DecodeRoundRecord",
     "FinishReason",
     "Gauge",
+    "HealthConfig",
+    "HealthEvent",
+    "HealthMonitor",
     "Histogram",
     "InferenceEngine",
     "InferenceRequest",
@@ -127,6 +149,7 @@ __all__ = [
     "QueuedRequest",
     "RepositoryStats",
     "RequestOutput",
+    "SLOClass",
     "SampledToken",
     "Sampler",
     "SamplingParams",
@@ -148,5 +171,7 @@ __all__ = [
     "default_processors",
     "exponential_buckets",
     "top_k_candidates",
+    "unified_event_log",
     "validate_chrome_trace",
+    "validate_exposition",
 ]

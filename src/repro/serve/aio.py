@@ -186,6 +186,14 @@ class AsyncServer:
         """Wall-clock phase breakdown of the engine's traced decode rounds."""
         return self.engine.phase_report(root=root)
 
+    def health_report(self) -> dict:
+        """``/healthz``-shaped snapshot of the wrapped engine.
+
+        Synchronous like :meth:`metrics_text` — an HTTP ``/healthz`` handler
+        can call it from any task without touching the scheduler loop.
+        """
+        return self.engine.health_report()
+
     # ------------------------------------------------------------------ #
     # Scheduler
     # ------------------------------------------------------------------ #

@@ -24,6 +24,12 @@ from repro.hardware.memory import gemm_traffic
 from repro.nn import functional as F
 from repro.nn.layers import Linear
 from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.health import (
+    HealthConfig,
+    HealthMonitor,
+    SLOClass,
+    unified_event_log,
+)
 from repro.serve.kvcache import (
     KVCacheConfig,
     PagePool,
@@ -117,6 +123,7 @@ class InferenceEngine:
             weight_stream_bytes=entry.packed_bytes,
             dram_bytes=self._dram_bytes(entry, int(inputs.size)),
             latencies=tuple(completed_at - q.enqueued_at for q in batch),
+            latency_classes=tuple(q.request.slo_class for q in batch),
         )
         return results, record
 
@@ -301,6 +308,17 @@ class ServingEngine:
     decoding (:mod:`repro.serve.spec`): slots propose draft tokens each
     round and verify them in one batched multi-token target pass, leaving
     greedy outputs token-for-token unchanged.
+
+    ``health=`` turns on the SLO/burn-rate health layer
+    (:mod:`repro.serve.health`): ``True`` for the default class, an
+    :class:`~repro.serve.health.SLOClass` (or sequence of them) for named
+    classes, a full :class:`~repro.serve.health.HealthConfig`, or an
+    existing :class:`~repro.serve.health.HealthMonitor` (which must share
+    this engine's metrics registry).  The monitor re-evaluates at most once
+    per configured interval after each :meth:`step`;
+    :meth:`health_report` returns the ``/healthz``-shaped snapshot and
+    :meth:`event_log` the unified span + health-event JSONL.  ``None``
+    (the default) keeps the health layer entirely out of the step path.
     """
 
     def __init__(
@@ -316,6 +334,7 @@ class ServingEngine:
         share_generated_suffix: bool = False,
         speculative=None,
         tracer=None,
+        health=None,
     ) -> None:
         self.repository = repository or ModelRepository()
         self.clock = clock
@@ -349,12 +368,43 @@ class ServingEngine:
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded
         # (oldest evicted first) to keep long-running serving loops leak-free.
+        self.health = self._build_health(health)
         self.result_buffer = int(result_buffer)
         self._completed: "OrderedDict[str, InferenceResult]" = OrderedDict()
         self._failed: "OrderedDict[str, Exception]" = OrderedDict()
         # Streamed TokenChunks per request, drained by stream()/next_chunk();
         # bounded like the registries (oldest request's stream evicted first).
         self._chunks: "OrderedDict[str, deque]" = OrderedDict()
+
+    def _build_health(self, health) -> Optional[HealthMonitor]:
+        """Normalize the ``health=`` argument into a monitor (or None).
+
+        The monitor evaluates against this engine's metrics registry under
+        this engine's clock, so SLO windows line up with scheduler time.
+        """
+        if health is None or health is False:
+            return None
+        if isinstance(health, HealthMonitor):
+            if health.registry is not self.stats.registry:
+                raise ServingError(
+                    "a shared HealthMonitor must use this engine's metrics "
+                    "registry (pass health=HealthConfig(...) to build one here)"
+                )
+            return health
+        if health is True:
+            config = HealthConfig()
+        elif isinstance(health, HealthConfig):
+            config = health
+        elif isinstance(health, SLOClass):
+            config = HealthConfig(classes=(health,))
+        elif isinstance(health, (list, tuple)):
+            config = HealthConfig(classes=tuple(health))
+        else:
+            raise ServingError(
+                "health must be None, True, an SLOClass (or sequence), "
+                "a HealthConfig, or a HealthMonitor"
+            )
+        return HealthMonitor(self.stats.registry, config, clock=self.clock)
 
     # ------------------------------------------------------------------ #
     # Request lifecycle
@@ -424,6 +474,8 @@ class ServingEngine:
         for request_id, exc in self.lm_scheduler.take_failures():
             self._record_failure(request_id, exc)
         self._buffer_chunks()
+        if self.health is not None:
+            self.health.maybe_evaluate()
         for result in results:
             self._completed[result.request_id] = result
         while len(self._completed) > self.result_buffer:
@@ -615,3 +667,35 @@ class ServingEngine:
     def chrome_trace(self) -> str:
         """Chrome ``trace_event`` JSON of everything traced so far."""
         return self.tracer.chrome_trace()
+
+    def health_report(self) -> dict:
+        """``/healthz``-shaped snapshot: status, per-objective SLO attainment,
+        open alerts, and live resource accounting.
+
+        Always carries ``resources`` (queue depth, slot occupancy, per-slot
+        KV bytes, pool sealed/decoded-LRU footprint, top KV consumers); the
+        ``slo``/``alerts`` sections are filled — after a fresh evaluation —
+        only when the engine was built with ``health=``.  ``status`` is
+        ``"ok"`` unless a burn-rate alert is currently firing
+        (``"degraded"``).
+        """
+        resources = self.lm_scheduler.resource_snapshot()
+        resources["batcher_depth"] = len(self.batcher)
+        report = {"status": "ok", "slo": {}, "alerts": [], "resources": resources}
+        if self.health is not None:
+            self.health.evaluate()
+            report.update(self.health.report())
+            report["resources"] = resources
+        return report
+
+    def event_log(self) -> str:
+        """Unified JSONL: tracer spans/lifecycles + correlation-id'd health
+        events, time-ordered on one shared epoch."""
+        return unified_event_log(self.tracer, self.health)
+
+    def write_event_log(self, path) -> int:
+        """Write :meth:`event_log` to ``path``; returns the line count."""
+        log = self.event_log()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(log)
+        return len(log.splitlines())

@@ -199,6 +199,7 @@ class PagePool:
         self._entries: Dict[int, PageHandle] = {}
         self._decoded: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._decoded_bytes = 0
+        self._sealed_bytes = 0
         self._prefix_nodes: "OrderedDict[Tuple, _PrefixNode]" = OrderedDict()
         # Cumulative counters (monotonic; callers diff snapshots per round).
         self.decode_hits = 0
@@ -217,6 +218,7 @@ class PagePool:
         """Register a freshly sealed page; the caller holds the first ref."""
         handle = PageHandle(payload)
         self._entries[handle.page_id] = handle
+        self._sealed_bytes += handle.nbytes_resident
         self.pages_registered += 1
         return handle
 
@@ -226,6 +228,7 @@ class PagePool:
             # Resurrection: the payload is still alive through the handle, so
             # re-admitting it is safe (prefix nodes can race slot release).
             self._entries[handle.page_id] = handle
+            self._sealed_bytes += handle.nbytes_resident
         handle.refcount += 1
         return handle
 
@@ -235,7 +238,8 @@ class PagePool:
             raise ServingError("KV page released more times than acquired")
         handle.refcount -= 1
         if handle.refcount == 0:
-            self._entries.pop(handle.page_id, None)
+            if self._entries.pop(handle.page_id, None) is not None:
+                self._sealed_bytes -= handle.nbytes_resident
             cached = self._decoded.pop(handle.page_id, None)
             if cached is not None:
                 self._decoded_bytes -= cached.nbytes
@@ -415,6 +419,11 @@ class PagePool:
         return self._decoded_bytes
 
     @property
+    def sealed_bytes(self) -> int:
+        """Resident bytes of all live sealed pages (packed OVP or fp32)."""
+        return self._sealed_bytes
+
+    @property
     def num_prefix_nodes(self) -> int:
         return len(self._prefix_nodes)
 
@@ -438,6 +447,7 @@ class PagePool:
             {
                 "entries": self.num_entries,
                 "shared_pages": self.num_shared_pages,
+                "sealed_bytes": self.sealed_bytes,
                 "decoded_cache_bytes": self.decoded_cache_bytes,
                 "prefix_nodes": self.num_prefix_nodes,
             }

@@ -86,6 +86,12 @@ class InferenceRequest:
         The request's :class:`~repro.serve.sampling.SamplingParams`.  When
         omitted, one is built from the legacy kwargs (greedy decode).
         Passing both ``sampling`` and conflicting legacy kwargs is an error.
+    slo_class:
+        The SLO traffic class this request's latency/TTFT/availability is
+        accounted under (see :mod:`repro.serve.health`).  Purely an
+        accounting label — it never fragments batches and unknown names are
+        still recorded (just not evaluated unless a matching
+        :class:`~repro.serve.health.SLOClass` is configured).
     """
 
     model: str
@@ -96,8 +102,11 @@ class InferenceRequest:
     max_new_tokens: int = 0
     sampling: Optional[SamplingParams] = None
     request_id: str = field(default_factory=_next_request_id)
+    slo_class: str = "default"
 
     def __post_init__(self) -> None:
+        if not self.slo_class or not isinstance(self.slo_class, str):
+            raise ServingError("slo_class must be a non-empty string")
         if self.family not in WorkloadFamily.ALL:
             raise ServingError(
                 f"unknown workload family {self.family!r}; "

@@ -210,9 +210,12 @@ class ContinuousBatchingScheduler:
         # stats records; cancellations land here too, so the next recorded
         # round carries them even though they happened outside step().
         self._pending_ttfts: List[float] = []
+        self._pending_ttft_classes: List[str] = []
         self._pending_gaps: List[float] = []
         self._pending_finishes: List[str] = []
+        self._pending_finish_classes: List[str] = []
         self._pending_latencies: List[float] = []
+        self._pending_latency_classes: List[str] = []
         self._pending_proposed = 0
         self._pending_accepted = 0
         self.admitted = 0
@@ -327,19 +330,29 @@ class ContinuousBatchingScheduler:
         compute_seconds = self.clock() - start
         active = self.num_active + len(results)
         finish_reasons = tuple(self._pending_finishes)
-        latencies = tuple(self._pending_latencies) + tuple(r.latency for r in results)
+        finish_classes = tuple(self._pending_finish_classes)
+        latencies = tuple(self._pending_latencies)
+        latency_classes = tuple(self._pending_latency_classes)
         ttfts = tuple(self._pending_ttfts)
+        ttft_classes = tuple(self._pending_ttft_classes)
         gaps = tuple(self._pending_gaps)
         proposed, accepted = self._pending_proposed, self._pending_accepted
         self._pending_finishes = []
+        self._pending_finish_classes = []
         self._pending_latencies = []
+        self._pending_latency_classes = []
         self._pending_ttfts = []
+        self._pending_ttft_classes = []
         self._pending_gaps = []
         self._pending_proposed = 0
         self._pending_accepted = 0
         if self.stats is None or not (active or finish_reasons):
             return
         pool_after = self.page_pool.counters()
+        slot_kv_bytes = tuple(
+            slot.cache.cache_bytes if slot is not None else 0
+            for slot in self._slots
+        )
         self.stats.record_decode_round(
             DecodeRoundRecord(
                 active_slots=active,
@@ -347,7 +360,7 @@ class ContinuousBatchingScheduler:
                 new_tokens=prefill_tokens + admitted + decoded,
                 generated_tokens=admitted + decoded,
                 compute_seconds=compute_seconds,
-                kv_cache_bytes=self.kv_cache_bytes,
+                kv_cache_bytes=sum(slot_kv_bytes),
                 kv_fp32_bytes=self.kv_fp32_bytes,
                 latencies=latencies,
                 pool_hits=pool_after["decode_hits"] - pool_before["decode_hits"],
@@ -366,6 +379,13 @@ class ContinuousBatchingScheduler:
                 inter_token_seconds=gaps,
                 draft_proposed_tokens=proposed,
                 draft_accepted_tokens=accepted,
+                latency_classes=latency_classes,
+                first_token_classes=ttft_classes,
+                finish_classes=finish_classes,
+                queue_depth=len(self._queue),
+                slot_kv_bytes=slot_kv_bytes,
+                pool_sealed_bytes=self.page_pool.sealed_bytes,
+                pool_decoded_lru_bytes=self.page_pool.decoded_cache_bytes,
             )
         )
 
@@ -388,6 +408,48 @@ class ContinuousBatchingScheduler:
     def kv_fp32_bytes(self) -> int:
         """Bytes fp32 caches would need for the same cached tokens."""
         return sum(slot.cache.fp32_bytes for slot in self._slots if slot is not None)
+
+    def resource_snapshot(self) -> Dict[str, object]:
+        """Live resource accounting for ``health_report()`` / dashboards.
+
+        Everything here is a point-in-time gauge read: queue depth, slot
+        occupancy, resident KV bytes per slot, the shared pool's sealed vs.
+        decoded-LRU footprint, and the top KV consumers (largest resident
+        caches first) so the memory-pressure question "who is holding the
+        bytes?" has an answer before eviction policy work needs it.
+        """
+        consumers = []
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                continue
+            consumers.append(
+                {
+                    "slot": index,
+                    "request_id": slot.request.request_id,
+                    "slo_class": slot.request.slo_class,
+                    "kv_bytes": slot.cache.cache_bytes,
+                    "kv_fp32_bytes": slot.cache.fp32_bytes,
+                    "prompt_tokens": slot.request.seq_len,
+                    "generated_tokens": len(slot.generated),
+                }
+            )
+        consumers.sort(key=lambda c: (-c["kv_bytes"], c["slot"]))
+        return {
+            "queue_depth": len(self._queue),
+            "active_slots": self.num_active,
+            "num_slots": self.num_slots,
+            "slot_occupancy": self.slot_occupancy,
+            "kv_cache_bytes": self.kv_cache_bytes,
+            "kv_fp32_bytes": self.kv_fp32_bytes,
+            "pool": {
+                "entries": self.page_pool.num_entries,
+                "sealed_bytes": self.page_pool.sealed_bytes,
+                "decoded_lru_bytes": self.page_pool.decoded_cache_bytes,
+                "shared_pages": self.page_pool.num_shared_pages,
+                "prefix_nodes": self.page_pool.num_prefix_nodes,
+            },
+            "top_consumers": consumers[:5],
+        }
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -499,6 +561,7 @@ class ContinuousBatchingScheduler:
                 )
             )
             self._pending_finishes.append(FinishReason.ERROR)
+            self._pending_finish_classes.append(slot.request.slo_class)
             if self.tracer.enabled:
                 self.tracer.lifecycle_end(
                     slot.request.request_id, {"reason": FinishReason.ERROR}
@@ -544,7 +607,9 @@ class ContinuousBatchingScheduler:
             self._slots[index] = None
             self.cancelled += 1
             self._pending_finishes.append(FinishReason.ABORTED)
+            self._pending_finish_classes.append(slot.request.slo_class)
             self._pending_latencies.append(result.latency)
+            self._pending_latency_classes.append(slot.request.slo_class)
             self._chunks.append(
                 TokenChunk(
                     request_id=request_id,
@@ -580,7 +645,9 @@ class ContinuousBatchingScheduler:
         """Result of a request cancelled while still queued (no tokens yet)."""
         request = queued.request
         self._pending_finishes.append(FinishReason.ABORTED)
+        self._pending_finish_classes.append(request.slo_class)
         self._pending_latencies.append(now - queued.enqueued_at)
+        self._pending_latency_classes.append(request.slo_class)
         self._chunks.append(
             TokenChunk(
                 request_id=request.request_id,
@@ -615,6 +682,7 @@ class ContinuousBatchingScheduler:
             slot.top_logprobs.append(sampled.top_logprobs)
         if index == 0:
             self._pending_ttfts.append(now - slot.queued.enqueued_at)
+            self._pending_ttft_classes.append(slot.request.slo_class)
         elif slot.last_token_at is not None:
             self._pending_gaps.append(now - slot.last_token_at)
         slot.last_token_at = now
@@ -979,6 +1047,9 @@ class ContinuousBatchingScheduler:
                     continue
                 results.append(self._build_result(slot, completed_at, occupancy_now))
                 self._pending_finishes.append(slot.finish_reason)
+                self._pending_finish_classes.append(slot.request.slo_class)
+                self._pending_latencies.append(results[-1].latency)
+                self._pending_latency_classes.append(slot.request.slo_class)
                 self._register_generated_suffix(slot)
                 if self.tracer.enabled:
                     self.tracer.lifecycle_end(

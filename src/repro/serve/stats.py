@@ -27,6 +27,23 @@ _LATENCY_BUCKETS = exponential_buckets(1e-4, 2.0, 16)
 #: Token-scale gaps (inter-token, decode rounds): 10 µs … ~82 ms.
 _TOKEN_BUCKETS = exponential_buckets(1e-5, 2.0, 14)
 
+#: SLO class used for observations recorded without a class annotation.
+_DEFAULT_CLASS = "default"
+
+
+def _classes_for(values, classes) -> tuple:
+    """Per-value SLO classes, backfilled with ``default`` on length mismatch.
+
+    Records from pre-SLO call sites (or tests) carry values without classes;
+    rather than guess a pairing from a short class tuple, mismatches fall
+    back to the default class for every value.
+    """
+    values = tuple(values)
+    classes = tuple(classes)
+    if len(classes) == len(values):
+        return classes
+    return (_DEFAULT_CLASS,) * len(values)
+
 
 def _finite(values) -> np.ndarray:
     """The finite float values of ``values`` (drops NaN/Inf measurements).
@@ -70,6 +87,7 @@ class BatchRecord:
     weight_stream_bytes: int   # packed OVP bytes streamed for this batch
     dram_bytes: float          # modelled DRAM traffic (weights + activations)
     latencies: tuple           # per-request seconds, enqueue → completion
+    latency_classes: tuple = ()  # per-request SLO class, parallel to latencies
 
     @property
     def fill(self) -> float:
@@ -109,6 +127,16 @@ class DecodeRoundRecord:
     # Speculative decoding this round (zero when no slot speculated).
     draft_proposed_tokens: int = 0     # draft tokens fed to the verify pass
     draft_accepted_tokens: int = 0     # draft tokens the target emitted
+    # SLO classes parallel to latencies / first_token_seconds / finish_reasons
+    # (empty tuples backfill as "default" — see _classes_for).
+    latency_classes: tuple = ()
+    first_token_classes: tuple = ()
+    finish_classes: tuple = ()
+    # Resource accounting at round end (zero when the scheduler predates it).
+    queue_depth: int = 0               # requests waiting for a slot
+    slot_kv_bytes: tuple = ()          # resident KV bytes per slot (idle = 0)
+    pool_sealed_bytes: int = 0         # live sealed pages in the shared pool
+    pool_decoded_lru_bytes: int = 0    # decoded-page LRU footprint
 
     @property
     def occupancy(self) -> float:
@@ -304,7 +332,9 @@ class ServingStats:
             "serve_prefix_pages_attached_total", "Pages adopted from the prefix index"
         )
         self._m_finished = r.counter(
-            "serve_requests_finished_total", "Finished generation requests", labels=("reason",)
+            "serve_requests_finished_total",
+            "Finished generation requests",
+            labels=("reason", "slo_class"),
         )
         self._m_proposed = r.counter(
             "serve_draft_proposed_tokens_total", "Draft tokens fed to the verify pass"
@@ -313,10 +343,12 @@ class ServingStats:
             "serve_draft_accepted_tokens_total", "Draft tokens the target emitted"
         )
         self._m_latency = r.histogram(
-            "serve_request_latency_seconds", "Enqueue-to-completion latency", _LATENCY_BUCKETS
+            "serve_request_latency_seconds", "Enqueue-to-completion latency",
+            _LATENCY_BUCKETS, labels=("slo_class",),
         )
         self._m_ttft = r.histogram(
-            "serve_ttft_seconds", "Enqueue to first streamed token", _LATENCY_BUCKETS
+            "serve_ttft_seconds", "Enqueue to first streamed token",
+            _LATENCY_BUCKETS, labels=("slo_class",),
         )
         self._m_gap = r.histogram(
             "serve_inter_token_seconds", "Gap between consecutive streamed tokens", _TOKEN_BUCKETS
@@ -339,6 +371,20 @@ class ServingStats:
         self._m_hit_rate = r.gauge(
             "serve_pool_hit_rate", "Pool hits / fetches, cumulative"
         )
+        # Resource-accounting gauges (health layer / memory-pressure view).
+        self._m_queue_depth = r.gauge(
+            "serve_queue_depth", "Requests waiting for a scheduler slot"
+        )
+        self._m_pool_sealed = r.gauge(
+            "serve_pool_sealed_bytes", "Live sealed-page bytes in the shared pool"
+        )
+        self._m_pool_lru = r.gauge(
+            "serve_pool_decoded_lru_bytes", "Decoded-page LRU footprint"
+        )
+        self._m_slot_kv = r.gauge(
+            "serve_slot_kv_bytes", "Resident KV bytes per scheduler slot",
+            labels=("slot",),
+        )
 
     def record_batch(self, record: BatchRecord) -> None:
         """Append one batch record (stamps the wall-clock window)."""
@@ -350,8 +396,9 @@ class ServingStats:
         self._m_weight_bytes.inc(record.weight_stream_bytes)
         self._m_dram_bytes.inc(max(record.dram_bytes, 0.0))
         self._m_fill.set(record.fill)
-        for latency in record.latencies:
-            self._m_latency.observe(latency)
+        classes = _classes_for(record.latencies, record.latency_classes)
+        for latency, cls in zip(record.latencies, classes):
+            self._m_latency.observe(latency, slo_class=cls)
 
     def record_decode_round(self, record: DecodeRoundRecord) -> None:
         """Append one continuous-batching decode-round record."""
@@ -368,18 +415,26 @@ class ServingStats:
         self._m_prefix_pages.inc(record.prefix_pages_attached)
         self._m_proposed.inc(record.draft_proposed_tokens)
         self._m_accepted.inc(record.draft_accepted_tokens)
-        for reason in record.finish_reasons:
-            self._m_finished.inc(reason=str(reason))
-        for latency in record.latencies:
-            self._m_latency.observe(latency)
-        for ttft in record.first_token_seconds:
-            self._m_ttft.observe(ttft)
+        finish_classes = _classes_for(record.finish_reasons, record.finish_classes)
+        for reason, cls in zip(record.finish_reasons, finish_classes):
+            self._m_finished.inc(reason=str(reason), slo_class=cls)
+        latency_classes = _classes_for(record.latencies, record.latency_classes)
+        for latency, cls in zip(record.latencies, latency_classes):
+            self._m_latency.observe(latency, slo_class=cls)
+        ttft_classes = _classes_for(record.first_token_seconds, record.first_token_classes)
+        for ttft, cls in zip(record.first_token_seconds, ttft_classes):
+            self._m_ttft.observe(ttft, slo_class=cls)
         for gap in record.inter_token_seconds:
             self._m_gap.observe(gap)
         self._m_kv_bytes.set(record.kv_cache_bytes)
         self._m_kv_fp32.set(record.kv_fp32_bytes)
         self._m_occupancy.set(record.occupancy)
         self._m_shared.set(record.shared_pages)
+        self._m_queue_depth.set(record.queue_depth)
+        self._m_pool_sealed.set(record.pool_sealed_bytes)
+        self._m_pool_lru.set(record.pool_decoded_lru_bytes)
+        for slot_index, nbytes in enumerate(record.slot_kv_bytes):
+            self._m_slot_kv.set(nbytes, slot=str(slot_index))
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of the metrics registry.

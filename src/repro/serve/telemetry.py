@@ -41,6 +41,7 @@ from __future__ import annotations
 import bisect
 import json
 import math
+import re
 import threading
 import time
 from dataclasses import dataclass
@@ -59,6 +60,7 @@ __all__ = [
     "Tracer",
     "exponential_buckets",
     "validate_chrome_trace",
+    "validate_exposition",
 ]
 
 
@@ -176,43 +178,76 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Fixed-bucket histogram (cumulative ``le`` buckets, ``_sum``/``_count``)."""
+    """Fixed-bucket histogram (cumulative ``le`` buckets, ``_sum``/``_count``).
+
+    Like :class:`Counter`/:class:`Gauge`, a histogram may declare label
+    names; every label set gets its own bucket counts, sum and count (one
+    series per set, the ``le`` label appended last).  ``count``/``sum``
+    aggregate across label sets; :meth:`bucket_counts`/:meth:`count_value`/
+    :meth:`sum_value` take the label set they describe.
+    """
 
     kind = "histogram"
 
-    def __init__(self, name, help, buckets: Sequence[float], lock):
-        super().__init__(name, help, (), lock)
+    def __init__(self, name, help, buckets: Sequence[float], label_names, lock):
+        super().__init__(name, help, label_names, lock)
         bounds = tuple(float(b) for b in buckets)
         if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ValueError(f"{name}: bucket bounds must be strictly ascending, got {bounds}")
         self.buckets = bounds
-        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
-        self._sum = 0.0
-        self._count = 0
+        # Per-label-set cells: key -> [per-bucket counts (+Inf last), sum, count].
+        self._cells: Dict[Tuple[str, ...], list] = {}
+        if not label_names:
+            # An unlabeled histogram renders its (zeroed) series immediately.
+            self._cells[()] = [[0] * (len(bounds) + 1), 0.0, 0]
 
-    def observe(self, value: float) -> None:
+    def _cell(self, key: Tuple[str, ...]) -> list:
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = [[0] * (len(self.buckets) + 1), 0.0, 0]
+        return cell
+
+    def observe(self, value: float, **labels: Any) -> None:
         if not math.isfinite(value):
             return
+        key = self._key(labels)
         idx = bisect.bisect_left(self.buckets, value)
         with self._lock:
-            self._counts[idx] += 1
-            self._sum += value
-            self._count += 1
+            cell = self._cell(key)
+            cell[0][idx] += 1
+            cell[1] += value
+            cell[2] += 1
 
     @property
     def count(self) -> int:
+        """Observations across every label set."""
         with self._lock:
-            return self._count
+            return sum(cell[2] for cell in self._cells.values())
 
     @property
     def sum(self) -> float:
+        """Observed-value sum across every label set."""
         with self._lock:
-            return self._sum
+            return sum(cell[1] for cell in self._cells.values())
 
-    def bucket_counts(self) -> Tuple[int, ...]:
-        """Cumulative counts per bucket bound (plus +Inf), Prometheus-style."""
+    def count_value(self, **labels: Any) -> int:
+        key = self._key(labels)
         with self._lock:
-            counts = list(self._counts)
+            cell = self._cells.get(key)
+            return cell[2] if cell else 0
+
+    def sum_value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            cell = self._cells.get(key)
+            return cell[1] if cell else 0.0
+
+    def bucket_counts(self, **labels: Any) -> Tuple[int, ...]:
+        """Cumulative counts per bucket bound (plus +Inf), Prometheus-style."""
+        key = self._key(labels)
+        with self._lock:
+            cell = self._cells.get(key)
+            counts = list(cell[0]) if cell else [0] * (len(self.buckets) + 1)
         cumulative, total = [], 0
         for c in counts:
             total += c
@@ -220,12 +255,26 @@ class Histogram(_Metric):
         return tuple(cumulative)
 
     def _render(self, lines: List[str]) -> None:
-        cumulative = self.bucket_counts()
-        for bound, count in zip(self.buckets, cumulative):
-            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}} {count}')
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative[-1]}')
-        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
-        lines.append(f"{self.name}_count {self._count}")
+        with self._lock:
+            cells = {key: (list(cell[0]), cell[1], cell[2]) for key, cell in self._cells.items()}
+        for key in sorted(cells):
+            counts, total_sum, total_count = cells[key]
+            labels = ",".join(
+                f'{n}="{_escape_label(v)}"' for n, v in zip(self.label_names, key)
+            )
+            prefix = labels + "," if labels else ""
+            cumulative, running = [], 0
+            for c in counts:
+                running += c
+                cumulative.append(running)
+            for bound, count in zip(self.buckets, cumulative):
+                lines.append(
+                    f'{self.name}_bucket{{{prefix}le="{_format_value(bound)}"}} {count}'
+                )
+            lines.append(f'{self.name}_bucket{{{prefix}le="+Inf"}} {cumulative[-1]}')
+            suffix_labels = "{" + labels + "}" if labels else ""
+            lines.append(f"{self.name}_sum{suffix_labels} {_format_value(total_sum)}")
+            lines.append(f"{self.name}_count{suffix_labels} {total_count}")
 
 
 class MetricsRegistry:
@@ -275,13 +324,24 @@ class MetricsRegistry:
             )
         return metric
 
-    def histogram(self, name: str, help: str = "", buckets: Sequence[float] = ()) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = (),
+        labels: Sequence[str] = (),
+    ) -> Histogram:
         bounds = tuple(buckets) or exponential_buckets(1e-4, 2.0, 14)
+        label_names = tuple(labels)
         metric = self._get_or_create(
-            Histogram, name, lambda: Histogram(name, help, bounds, self._lock)
+            Histogram, name, lambda: Histogram(name, help, bounds, label_names, self._lock)
         )
         if metric.buckets != tuple(float(b) for b in bounds):
             raise ValueError(f"metric {name!r} registered with different buckets")
+        if metric.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} registered with labels {metric.label_names}, not {label_names}"
+            )
         return metric
 
     def get(self, name: str) -> Optional[_Metric]:
@@ -462,7 +522,7 @@ class NullTracer:
     def chrome_trace(self) -> Dict[str, Any]:
         return {"traceEvents": [], "displayTimeUnit": "ms"}
 
-    def jsonl(self) -> str:
+    def jsonl(self, epoch: Optional[float] = None) -> str:
         return ""
 
 
@@ -721,14 +781,15 @@ class Tracer:
 
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def jsonl(self) -> str:
+    def jsonl(self, epoch: Optional[float] = None) -> str:
         """One JSON object per closed span (phase spans, then lifecycles).
 
         Deterministic byte-for-byte given a deterministic clock: keys are
         sorted and timestamps are rounded microseconds relative to the first
-        event.
+        event (or to ``epoch``, letting callers merge several logs — health
+        events, spans — onto one shared time base).
         """
-        t0 = self._epoch()
+        t0 = self._epoch() if epoch is None else epoch
 
         def us(t: float) -> float:
             return round((t - t0) * 1e6, 3)
@@ -817,3 +878,161 @@ def validate_chrome_trace(payload) -> Dict[str, int]:
         if stack:
             raise ValueError(f"unbalanced B events on tid {tid}: {stack}")
     return counts
+
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _parse_exposition_labels(raw: str, where: str) -> Tuple[Tuple[str, str], ...]:
+    """Parse ``name="value",...`` (the text between ``{`` and ``}``)."""
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(raw):
+        eq = raw.find('="', pos)
+        if eq < 0:
+            raise ValueError(f"{where}: malformed labels {raw!r}")
+        name = raw[pos:eq]
+        if not _LABEL_NAME_RE.match(name):
+            raise ValueError(f"{where}: bad label name {name!r}")
+        # Scan the quoted value, honouring backslash escapes.
+        value_chars: List[str] = []
+        i = eq + 2
+        while i < len(raw):
+            ch = raw[i]
+            if ch == "\\":
+                if i + 1 >= len(raw):
+                    raise ValueError(f"{where}: dangling escape in {raw!r}")
+                value_chars.append(raw[i:i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            i += 1
+        else:
+            raise ValueError(f"{where}: unterminated label value in {raw!r}")
+        pairs.append((name, "".join(value_chars)))
+        pos = i + 1
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ValueError(f"{where}: expected ',' between labels in {raw!r}")
+            pos += 1
+    return tuple(pairs)
+
+
+def validate_exposition(text: str) -> Dict[str, int]:
+    """Validate a Prometheus text exposition; raise ``ValueError`` on violation.
+
+    Checks every non-comment line parses as ``name[{labels}] value``; every
+    sample belongs to a metric declared by a preceding ``# TYPE`` line of a
+    known kind; values are finite (counters non-negative); no series repeats;
+    histogram series carry ascending ``le`` bounds with monotone cumulative
+    counts, a ``+Inf`` bucket, and ``_sum``/``_count`` samples whose count
+    matches the ``+Inf`` bucket.  Returns metric counts by kind plus the
+    total number of sample lines (``"samples"``).
+    """
+    kinds: Dict[str, str] = {}
+    seen_series = set()
+    # (metric, non-le labels) -> {"le": [(bound, count)], "sum": x, "count": n}
+    hist_series: Dict[Tuple[str, Tuple], Dict[str, Any]] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"{where}: malformed TYPE line {line!r}")
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"{where}: unknown metric kind {kind!r}")
+            if name in kinds:
+                raise ValueError(f"{where}: duplicate TYPE for {name!r}")
+            kinds[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ValueError(f"{where}: unbalanced braces in {line!r}")
+            name = line[:brace]
+            labels = _parse_exposition_labels(line[brace + 1:close], where)
+            rest = line[close + 1:]
+        else:
+            name, _, rest = line.partition(" ")
+            rest = " " + rest if rest else ""
+            labels = ()
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"{where}: bad metric name {name!r}")
+        if not rest.startswith(" ") or " " in rest[1:].strip():
+            raise ValueError(f"{where}: expected 'name value', got {line!r}")
+        raw_value = rest.strip()
+        try:
+            value = float(raw_value)
+        except ValueError as exc:
+            raise ValueError(f"{where}: bad sample value {raw_value!r}") from exc
+        if math.isnan(value):
+            raise ValueError(f"{where}: NaN sample value in {line!r}")
+        base = name
+        suffix = ""
+        if base not in kinds:
+            for candidate in ("_bucket", "_sum", "_count"):
+                trimmed = name[: -len(candidate)] if name.endswith(candidate) else None
+                if trimmed and kinds.get(trimmed) == "histogram":
+                    base, suffix = trimmed, candidate
+                    break
+        kind = kinds.get(base)
+        if kind is None:
+            raise ValueError(f"{where}: sample {name!r} has no preceding TYPE line")
+        if kind == "histogram" and not suffix:
+            raise ValueError(
+                f"{where}: histogram {base!r} samples must be _bucket/_sum/_count"
+            )
+        if kind != "histogram" and suffix:
+            raise ValueError(f"{where}: {name!r} is not a histogram series")
+        if (kind in ("counter", "histogram")) and value < 0:
+            raise ValueError(f"{where}: negative {kind} sample in {line!r}")
+        series = (name, labels)
+        if series in seen_series:
+            raise ValueError(f"{where}: duplicate series {name}{dict(labels)!r}")
+        seen_series.add(series)
+        samples += 1
+        if kind == "histogram":
+            plain = tuple(pair for pair in labels if pair[0] != "le")
+            entry = hist_series.setdefault(
+                (base, plain), {"le": [], "sum": None, "count": None}
+            )
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    raise ValueError(f"{where}: histogram bucket without le label")
+                bound = math.inf if le == "+Inf" else float(le)
+                entry["le"].append((bound, value))
+            elif suffix == "_sum":
+                entry["sum"] = value
+            else:
+                entry["count"] = value
+    for (base, plain), entry in hist_series.items():
+        where = f"histogram {base!r} {dict(plain)!r}"
+        bounds = [b for b, _ in entry["le"]]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"{where}: le bounds not strictly ascending")
+        if not bounds or bounds[-1] != math.inf:
+            raise ValueError(f"{where}: missing +Inf bucket")
+        counts = [c for _, c in entry["le"]]
+        if counts != sorted(counts):
+            raise ValueError(f"{where}: cumulative bucket counts decrease")
+        if entry["sum"] is None or entry["count"] is None:
+            raise ValueError(f"{where}: missing _sum/_count samples")
+        if entry["count"] != counts[-1]:
+            raise ValueError(
+                f"{where}: _count {entry['count']} != +Inf bucket {counts[-1]}"
+            )
+    report = {"samples": samples}
+    for kind in ("counter", "gauge", "histogram"):
+        report[kind] = sum(1 for k in kinds.values() if k == kind)
+    return report

@@ -212,7 +212,9 @@ class TestThreadSafety:
         registry = stats.registry
         assert registry.get("serve_decode_rounds_total").value() == rounds
         assert registry.get("serve_batches_total").value() == rounds
-        assert registry.get("serve_requests_finished_total").value(reason="length") == rounds
+        assert registry.get("serve_requests_finished_total").value(
+            reason="length", slo_class="default"
+        ) == rounds
         final = stats.summary()
         assert final.decode_rounds == stats.num_decode_rounds
 
