@@ -1,0 +1,198 @@
+"""Benchmark: overload resilience — bounded admission beats FIFO collapse.
+
+Offered load is pinned at 2x slot capacity: a wave of long batch-class
+requests saturates every slot, then short interactive requests arrive
+mid-overload.  The unbounded FIFO baseline makes the interactive tail
+wait behind the whole batch backlog; the resilient configuration (bounded
+queue + priority admission + preemption) admits them immediately, at the
+cost of shedding/queueing some batch traffic.
+
+The headline number is **high-priority SLO attainment** — the fraction of
+interactive requests finishing within an adaptive latency target derived
+from the warm solo latency of the same request shape.  The acceptance
+bar: attainment with the resilient policy strictly exceeds the unbounded
+FIFO baseline under identical offered load, and the trajectory lands in
+``BENCH_serve.json`` for the regression watchdog.
+"""
+
+import numpy as np
+
+from repro.serve import (
+    AdmissionPolicy,
+    ContinuousBatchingScheduler,
+    InferenceRequest,
+    KVCacheConfig,
+    ModelRepository,
+    QueueFullError,
+    SamplingParams,
+    ServingStats,
+    WorkloadFamily,
+)
+
+MODEL = "gpt2-xl"
+VOCAB = 96
+NUM_SLOTS = 6
+BATCH_REQUESTS = 8         # long jobs saturate every slot plus a backlog
+INTERACTIVE_REQUESTS = 4   # arrive mid-overload; 12 offered over 6 slots = 2x
+BATCH_TOKENS = 16
+INTERACTIVE_TOKENS = 4
+MAX_QUEUE_DEPTH = 6        # the resilient bound: excess batch load is shed
+
+
+def _repository():
+    repo = ModelRepository(bits=4, seed=0)
+    repo.get(MODEL, WorkloadFamily.LM)
+    return repo
+
+
+def _cache_config():
+    return KVCacheConfig(bits=4, page_size=8, prefix_sharing=True)
+
+
+def _request(rng, slo_class, max_new_tokens):
+    return InferenceRequest(
+        MODEL,
+        WorkloadFamily.LM,
+        rng.integers(0, VOCAB, size=12),
+        sampling=SamplingParams(max_new_tokens=max_new_tokens, seed=0),
+        slo_class=slo_class,
+    )
+
+
+def _offered_load(seed):
+    rng = np.random.default_rng(seed)
+    batch = [_request(rng, "batch", BATCH_TOKENS) for _ in range(BATCH_REQUESTS)]
+    interactive = [
+        _request(rng, "interactive", INTERACTIVE_TOKENS)
+        for _ in range(INTERACTIVE_REQUESTS)
+    ]
+    return batch, interactive
+
+
+def _drain(scheduler, limit=600):
+    results = []
+    for _ in range(limit):
+        if not len(scheduler):
+            return results
+        results.extend(scheduler.step())
+    raise AssertionError("overload scenario did not drain")
+
+
+def _solo_latency(repository):
+    """Warm per-request latency of the interactive shape with idle slots."""
+    scheduler = ContinuousBatchingScheduler(
+        repository, num_slots=NUM_SLOTS, cache_config=_cache_config()
+    )
+    rng = np.random.default_rng(99)
+    latencies = []
+    for _ in range(3):
+        request = _request(rng, "interactive", INTERACTIVE_TOKENS)
+        scheduler.submit(request)
+        latencies.append(_drain(scheduler)[0].latency)
+    return min(latencies)
+
+
+def _run_overload(repository, admission, seed=7):
+    """One overload wave; returns (interactive latencies, counters)."""
+    stats = ServingStats()
+    scheduler = ContinuousBatchingScheduler(
+        repository,
+        num_slots=NUM_SLOTS,
+        cache_config=_cache_config(),
+        stats=stats,
+        admission=admission,
+    )
+    batch, interactive = _offered_load(seed)
+    rejected = 0
+    for request in batch:
+        try:
+            scheduler.submit(request)
+        except QueueFullError:
+            rejected += 1
+    # Saturate the slots before the interactive wave lands mid-overload.
+    scheduler.step()
+    for request in interactive:
+        try:
+            scheduler.submit(request)
+        except QueueFullError:
+            rejected += 1
+    results = {r.request_id: r for r in _drain(scheduler)}
+    latencies = [
+        results[r.request_id].latency
+        for r in interactive
+        if r.request_id in results
+    ]
+    counters = {
+        "rejected": rejected,
+        "preempted": scheduler.preempted,
+        "deadline_expired": scheduler.deadline_expired,
+        "finished": len(results),
+    }
+    return latencies, counters
+
+
+def _attainment(latencies, target, offered):
+    within = sum(1 for latency in latencies if latency <= target)
+    return within / offered
+
+
+def test_bench_overload_bounded_priority_beats_fifo(
+    run_once, benchmark, serve_trajectory
+):
+    repository = _repository()
+    solo = _solo_latency(repository)
+    # Adaptive target: headroom over the warm solo latency, so the bar
+    # tracks machine speed instead of hard-coding milliseconds.  Under FIFO
+    # the interactive wave waits out the whole 16-token batch generation
+    # before a slot frees, far past any small multiple of solo latency.
+    target = solo * 4.0
+
+    fifo_latencies, fifo_counters = run_once(_run_overload, repository, None)
+    resilient_policy = AdmissionPolicy(
+        max_queue_depth=MAX_QUEUE_DEPTH,
+        class_priority={"interactive": 10, "batch": 0},
+        preempt=True,
+    )
+    resilient_latencies, resilient_counters = _run_overload(
+        repository, resilient_policy
+    )
+
+    fifo_attainment = _attainment(fifo_latencies, target, INTERACTIVE_REQUESTS)
+    resilient_attainment = _attainment(
+        resilient_latencies, target, INTERACTIVE_REQUESTS
+    )
+
+    serve_trajectory(
+        "overload",
+        offered_over_capacity=(BATCH_REQUESTS + INTERACTIVE_REQUESTS) / NUM_SLOTS,
+        solo_latency_ms=round(solo * 1e3, 3),
+        target_latency_ms=round(target * 1e3, 3),
+        high_attainment_fifo=round(fifo_attainment, 3),
+        high_attainment_resilient=round(resilient_attainment, 3),
+        preemptions=resilient_counters["preempted"],
+        rejected=resilient_counters["rejected"],
+    )
+    benchmark.extra_info.update(
+        {
+            "fifo_attainment": fifo_attainment,
+            "resilient_attainment": resilient_attainment,
+            "fifo_counters": fifo_counters,
+            "resilient_counters": resilient_counters,
+        }
+    )
+
+    # Every interactive request finished somewhere (FIFO never rejects).
+    assert len(fifo_latencies) == INTERACTIVE_REQUESTS
+    assert fifo_counters["finished"] == BATCH_REQUESTS + INTERACTIVE_REQUESTS
+    # The mechanisms actually engaged — the win is causal, not incidental:
+    # the bounded queue shed excess batch load, and the interactive wave
+    # preempted running batch slots instead of waiting behind them.
+    assert resilient_counters["rejected"] > 0
+    assert resilient_counters["preempted"] > 0
+    # The acceptance bar: bounded + priority + preempt strictly beats FIFO
+    # on high-priority attainment under identical 2x-capacity offered load.
+    assert resilient_attainment > fifo_attainment, (
+        f"resilient {resilient_attainment:.2f} must beat FIFO "
+        f"{fifo_attainment:.2f} (target {target * 1e3:.1f} ms)"
+    )
+    assert resilient_attainment == 1.0

@@ -61,6 +61,7 @@ _RULES = (
     ("tokens_per_s", "contains", HIGHER, "rel", 0.20),
     ("hit_rate", "suffix", HIGHER, "abs", 0.05),
     ("acceptance", "contains", HIGHER, "abs", 0.05),
+    ("attainment", "contains", HIGHER, "abs", 0.05),
     ("occupancy", "suffix", HIGHER, "abs", 0.10),
 )
 

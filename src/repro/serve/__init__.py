@@ -50,11 +50,36 @@ request/response engine:
   :class:`~repro.serve.health.HealthEvent` records, and the
   ``health_report()`` / ``event_log()`` snapshots on
   :class:`~repro.serve.engine.ServingEngine` and
-  :class:`~repro.serve.aio.AsyncServer`.
+  :class:`~repro.serve.aio.AsyncServer`;
+* :mod:`repro.serve.admission` — overload resilience:
+  :class:`~repro.serve.admission.AdmissionPolicy` bounds the queue with
+  typed rejections, orders admission by per-class priority, enforces
+  request deadlines / queue timeouts (terminal
+  ``finish_reason="deadline"``), lets higher-priority arrivals preempt
+  lower-priority active slots (sealed pages re-attach copy-on-write via
+  the prefix index, so resume re-prefills only the unsealed suffix), and
+  optionally sheds below-floor traffic while burn-rate alerts fire;
+* :mod:`repro.serve.errors` — the retryable/terminal
+  :class:`~repro.serve.requests.ServingError` taxonomy, paired with the
+  bounded jittered-backoff :class:`~repro.serve.aio.RetryPolicy` on
+  :class:`~repro.serve.aio.AsyncServer`;
+* :mod:`repro.serve.faultinject` — deterministic, seeded fault-injection
+  harness (phase errors, pool-decode failures, clock jumps, queue-pressure
+  bursts) driving chaos suites that assert the scheduler's refcount /
+  stream / terminal-finish invariants under every schedule.
 """
 
-from repro.serve.aio import AsyncServer
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.aio import AsyncServer, RetryPolicy
 from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.errors import (
+    AdmissionRejectedError,
+    InjectedFault,
+    QueueFullError,
+    RetryableServingError,
+    is_retryable,
+)
+from repro.serve.faultinject import FaultInjector, FaultSchedule, FaultSpec
 from repro.serve.engine import InferenceEngine, ServingEngine
 from repro.serve.health import (
     BurnRatePolicy,
@@ -118,12 +143,17 @@ from repro.serve.telemetry import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionRejectedError",
     "AsyncServer",
     "BatchRecord",
     "BurnRatePolicy",
     "ContinuousBatchingScheduler",
     "Counter",
     "DecodeRoundRecord",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
     "FinishReason",
     "Gauge",
     "HealthConfig",
@@ -133,6 +163,7 @@ __all__ = [
     "InferenceEngine",
     "InferenceRequest",
     "InferenceResult",
+    "InjectedFault",
     "KVCacheConfig",
     "LayerKVCache",
     "LogitsProcessor",
@@ -146,9 +177,12 @@ __all__ = [
     "PagePool",
     "PhaseReport",
     "PhaseRow",
+    "QueueFullError",
     "QueuedRequest",
     "RepositoryStats",
     "RequestOutput",
+    "RetryPolicy",
+    "RetryableServingError",
     "SLOClass",
     "SampledToken",
     "Sampler",
@@ -170,6 +204,7 @@ __all__ = [
     "cache_for_model",
     "default_processors",
     "exponential_buckets",
+    "is_retryable",
     "top_k_candidates",
     "unified_event_log",
     "validate_chrome_trace",

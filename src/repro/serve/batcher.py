@@ -21,6 +21,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.serve.errors import QueueFullError
 from repro.serve.requests import InferenceRequest, ServingError
 
 __all__ = ["QueuedRequest", "MicroBatcher"]
@@ -28,10 +29,16 @@ __all__ = ["QueuedRequest", "MicroBatcher"]
 
 @dataclass
 class QueuedRequest:
-    """A request plus its enqueue timestamp (for latency accounting)."""
+    """A request plus its enqueue timestamp (for latency accounting).
+
+    ``resume`` is ``None`` for fresh submissions; the continuous-batching
+    scheduler re-queues a preempted request with its saved decode state
+    attached so admission can restore the slot instead of restarting it.
+    """
 
     request: InferenceRequest
     enqueued_at: float
+    resume: object = None
 
 
 class MicroBatcher:
@@ -46,6 +53,11 @@ class MicroBatcher:
         released anyway.
     clock:
         Monotonic time source; injectable for deterministic tests.
+    max_queue_depth:
+        Total queued requests (across all groups) past which :meth:`submit`
+        raises :class:`~repro.serve.errors.QueueFullError` instead of
+        growing the queue.  ``None`` (the default) keeps the pre-admission
+        unbounded behaviour.
     """
 
     def __init__(
@@ -53,14 +65,18 @@ class MicroBatcher:
         max_batch_size: int = 8,
         max_wait: float = 0.005,
         clock: Callable[[], float] = time.monotonic,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ServingError("max_batch_size must be >= 1")
         if max_wait < 0:
             raise ServingError("max_wait must be >= 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServingError("max_queue_depth must be >= 1 when set")
         self.max_batch_size = int(max_batch_size)
         self.max_wait = float(max_wait)
         self.clock = clock
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
         self._queues: "OrderedDict[Tuple, Deque[QueuedRequest]]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -68,9 +84,21 @@ class MicroBatcher:
     # Enqueue
     # ------------------------------------------------------------------ #
     def submit(self, request: InferenceRequest) -> QueuedRequest:
-        """Queue one request and return its queue record."""
+        """Queue one request and return its queue record.
+
+        Raises :class:`~repro.serve.errors.QueueFullError` when a
+        ``max_queue_depth`` bound is configured and already met.
+        """
         queued = QueuedRequest(request=request, enqueued_at=self.clock())
         with self._lock:
+            if self.max_queue_depth is not None:
+                depth = sum(len(q) for q in self._queues.values())
+                if depth >= self.max_queue_depth:
+                    raise QueueFullError(
+                        f"micro-batcher queue full "
+                        f"({depth}/{self.max_queue_depth}); "
+                        f"rejecting {request.request_id!r}"
+                    )
             self._queues.setdefault(request.batch_key, deque()).append(queued)
         return queued
 

@@ -23,7 +23,9 @@ import numpy as np
 from repro.hardware.memory import gemm_traffic
 from repro.nn import functional as F
 from repro.nn.layers import Linear
+from repro.serve.admission import AdmissionPolicy
 from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.errors import QueueFullError
 from repro.serve.health import (
     HealthConfig,
     HealthMonitor,
@@ -319,6 +321,16 @@ class ServingEngine:
     :meth:`health_report` returns the ``/healthz``-shaped snapshot and
     :meth:`event_log` the unified span + health-event JSONL.  ``None``
     (the default) keeps the health layer entirely out of the step path.
+
+    ``admission=`` attaches an
+    :class:`~repro.serve.admission.AdmissionPolicy`: both queues become
+    bounded (``max_queue_depth``; :meth:`submit` raises
+    :class:`~repro.serve.errors.QueueFullError` past the cap), the
+    continuous scheduler admits by class/request priority, expires queue
+    timeouts and per-request deadlines (``finish_reason="deadline"``), can
+    preempt low-priority slots for queued high-priority work, and — with
+    ``shed_on_burn_rate`` and ``health=`` both set — sheds below-floor
+    traffic while burn-rate alerts fire.
     """
 
     def __init__(
@@ -335,12 +347,17 @@ class ServingEngine:
         speculative=None,
         tracer=None,
         health=None,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.repository = repository or ModelRepository()
         self.clock = clock
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.admission = admission
         self.batcher = MicroBatcher(
-            max_batch_size=max_batch_size, max_wait=max_wait, clock=clock
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            clock=clock,
+            max_queue_depth=admission.max_queue_depth if admission is not None else None,
         )
         self.kv_cache_config = kv_cache_config or KVCacheConfig(bits=self.repository.bits)
         # One page pool for the whole engine: continuous-batching slots and
@@ -354,6 +371,9 @@ class ServingEngine:
         )
         self.stats = ServingStats(clock=clock)
         self.continuous_batching = bool(continuous_batching)
+        # The monitor builds before the scheduler so the admission policy's
+        # shed-on-burn-rate mode can consult its firing alerts at submit time.
+        self.health = self._build_health(health)
         self.lm_scheduler = ContinuousBatchingScheduler(
             self.repository,
             num_slots=int(num_slots) if num_slots is not None else int(max_batch_size),
@@ -364,11 +384,12 @@ class ServingEngine:
             share_generated_suffix=share_generated_suffix,
             speculative=speculative,
             tracer=tracer,
+            admission=admission,
+            health_monitor=self.health,
         )
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded
         # (oldest evicted first) to keep long-running serving loops leak-free.
-        self.health = self._build_health(health)
         self.result_buffer = int(result_buffer)
         self._completed: "OrderedDict[str, InferenceResult]" = OrderedDict()
         self._failed: "OrderedDict[str, Exception]" = OrderedDict()
@@ -413,7 +434,10 @@ class ServingEngine:
         """Queue a request; returns its id for :meth:`result` lookup.
 
         LM generation requests go to the continuous-batching scheduler (when
-        enabled); everything else goes to the micro-batcher.
+        enabled); everything else goes to the micro-batcher.  With an
+        admission policy attached, either queue may reject the submission
+        with a retryable :class:`~repro.serve.errors.QueueFullError` /
+        :class:`~repro.serve.errors.AdmissionRejectedError`.
         """
         if (
             self.continuous_batching
@@ -421,7 +445,13 @@ class ServingEngine:
             and request.max_new_tokens > 0
         ):
             return self.lm_scheduler.submit(request)
-        self.batcher.submit(request)
+        try:
+            self.batcher.submit(request)
+        except QueueFullError:
+            # The scheduler path records its own rejections; mirror that
+            # accounting for micro-batcher traffic before re-raising.
+            self.stats.record_rejection("queue_full", request.slo_class)
+            raise
         return request.request_id
 
     def warm(self, model: str, family: str, num_classes: int = 2) -> PackedModel:
@@ -491,7 +521,15 @@ class ServingEngine:
     # Streaming and cancellation
     # ------------------------------------------------------------------ #
     def _buffer_chunks(self) -> None:
-        """Move the scheduler's freshly emitted TokenChunks into the buffer."""
+        """Move the scheduler's freshly emitted TokenChunks into the buffer.
+
+        When the bounded buffer overflows, the oldest request's remaining
+        stream is dropped — visibly: the
+        ``serve_stream_chunks_evicted_total`` counter and a
+        ``stream_evicted`` tracer event record which stream lost how many
+        chunks, so a consumer seeing a truncated stream can tell eviction
+        from a scheduler bug.
+        """
         with self.tracer.span("emit"):
             for chunk in self.lm_scheduler.take_chunks():
                 queue = self._chunks.get(chunk.request_id)
@@ -499,7 +537,14 @@ class ServingEngine:
                     queue = self._chunks[chunk.request_id] = deque()
                 queue.append(chunk)
             while len(self._chunks) > self.result_buffer:
-                self._chunks.popitem(last=False)
+                request_id, dropped = self._chunks.popitem(last=False)
+                self.stats.record_chunks_evicted(len(dropped))
+                if self.tracer.enabled:
+                    with self.tracer.span(
+                        "stream_evicted",
+                        attrs={"request_id": request_id, "chunks": len(dropped)},
+                    ):
+                        pass
 
     def next_chunk(self, request_id: str) -> Optional[TokenChunk]:
         """Pop the oldest buffered chunk of ``request_id`` (None when empty).

@@ -5,14 +5,60 @@ here so the bottom-of-stack modules (:mod:`repro.serve.sampling`) can raise it
 without importing the request types that themselves depend on the sampling
 surface.  :mod:`repro.serve.requests` re-exports it, so existing imports keep
 working.
+
+The resilience layer splits serving failures into a *retryable/terminal*
+taxonomy.  ``ServingError`` itself (and every subclass not marked retryable)
+is **terminal**: retrying the identical request cannot help — the request is
+malformed, the model unknown, the API misused.  ``RetryableServingError``
+marks failures a client (or the :class:`~repro.serve.aio.AsyncServer` retry
+policy) may reasonably retry after backing off:
+
+* :class:`QueueFullError` — a bounded admission queue rejected the request;
+  capacity frees as in-flight sequences retire;
+* :class:`AdmissionRejectedError` — the shed-on-burn-rate admission policy
+  rejected a low-priority request while an SLO burn-rate alert fires;
+* :class:`InjectedFault` — a deterministic fault from
+  :mod:`repro.serve.faultinject`, modelling the transient round errors
+  (allocator hiccups, cache-decode failures) real serving fleets retry.
+
+Use :func:`is_retryable` rather than ``isinstance`` checks so call sites
+survive taxonomy growth.
 """
 
 from __future__ import annotations
 
 from repro.core.errors import ReproError
 
-__all__ = ["ServingError"]
+__all__ = [
+    "AdmissionRejectedError",
+    "InjectedFault",
+    "QueueFullError",
+    "RetryableServingError",
+    "ServingError",
+    "is_retryable",
+]
 
 
 class ServingError(ReproError):
-    """Raised for malformed requests or serving-engine misuse."""
+    """Raised for malformed requests or serving-engine misuse (terminal)."""
+
+
+class RetryableServingError(ServingError):
+    """A transient serving failure; the identical request may be retried."""
+
+
+class QueueFullError(RetryableServingError):
+    """A bounded admission queue is at capacity; retry after backoff."""
+
+
+class AdmissionRejectedError(RetryableServingError):
+    """Admission control shed this request (e.g. burn-rate alert firing)."""
+
+
+class InjectedFault(RetryableServingError):
+    """A deterministic fault injected by :mod:`repro.serve.faultinject`."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when ``exc`` models a transient failure worth retrying."""
+    return isinstance(exc, RetryableServingError)

@@ -1,0 +1,382 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing only earns its keep when a failing schedule can be replayed
+byte-for-byte, so everything here is seeded and counter-driven: a
+:class:`FaultSchedule` is a plain list of :class:`FaultSpec` triggers
+("raise at the 3rd ``round`` span", "jump the clock 2s at the 2nd
+``admit``", "burst 4 extra submissions at round 5"), either written by
+hand or generated from a seed, and a :class:`FaultInjector` arms it
+against a live :class:`~repro.serve.scheduler.ContinuousBatchingScheduler`
+through the seams the scheduler already exposes:
+
+* the **tracer** — every phase the scheduler enters goes through
+  ``tracer.span(name)``, so wrapping the tracer gives a precise,
+  zero-new-hooks injection point for phase errors and clock jumps;
+* the **clock** — the scheduler reads ``self.clock()`` for every
+  timestamp, so a wrapped clock with a forward-only offset simulates
+  stalls and deadline pressure without sleeping;
+* the **page pool** — ``decoded_many`` is the single funnel every packed
+  KV read passes through, so shadowing it on the pool instance simulates
+  decode failures mid-round.
+
+Faults raise :class:`~repro.serve.errors.InjectedFault` (retryable), and
+:func:`drive` mirrors the engine's recovery discipline — a fault escaping
+``step()`` aborts the in-flight slots via ``abort_active`` and stepping
+continues — so the chaos suite can assert the PR-5 invariants (balanced
+refcounts, exactly one terminal finish reason per request, a still-serving
+scheduler) under every schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.errors import InjectedFault, RetryableServingError, ServingError
+
+__all__ = [
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "drive",
+    "check_refcounts",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trigger: *kind* fires the *at_count*-th time its seam is crossed.
+
+    Parameters
+    ----------
+    kind:
+        ``"phase_error"`` raises :class:`InjectedFault` entering the
+        *at_count*-th ``phase`` span; ``"pool_decode_error"`` raises from
+        the *at_count*-th packed-page decode call; ``"clock_jump"``
+        advances the scheduler clock by ``jump_s`` entering the
+        *at_count*-th ``phase`` span; ``"queue_burst"`` tells
+        :func:`drive` to submit ``burst`` extra requests at round
+        *at_count*.
+    phase:
+        Span name the counter watches (``phase_error`` / ``clock_jump``
+        only).  The scheduler's phases are ``round``, ``admit``,
+        ``plain_round``, ``sample``, ``retire`` and the speculative
+        ``draft_propose`` / ``verify``.
+    at_count:
+        1-based occurrence at which the fault fires.  Each spec fires at
+        most once.
+    jump_s:
+        Seconds added to the clock offset (``clock_jump`` only).
+    burst:
+        Extra same-round submissions (``queue_burst`` only).
+    """
+
+    KINDS = ("phase_error", "pool_decode_error", "clock_jump", "queue_burst")
+
+    kind: str
+    phase: str = "round"
+    at_count: int = 1
+    jump_s: float = 0.0
+    burst: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ServingError(
+                f"unknown fault kind {self.kind!r}; expected one of {self.KINDS}"
+            )
+        if int(self.at_count) < 1:
+            raise ServingError("at_count is 1-based and must be >= 1")
+        object.__setattr__(self, "at_count", int(self.at_count))
+        if self.kind == "clock_jump" and not float(self.jump_s) > 0:
+            raise ServingError("clock_jump requires jump_s > 0")
+        object.__setattr__(self, "jump_s", float(self.jump_s))
+        if self.kind == "queue_burst" and int(self.burst) < 1:
+            raise ServingError("queue_burst requires burst >= 1")
+        object.__setattr__(self, "burst", int(self.burst))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, immutable set of :class:`FaultSpec` triggers."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ServingError("FaultSchedule holds FaultSpec entries only")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        num_faults: int = 4,
+        phases: Sequence[str] = ("round", "admit", "sample"),
+        max_round: int = 8,
+        max_jump_s: float = 4.0,
+        max_burst: int = 4,
+    ) -> "FaultSchedule":
+        """Seeded random schedule: same seed, same faults, every run."""
+        rng = np.random.default_rng(seed)
+        specs = []
+        for _ in range(int(num_faults)):
+            kind = FaultSpec.KINDS[int(rng.integers(0, len(FaultSpec.KINDS)))]
+            at_count = int(rng.integers(1, max_round + 1))
+            if kind == "clock_jump":
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        phase=str(phases[int(rng.integers(0, len(phases)))]),
+                        at_count=at_count,
+                        jump_s=float(rng.uniform(0.1, max_jump_s)),
+                    )
+                )
+            elif kind == "queue_burst":
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        at_count=at_count,
+                        burst=int(rng.integers(1, max_burst + 1)),
+                    )
+                )
+            else:
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        phase=str(phases[int(rng.integers(0, len(phases)))]),
+                        at_count=at_count,
+                    )
+                )
+        return cls(tuple(specs))
+
+
+class _InjectingTracer:
+    """Tracer proxy: counts span entries and lets the injector act on them.
+
+    ``span()`` consults the injector *before* delegating, so a phase error
+    raises before the span opens (no dangling open spans in the report).
+    Everything else — ``enabled``, lifecycle tracks, report methods —
+    passes through to the wrapped tracer untouched, so a NULL_TRACER stays
+    free and an enabled tracer's output is unchanged apart from the
+    injected behaviour.
+    """
+
+    def __init__(self, inner, injector: "FaultInjector") -> None:
+        self._inner = inner
+        self._injector = injector
+
+    @property
+    def enabled(self):
+        return self._inner.enabled
+
+    def span(self, name: str = "", cat: str = "phase", attrs=None):
+        self._injector.on_span(name)
+        return self._inner.span(name, cat=cat, attrs=attrs)
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` against a scheduler's seams.
+
+    ``attach(scheduler)`` wraps the scheduler's tracer, clock and page
+    pool in place; the scheduler itself is unmodified code running under
+    instrumented dependencies.  Each spec fires at most once; ``fired``
+    records the specs that actually triggered (a schedule may over-provision
+    counts the run never reaches — that is fine, chaos schedules are
+    upper bounds, not scripts).
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._specs: List[FaultSpec] = list(schedule.specs)
+        self.fired: List[FaultSpec] = []
+        self._consumed: set = set()
+        self._phase_counts: Dict[str, int] = {}
+        self._decode_calls = 0
+        self._clock_offset = 0.0
+
+    def add(self, spec: FaultSpec) -> FaultSpec:
+        """Arm one more spec mid-run (state-machine tests inject on demand)."""
+        if not isinstance(spec, FaultSpec):
+            raise ServingError("add() takes a FaultSpec")
+        self._specs.append(spec)
+        return spec
+
+    def occurrences(self, phase: str) -> int:
+        """How many times the ``phase`` span has been entered so far."""
+        return self._phase_counts.get(phase, 0)
+
+    def disarm(self) -> List[FaultSpec]:
+        """Consume every still-pending spec so no further fault fires.
+
+        The seams stay attached (and the clock keeps its accumulated
+        forward offset — unwinding it would move time backwards); only the
+        unfired schedule is cancelled.  Returns the specs that never fired,
+        so a chaos run can report leftover faults before probing that the
+        scheduler still serves.
+        """
+        leftover = [
+            spec
+            for position, spec in enumerate(self._specs)
+            if position not in self._consumed
+        ]
+        self._consumed.update(range(len(self._specs)))
+        return leftover
+
+    # -------------------------------------------------------------- #
+    # Arming
+    # -------------------------------------------------------------- #
+    def attach(self, scheduler) -> "FaultInjector":
+        """Wrap ``scheduler``'s tracer, clock and pool decode in place."""
+        scheduler.tracer = _InjectingTracer(scheduler.tracer, self)
+        inner_clock = scheduler.clock
+        scheduler.clock = lambda: inner_clock() + self._clock_offset
+        pool = scheduler.page_pool
+        inner_decode = pool.decoded_many
+
+        def decoded_many(handles, codec):
+            self._decode_calls += 1
+            spec = self._take("pool_decode_error", self._decode_calls)
+            if spec is not None:
+                raise InjectedFault(
+                    f"injected pool decode failure "
+                    f"(call {self._decode_calls}, spec {spec})"
+                )
+            return inner_decode(handles, codec)
+
+        # Instance attribute shadows the bound method for every caller
+        # holding a reference to the pool (slot caches included).
+        pool.decoded_many = decoded_many
+        return self
+
+    # -------------------------------------------------------------- #
+    # Seam callbacks
+    # -------------------------------------------------------------- #
+    def on_span(self, name: str) -> None:
+        """Called on every span entry; fires matching clock/phase faults."""
+        count = self._phase_counts.get(name, 0) + 1
+        self._phase_counts[name] = count
+        while True:
+            spec = self._take("clock_jump", count, phase=name)
+            if spec is None:
+                break
+            self._clock_offset += spec.jump_s
+        spec = self._take("phase_error", count, phase=name)
+        if spec is not None:
+            raise InjectedFault(
+                f"injected failure entering phase {name!r} "
+                f"(occurrence {count}, spec {spec})"
+            )
+
+    def burst_at(self, round_index: int) -> int:
+        """Extra submissions :func:`drive` should attempt at this round."""
+        extra = 0
+        while True:
+            spec = self._take("queue_burst", round_index)
+            if spec is None:
+                return extra
+            extra += spec.burst
+
+    def _take(
+        self, kind: str, count: int, phase: Optional[str] = None
+    ) -> Optional[FaultSpec]:
+        """Pop the first unconsumed spec of ``kind`` due at ``count``."""
+        for position, spec in enumerate(self._specs):
+            if position in self._consumed or spec.kind != kind:
+                continue
+            if phase is not None and spec.phase != phase:
+                continue
+            if spec.at_count == count:
+                self._consumed.add(position)
+                self.fired.append(spec)
+                return spec
+        return None
+
+
+def drive(
+    scheduler,
+    injector: FaultInjector,
+    requests: Sequence,
+    max_rounds: int = 256,
+) -> Dict[str, object]:
+    """Run every request to a terminal state under the armed schedule.
+
+    Submits one pending request per round (plus any ``queue_burst``
+    extras), steps the scheduler, and absorbs faults exactly the way the
+    engine does: admission rejections are recorded and dropped, an
+    :class:`InjectedFault` escaping ``step()`` aborts the in-flight slots
+    with ``abort_active`` and the loop keeps stepping.  Raises
+    ``AssertionError`` if the scheduler fails to drain within
+    ``max_rounds`` — a converging scheduler under chaos is itself one of
+    the invariants.
+    """
+    pending = list(requests)
+    results: List = []
+    rejected: List[Tuple[str, Exception]] = []
+    aborted: List[str] = []
+    round_index = 0
+    while pending or len(scheduler):
+        round_index += 1
+        if round_index > max_rounds:
+            raise AssertionError(
+                f"fault-injection drive did not converge in {max_rounds} rounds"
+            )
+        want = 1 + injector.burst_at(round_index)
+        while want and pending:
+            want -= 1
+            request = pending.pop(0)
+            try:
+                scheduler.submit(request)
+            except RetryableServingError as exc:
+                rejected.append((request.request_id, exc))
+        try:
+            results.extend(scheduler.step())
+        except InjectedFault as exc:
+            aborted.extend(scheduler.abort_active(exc))
+    return {
+        "results": results,
+        "rejected": rejected,
+        "aborted": aborted,
+        "rounds": round_index,
+        "failures": scheduler.take_failures(),
+    }
+
+
+def check_refcounts(scheduler) -> None:
+    """Assert every pool refcount equals its enumerable holders.
+
+    The same balance check the invariant fuzz suite runs: each sealed page
+    handle held by a live slot cache or a prefix-index node accounts for
+    exactly one reference, and no pool entry carries references nobody
+    holds.  Raises ``AssertionError`` on imbalance.
+    """
+    from collections import Counter
+
+    pool = scheduler.page_pool
+    held = Counter()
+    for slot in scheduler._slots:
+        if slot is None:
+            continue
+        for layer_index in range(slot.cache.num_layers):
+            layer = slot.cache.layer(layer_index)
+            for handle in layer._sealed_k + layer._sealed_v:
+                held[id(handle)] += 1
+    for node in pool._prefix_nodes.values():
+        for handle in node.handles():
+            held[id(handle)] += 1
+    entries = {id(handle): handle for handle in pool._entries.values()}
+    for key, handle in entries.items():
+        assert handle.refcount == held[key], (
+            f"page {handle.page_id}: refcount {handle.refcount} != "
+            f"{held[key]} enumerated holders"
+        )
+    for key, count in held.items():
+        assert key in entries and count > 0, "holder of an unregistered page"

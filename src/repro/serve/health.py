@@ -71,9 +71,12 @@ OBJECTIVES = ("ttft", "latency", "availability")
 
 #: Finish reasons that count as good/bad availability events.  ``aborted``
 #: is deliberately in neither set: a client cancelling its own request says
-#: nothing about server health.
+#: nothing about server health.  ``deadline`` counts as bad — a request the
+#: server accepted but failed to finish in time spends error budget, which is
+#: what lets burn-rate alerts (and shed-on-burn-rate admission) react to
+#: overload before latency percentiles have fully drifted.
 _GOOD_FINISHES = (FinishReason.STOP, FinishReason.LENGTH)
-_BAD_FINISHES = (FinishReason.ERROR,)
+_BAD_FINISHES = (FinishReason.ERROR, FinishReason.DEADLINE)
 
 
 @dataclass(frozen=True)

@@ -92,6 +92,15 @@ class InferenceRequest:
         accounting label — it never fragments batches and unknown names are
         still recorded (just not evaluated unless a matching
         :class:`~repro.serve.health.SLOClass` is configured).
+    deadline_s:
+        Optional end-to-end deadline in seconds, measured from enqueue on the
+        scheduler clock.  A request that exceeds it — queued or mid-decode —
+        terminates with ``finish_reason="deadline"``, freeing its slot and KV
+        pages exactly like :meth:`cancel`.  ``None`` means no deadline.
+    priority:
+        Optional explicit admission priority (higher wins).  Overrides the
+        :class:`~repro.serve.admission.AdmissionPolicy` class-priority
+        mapping for this one request; ``None`` defers to the policy.
     """
 
     model: str
@@ -103,10 +112,18 @@ class InferenceRequest:
     sampling: Optional[SamplingParams] = None
     request_id: str = field(default_factory=_next_request_id)
     slo_class: str = "default"
+    deadline_s: Optional[float] = None
+    priority: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.slo_class or not isinstance(self.slo_class, str):
             raise ServingError("slo_class must be a non-empty string")
+        if self.deadline_s is not None:
+            self.deadline_s = float(self.deadline_s)
+            if not self.deadline_s > 0:
+                raise ServingError("deadline_s must be positive when set")
+        if self.priority is not None:
+            self.priority = int(self.priority)
         if self.family not in WorkloadFamily.ALL:
             raise ServingError(
                 f"unknown workload family {self.family!r}; "
@@ -171,8 +188,9 @@ class InferenceResult:
     * span — ``start``/``end`` (ints), ``score`` (float);
     * lm — a typed :class:`~repro.serve.sampling.RequestOutput` carrying the
       generated ``token_ids``/``logprobs``, the ``finish_reason``
-      (``stop`` / ``length`` / ``aborted`` / ``error``; ``None`` for
-      score-only requests) and the final position's top candidates.  It also
+      (``stop`` / ``length`` / ``aborted`` / ``error`` / ``deadline``;
+      ``None`` for score-only requests) and the final position's top
+      candidates.  It also
       answers the legacy dict keys (``next_tokens``, ``log_probs``,
       ``generated_tokens``, ``kv_cache``).
     """

@@ -61,8 +61,9 @@ class FinishReason:
     LENGTH = "length"      # max_new_tokens reached
     ABORTED = "aborted"    # cancelled by the client
     ERROR = "error"        # the decode round failed
+    DEADLINE = "deadline"  # the request's deadline/queue timeout expired
 
-    ALL = (STOP, LENGTH, ABORTED, ERROR)
+    ALL = (STOP, LENGTH, ABORTED, ERROR, DEADLINE)
 
 
 @dataclass(frozen=True)

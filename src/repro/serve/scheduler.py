@@ -30,7 +30,19 @@ admits/retires sequences *mid-flight*:
   proposals (:mod:`repro.serve.spec`) and verify all of them in one batched
   multi-token round, emitting several tokens per slot per round while
   staying token-for-token identical to plain decode; un-proposed slots ride
-  the same round as ordinary one-token rows.
+  the same round as ordinary one-token rows;
+* **admit control / deadlines / preemption** — with an
+  :class:`~repro.serve.admission.AdmissionPolicy` attached, the queue is
+  bounded (:class:`~repro.serve.errors.QueueFullError` past the cap, with an
+  optional shed-on-burn-rate mode consulting the health monitor), requests
+  carrying ``deadline_s`` (or hitting the policy's queue timeout) terminate
+  with ``finish_reason="deadline"`` exactly like :meth:`cancel`, and a
+  queued higher-priority request may *preempt* the lowest-priority active
+  slot.  Eviction is cheap: the victim's sealed pages are already packed OVP
+  bytes, so they are registered under the prefix index, the slot drops, and
+  the re-queued request resumes by re-attaching them copy-on-write and
+  prefilling only the open-page suffix — greedy output is token-identical
+  to an uninterrupted run.
 
 Every sampled token is also emitted as a
 :class:`~repro.serve.sampling.TokenChunk` (drained by the engine's
@@ -49,7 +61,9 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.serve.admission import AdmissionPolicy
 from repro.serve.batcher import QueuedRequest
+from repro.serve.errors import AdmissionRejectedError, QueueFullError
 from repro.serve.kvcache import (
     KVCacheConfig,
     PagePool,
@@ -123,6 +137,29 @@ class _Slot:
         return self.finish_reason is not None
 
 
+@dataclass
+class _ResumeState:
+    """Decode state saved when a slot is preempted, restored at re-admission.
+
+    Everything needed to continue the stream exactly where it paused: the
+    tokens already emitted, the sampler *and its generator* (so a seeded
+    sampled request keeps drawing from the same stream), and the last
+    distribution (for the final-position report if the request is cancelled
+    or expires while re-queued).  The KV bytes themselves are *not* here —
+    the sealed pages live on in the page pool under the prefix index, and
+    resume re-attaches them copy-on-write.
+    """
+
+    generated: List[int]
+    logprobs: List[float]
+    top_logprobs: List[Tuple[Tuple[int, float], ...]]
+    sampler: Sampler
+    generator: np.random.Generator
+    last_log_probs: Optional[np.ndarray]
+    last_token_at: Optional[float]
+    preempted_at: float
+
+
 class ContinuousBatchingScheduler:
     """Admit/retire LM generation sequences over a fixed slot pool.
 
@@ -157,6 +194,16 @@ class ContinuousBatchingScheduler:
         schedulers.  Slots then propose up to ``k`` draft tokens per round
         and verify them in one batched multi-token target pass; slots whose
         model cannot be paired keep decoding plainly.
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionPolicy` bounding
+        the queue, ordering admission by priority, expiring queue-timeout
+        waits, and (with ``preempt=True``) letting queued higher-priority
+        requests evict lower-priority active slots.  ``None`` preserves the
+        pre-admission behaviour exactly (unbounded FIFO, no preemption).
+    health_monitor:
+        Optional :class:`~repro.serve.health.HealthMonitor` consulted by the
+        policy's shed-on-burn-rate mode: while any burn-rate alert is
+        firing, below-floor-priority submissions are rejected.
     """
 
     def __init__(
@@ -170,6 +217,8 @@ class ContinuousBatchingScheduler:
         share_generated_suffix: bool = False,
         speculative=None,
         tracer=None,
+        admission: Optional[AdmissionPolicy] = None,
+        health_monitor=None,
     ) -> None:
         if num_slots < 1:
             raise ServingError("num_slots must be >= 1")
@@ -218,15 +267,38 @@ class ContinuousBatchingScheduler:
         self._pending_latency_classes: List[str] = []
         self._pending_proposed = 0
         self._pending_accepted = 0
+        self._pending_preempt_classes: List[str] = []
+        # Deadline-expired results a failed round could not deliver; the
+        # next step() call returns them first (see the round's except path).
+        self._expired_stash: List[InferenceResult] = []
+        self.admission = admission
+        self.health_monitor = health_monitor
+        # Deadline scanning costs a queue+slot sweep per step; only pay it
+        # once a deadline-carrying request (or a queue-timeout policy) shows
+        # up, so the deadline-free hot path stays inside the telemetry pin.
+        self._deadline_watch = bool(
+            admission is not None and admission.queue_timeout_s is not None
+        )
         self.admitted = 0
         self.retired = 0
         self.cancelled = 0
+        self.preempted = 0
+        self.rejected = 0
+        self.deadline_expired = 0
 
     # ------------------------------------------------------------------ #
     # Queueing
     # ------------------------------------------------------------------ #
     def submit(self, request: InferenceRequest) -> str:
-        """Queue one LM generation request; returns its id."""
+        """Queue one LM generation request; returns its id.
+
+        With an admission policy attached this may raise
+        :class:`~repro.serve.errors.QueueFullError` (bounded queue at
+        capacity) or :class:`~repro.serve.errors.AdmissionRejectedError`
+        (shed-on-burn-rate active and the request's priority is below the
+        floor).  Both are retryable; the request took no slot, cache or pool
+        reference.
+        """
         if request.family != WorkloadFamily.LM:
             raise ServingError("the continuous scheduler serves LM requests only")
         if request.max_new_tokens < 1:
@@ -234,12 +306,48 @@ class ContinuousBatchingScheduler:
                 "continuous batching schedules generation requests; "
                 "use the micro-batcher for score-only LM requests"
             )
+        self._check_admission(request)
+        if request.deadline_s is not None:
+            self._deadline_watch = True
         self._queue.append(QueuedRequest(request=request, enqueued_at=self.clock()))
         if self.tracer.enabled:
             self.tracer.lifecycle_begin(
                 request.request_id, "queued", {"model": request.model}
             )
         return request.request_id
+
+    def _check_admission(self, request: InferenceRequest) -> None:
+        """Reject the submission when the admission policy says to."""
+        policy = self.admission
+        if policy is None:
+            return
+        if (
+            policy.max_queue_depth is not None
+            and len(self._queue) >= policy.max_queue_depth
+        ):
+            self.rejected += 1
+            if self.stats is not None:
+                self.stats.record_rejection("queue_full", request.slo_class)
+            raise QueueFullError(
+                f"scheduler queue full "
+                f"({len(self._queue)}/{policy.max_queue_depth}); "
+                f"rejecting {request.request_id!r}"
+            )
+        if (
+            policy.shed_on_burn_rate
+            and self.health_monitor is not None
+            and self.health_monitor.firing
+            and policy.priority_of(request) < policy.shed_priority_floor
+        ):
+            self.rejected += 1
+            if self.stats is not None:
+                self.stats.record_rejection("shed", request.slo_class)
+            raise AdmissionRejectedError(
+                f"shedding {request.request_id!r} "
+                f"(class {request.slo_class!r}, priority "
+                f"{policy.priority_of(request)} < floor "
+                f"{policy.shed_priority_floor}) while burn-rate alerts fire"
+            )
 
     def __len__(self) -> int:
         return len(self._queue) + self.num_active
@@ -296,27 +404,85 @@ class ContinuousBatchingScheduler:
     # Scheduling
     # ------------------------------------------------------------------ #
     def step(self) -> List[InferenceResult]:
-        """Run one round: admit into free slots, decode, retire finished.
+        """Run one round: expire deadlines, admit, decode, retire finished.
 
-        Returns the results of sequences retired this round.  A plain round
-        generates at most one token per active slot (a speculative verify
-        round up to ``k + 1``), so callers interleave rounds with
-        micro-batch steps without starving either path.
+        Returns the results of sequences retired (or deadline-expired) this
+        round.  A plain round generates at most one token per active slot (a
+        speculative verify round up to ``k + 1``), so callers interleave
+        rounds with micro-batch steps without starving either path.
         """
+        expired = self._expired_stash
+        self._expired_stash = []
+        if self._deadline_watch:
+            expired.extend(self._expire_deadlines())
         if not len(self):
             if self._pending_finishes:
                 self._record_round(0, 0, 0, [], self.clock(), self.page_pool.counters())
-            return []
+            return expired
         start = self.clock()
         pool_before = self.page_pool.counters()
-        with self.tracer.span("round"):
-            prefill_tokens, admitted = self._admit()
-            decoded = self._decode_round(exclude=admitted)
-            results = self._retire()
+        chunk_mark = len(self._chunks)
+        try:
+            with self.tracer.span("round"):
+                prefill_tokens, fresh, resumed = self._admit()
+                # Fresh admissions already produced their first token during
+                # prefill; resumed slots produced nothing new, so they rejoin
+                # the decode round immediately (preemption costs zero rounds).
+                decoded = self._decode_round(exclude=fresh)
+                results = self._retire()
+        except BaseException:
+            # A raised round must be atomic for still-live slots: discard
+            # the chunks it streamed for them and roll the slots back to the
+            # delivered prefix, so a later abort/cancel terminal lands at
+            # the right index instead of double-terminating the stream.
+            # Chunks of slots _retire already freed stay — their salvaged
+            # results are delivered next call, as are deadline expiries
+            # computed before the round: no terminal outcome is ever lost
+            # to the error.
+            self._rollback_round_chunks(chunk_mark)
+            self._expired_stash = expired + self._expired_stash
+            raise
         self._record_round(
-            prefill_tokens, len(admitted), decoded, results, start, pool_before
+            prefill_tokens, len(fresh), decoded, results, start, pool_before
         )
-        return results
+        return expired + results
+
+    def _rollback_round_chunks(self, mark: int) -> None:
+        """Undo the failed round's stream effects for still-active slots.
+
+        A slot may have sampled its final token (emitting a chunk that
+        carries ``finish_reason``) before a later phase of the same round
+        raised.  The slot is still occupied, so the caller's ``abort_active``
+        or ``cancel`` will emit a terminal for it — keeping the round's
+        chunks would double-terminate the stream and desync its indices.
+        Chunks for requests no longer in a slot (retired or expired within
+        the round) are preserved.
+        """
+        tail = self._chunks[mark:]
+        if not tail:
+            return
+        live = {
+            slot.request.request_id: slot
+            for slot in self._slots
+            if slot is not None
+        }
+        kept = []
+        dropped: Dict[str, int] = {}
+        for chunk in tail:
+            if chunk.request_id in live:
+                if chunk.is_token:
+                    dropped[chunk.request_id] = dropped.get(chunk.request_id, 0) + 1
+            else:
+                kept.append(chunk)
+        del self._chunks[mark:]
+        self._chunks.extend(kept)
+        for request_id, count in dropped.items():
+            slot = live[request_id]
+            keep = len(slot.generated) - count
+            del slot.generated[keep:]
+            del slot.logprobs[keep:]
+            del slot.top_logprobs[keep:]
+            slot.finish_reason = None
 
     def _record_round(
         self,
@@ -337,6 +503,7 @@ class ContinuousBatchingScheduler:
         ttft_classes = tuple(self._pending_ttft_classes)
         gaps = tuple(self._pending_gaps)
         proposed, accepted = self._pending_proposed, self._pending_accepted
+        preempt_classes = tuple(self._pending_preempt_classes)
         self._pending_finishes = []
         self._pending_finish_classes = []
         self._pending_latencies = []
@@ -346,7 +513,8 @@ class ContinuousBatchingScheduler:
         self._pending_gaps = []
         self._pending_proposed = 0
         self._pending_accepted = 0
-        if self.stats is None or not (active or finish_reasons):
+        self._pending_preempt_classes = []
+        if self.stats is None or not (active or finish_reasons or preempt_classes):
             return
         pool_after = self.page_pool.counters()
         slot_kv_bytes = tuple(
@@ -382,6 +550,7 @@ class ContinuousBatchingScheduler:
                 latency_classes=latency_classes,
                 first_token_classes=ttft_classes,
                 finish_classes=finish_classes,
+                preempted_classes=preempt_classes,
                 queue_depth=len(self._queue),
                 slot_kv_bytes=slot_kv_bytes,
                 pool_sealed_bytes=self.page_pool.sealed_bytes,
@@ -454,45 +623,183 @@ class ContinuousBatchingScheduler:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _admit(self) -> Tuple[int, List[_Slot]]:
-        """Fill free slots from the queue.
+    def _admit(self) -> Tuple[int, List[_Slot], List[_Slot]]:
+        """Fill free slots from the queue (preempting when policy allows).
 
-        Returns ``(prompt_tokens_prefilled, slots_admitted)``.  Each staged
-        request first probes the page pool's prefix index: prompt pages
-        already sealed by an earlier request attach copy-on-write instead of
-        re-prefilling.  Admissions sharing a model entry and *suffix* length
-        (the tokens actually prefilled; cached pasts may differ) prefill in
-        one batched incremental pass.  Prefill itself produces each
-        sequence's first generated token, so freshly admitted slots are
-        excluded from this round's decode step.
+        Returns ``(prompt_tokens_prefilled, fresh_slots, resumed_slots)``.
+        Each staged request first probes the page pool's prefix index for
+        its token *chain* — the prompt for a fresh request, prompt plus
+        already-generated tokens for a preempted one resuming — so pages
+        already sealed attach copy-on-write instead of re-prefilling.
+        Admissions sharing a model entry and *suffix* length (the tokens
+        actually prefilled; cached pasts may differ) prefill in one batched
+        incremental pass.  Prefill produces a fresh sequence's first
+        generated token, so fresh slots skip this round's decode step;
+        a resumed slot's prefill output is discarded (its next token was
+        already emitted before eviction) and it decodes immediately.
         """
         with self.tracer.span("admit"):
             free = [index for index, slot in enumerate(self._slots) if slot is None]
-            staged: List[Tuple[int, QueuedRequest, PackedModel, Optional[tuple]]] = []
+            free.extend(self._preempt_for_queue(len(free)))
+            staged: List[
+                Tuple[int, QueuedRequest, PackedModel, Optional[tuple], np.ndarray]
+            ] = []
             while free and self._queue:
-                queued = self._queue.popleft()
+                queued = self._pop_next()
                 if self.tracer.enabled:
                     self.tracer.lifecycle_begin(queued.request.request_id, "prefill")
                 entry = self._prepare(queued)
                 if entry is not None:
-                    shared = self._lookup_prefix(queued.request)
-                    staged.append((free.pop(0), queued, entry, shared))
+                    chain = self._token_chain(queued)
+                    shared = self._lookup_prefix(queued.request, chain)
+                    staged.append((free.pop(0), queued, entry, shared, chain))
                 elif self.tracer.enabled:
                     self.tracer.lifecycle_end(
                         queued.request.request_id, {"reason": FinishReason.ERROR}
                     )
             groups = {}
             for item in staged:
-                _, queued, entry, shared = item
+                _, queued, entry, shared, chain = item
                 shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
-                suffix_len = queued.request.seq_len - shared_tokens
+                suffix_len = int(chain.size) - shared_tokens
                 groups.setdefault((id(entry), suffix_len), []).append(item)
-            admitted: List[_Slot] = []
+            fresh: List[_Slot] = []
+            resumed: List[_Slot] = []
             for group in groups.values():
-                admitted.extend(self._prefill_group(group))
-            self.admitted += len(admitted)
-            prefilled = sum(slot.prefill_tokens for slot in admitted)
-            return prefilled, admitted
+                for slot in self._prefill_group(group):
+                    (resumed if slot.queued.resume is not None else fresh).append(slot)
+            self.admitted += len(fresh)
+            prefilled = sum(slot.prefill_tokens for slot in fresh + resumed)
+            return prefilled, fresh, resumed
+
+    def _pop_next(self) -> QueuedRequest:
+        """Pop the next request to admit: highest priority, FIFO among ties."""
+        policy = self.admission
+        if policy is None:
+            return self._queue.popleft()
+        best_pos = 0
+        best_prio = None
+        for pos, queued in enumerate(self._queue):
+            prio = policy.priority_of(queued.request)
+            if best_prio is None or prio > best_prio:
+                best_pos, best_prio = pos, prio
+        queued = self._queue[best_pos]
+        del self._queue[best_pos]
+        return queued
+
+    def _token_chain(self, queued: QueuedRequest) -> np.ndarray:
+        """The token ids whose K/V the admitted cache must hold.
+
+        For a fresh request that is the prompt.  For a preempted request it
+        is ``prompt + generated[:-1]`` — the final generated token was
+        emitted but never fed back, so its K/V does not exist yet; the
+        resumed slot feeds it in its first decode round, exactly as the
+        uninterrupted run would have.
+        """
+        resume = queued.resume
+        if resume is None:
+            return queued.request.token_ids
+        return np.concatenate(
+            [
+                queued.request.token_ids,
+                np.asarray(resume.generated[:-1], dtype=np.int64),
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Preemption
+    # ------------------------------------------------------------------ #
+    def _preempt_for_queue(self, num_free: int) -> List[int]:
+        """Evict low-priority active slots for queued higher-priority work.
+
+        Only the queued demand that will *not* fit the free slots shops for
+        victims (best-priority first), and a victim must rank strictly
+        below the queued request — equal-priority traffic never preempts,
+        so a saturating single-class workload cannot thrash.  Returns the
+        freed slot indices.
+        """
+        policy = self.admission
+        freed: List[int] = []
+        if policy is None or not policy.preempt or not self._queue:
+            return freed
+        demand = sorted(
+            (policy.priority_of(q.request) for q in self._queue), reverse=True
+        )
+        for prio in demand[num_free:]:
+            victim = self._preemption_victim(prio)
+            if victim is None:
+                break
+            self._preempt(victim)
+            freed.append(victim)
+        return freed
+
+    def _preemption_victim(self, priority: int) -> Optional[int]:
+        """Slot index to evict for a ``priority`` request (None when none ranks below).
+
+        Among strictly-lower-priority active slots, picks the lowest
+        priority, breaking ties toward the *youngest* (latest enqueue):
+        older sequences are closer to finishing and have the most sunk
+        prefill cost, so evicting the newcomer wastes the least work.
+        """
+        best = None
+        best_key = None
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                continue
+            prio = self.admission.priority_of(slot.request)
+            if prio >= priority:
+                continue
+            key = (prio, -slot.queued.enqueued_at)
+            if best_key is None or key < best_key:
+                best, best_key = index, key
+        return best
+
+    def _preempt(self, index: int) -> None:
+        """Evict one active slot and re-queue its request for resume.
+
+        The cheap-evict path ROADMAP item 4 promised: the sequence's sealed
+        pages are *already* packed OVP bytes, so registering them under the
+        prefix index (taking index references) and dropping the slot costs
+        no re-quantization; only the open page's rows (< page_size tokens)
+        will be re-prefilled at resume.  No terminal chunk is emitted — the
+        stream simply pauses and continues at the same index after resume,
+        preserving the exactly-one-terminal-marker invariant.
+        """
+        slot = self._slots[index]
+        request = slot.request
+        if self.cache_config.prefix_sharing:
+            chain = np.concatenate(
+                [
+                    request.token_ids,
+                    np.asarray(slot.generated[:-1], dtype=np.int64),
+                ]
+            )
+            self.page_pool.register_prefix(self._prefix_key(request), chain, slot.cache)
+        resume = _ResumeState(
+            generated=list(slot.generated),
+            logprobs=list(slot.logprobs),
+            top_logprobs=list(slot.top_logprobs),
+            sampler=slot.sampler,
+            generator=slot.generator,
+            last_log_probs=slot.last_log_probs,
+            last_token_at=slot.last_token_at,
+            preempted_at=self.clock(),
+        )
+        slot.cache.release()
+        self._slots[index] = None
+        self.preempted += 1
+        self._pending_preempt_classes.append(request.slo_class)
+        self._queue.append(
+            QueuedRequest(
+                request=request, enqueued_at=slot.queued.enqueued_at, resume=resume
+            )
+        )
+        if self.tracer.enabled:
+            self.tracer.lifecycle_begin(
+                request.request_id,
+                "queued",
+                {"preempted": True, "tokens": len(resume.generated)},
+            )
 
     def _prefix_key(self, request: InferenceRequest) -> tuple:
         """Prefix-index scope: one model's pages never serve another model.
@@ -507,21 +814,26 @@ class ContinuousBatchingScheduler:
             normalized_num_classes(request.family, request.num_classes),
         )
 
-    def _lookup_prefix(self, request: InferenceRequest) -> Optional[tuple]:
-        """Longest sealed-page chain matching the prompt's page-aligned prefix.
+    def _lookup_prefix(
+        self, request: InferenceRequest, chain: np.ndarray
+    ) -> Optional[tuple]:
+        """Longest sealed-page run matching ``chain``'s page-aligned prefix.
 
-        At least one prompt token is always left for prefill — the model must
-        still run the final prompt position to produce the first generated
-        token — so sharing is capped at ``(seq_len - 1) // page_size`` pages.
+        At least one token is always left for prefill — the model must still
+        run the final position to produce the admission pass's output (and
+        the batched prefill kernel needs a non-empty suffix) — so sharing is
+        capped at ``(len(chain) - 1) // page_size`` pages.  For a resumed
+        request the chain extends past the prompt into the generated tokens,
+        so the pages its own eviction registered are found here.
         """
         if not self.cache_config.prefix_sharing:
             return None
-        max_pages = (request.seq_len - 1) // self.cache_config.page_size
+        max_pages = (int(chain.size) - 1) // self.cache_config.page_size
         if max_pages < 1:
             return None
         found = self.page_pool.lookup_prefix(
             self._prefix_key(request),
-            request.token_ids,
+            chain,
             self.cache_config.page_size,
             max_pages,
         )
@@ -568,6 +880,11 @@ class ContinuousBatchingScheduler:
                 )
             slot.cache.release()
             self._slots[index] = None
+        if aborted:
+            # The failed round never reached _record_round; flush the error
+            # finishes now if no later round is coming, so the registry
+            # mirror stays consistent with the summary.
+            self._flush_if_idle(self.clock())
         return aborted
 
     # ------------------------------------------------------------------ #
@@ -598,34 +915,44 @@ class ContinuousBatchingScheduler:
         for index, slot in enumerate(self._slots):
             if slot is None or slot.request.request_id != request_id:
                 continue
-            slot.finish_reason = FinishReason.ABORTED
-            result = self._build_result(slot, now, self.num_active)
-            # Release the page references before returning: the cancelled
-            # sequence's KV memory is reclaimable immediately, not at the
-            # next step.
-            slot.cache.release()
-            self._slots[index] = None
+            result = self._finish_slot(index, slot, now, FinishReason.ABORTED)
             self.cancelled += 1
-            self._pending_finishes.append(FinishReason.ABORTED)
-            self._pending_finish_classes.append(slot.request.slo_class)
-            self._pending_latencies.append(result.latency)
-            self._pending_latency_classes.append(slot.request.slo_class)
-            self._chunks.append(
-                TokenChunk(
-                    request_id=request_id,
-                    index=len(slot.generated),
-                    token_id=None,
-                    finish_reason=FinishReason.ABORTED,
-                )
-            )
-            if self.tracer.enabled:
-                self.tracer.lifecycle_end(
-                    request_id,
-                    {"reason": FinishReason.ABORTED, "tokens": len(slot.generated)},
-                )
             self._flush_if_idle(now)
             return result
         return None
+
+    def _finish_slot(
+        self, index: int, slot: _Slot, now: float, reason: str
+    ) -> InferenceResult:
+        """Terminate an active slot *now* (cancel / deadline expiry).
+
+        Builds the result from whatever the stream produced so far, then
+        releases the KV cache and page-pool references before returning —
+        the sequence's memory is reclaimable immediately, not at the next
+        step — and emits the terminal marker chunk.
+        """
+        slot.finish_reason = reason
+        result = self._build_result(slot, now, self.num_active)
+        slot.cache.release()
+        self._slots[index] = None
+        self._pending_finishes.append(reason)
+        self._pending_finish_classes.append(slot.request.slo_class)
+        self._pending_latencies.append(result.latency)
+        self._pending_latency_classes.append(slot.request.slo_class)
+        self._chunks.append(
+            TokenChunk(
+                request_id=slot.request.request_id,
+                index=len(slot.generated),
+                token_id=None,
+                finish_reason=reason,
+            )
+        )
+        if self.tracer.enabled:
+            self.tracer.lifecycle_end(
+                slot.request.request_id,
+                {"reason": reason, "tokens": len(slot.generated)},
+            )
+        return result
 
     def _flush_if_idle(self, now: float) -> None:
         """Surface a cancellation to stats when no later round will.
@@ -642,31 +969,112 @@ class ContinuousBatchingScheduler:
     def _aborted_result(
         self, queued: QueuedRequest, now: float, active: int
     ) -> InferenceResult:
-        """Result of a request cancelled while still queued (no tokens yet)."""
+        """Result of a request cancelled while still queued."""
+        return self._queued_terminal_result(queued, now, active, FinishReason.ABORTED)
+
+    def _queued_terminal_result(
+        self, queued: QueuedRequest, now: float, active: int, reason: str
+    ) -> InferenceResult:
+        """Terminal result of a request that never (re)gained a slot.
+
+        A fresh queued request has produced nothing, but a *preempted*
+        request waiting to resume already streamed tokens — its terminal
+        chunk continues the stream at the next index and its output carries
+        everything emitted before eviction, so clients never lose delivered
+        tokens to a cancel/deadline that lands mid-requeue.
+        """
         request = queued.request
-        self._pending_finishes.append(FinishReason.ABORTED)
+        resume = queued.resume
+        self._pending_finishes.append(reason)
         self._pending_finish_classes.append(request.slo_class)
         self._pending_latencies.append(now - queued.enqueued_at)
         self._pending_latency_classes.append(request.slo_class)
         self._chunks.append(
             TokenChunk(
                 request_id=request.request_id,
-                index=0,
+                index=len(resume.generated) if resume is not None else 0,
                 token_id=None,
-                finish_reason=FinishReason.ABORTED,
+                finish_reason=reason,
             )
         )
+        if resume is not None:
+            top = greedy_top_k(resume.last_log_probs, request.top_k)
+            output = RequestOutput(
+                request_id=request.request_id,
+                finish_reason=reason,
+                token_ids=list(resume.generated),
+                logprobs=list(resume.logprobs),
+                top_logprobs=list(resume.top_logprobs),
+                next_tokens=top["next_tokens"],
+                log_probs=top["log_probs"],
+            )
+        else:
+            output = RequestOutput(
+                request_id=request.request_id, finish_reason=reason
+            )
         return InferenceResult(
             request_id=request.request_id,
             model=request.model,
             family=request.family,
-            output=RequestOutput(
-                request_id=request.request_id, finish_reason=FinishReason.ABORTED
-            ),
+            output=output,
             batch_size=active,
             enqueued_at=queued.enqueued_at,
             completed_at=now,
         )
+
+    # ------------------------------------------------------------------ #
+    # Deadlines
+    # ------------------------------------------------------------------ #
+    def _expire_deadlines(self) -> List[InferenceResult]:
+        """Terminate every request past its deadline or queue timeout.
+
+        Runs at the top of :meth:`step`, before admission — an expired
+        queued request must not waste a prefill, and an expired active slot
+        must free before this round's admissions look for space.  Deadlines
+        are end-to-end (measured from the original enqueue, spanning any
+        preemption); the policy queue timeout measures *waiting* only, so a
+        preempted request's wait restarts at its eviction.
+        """
+        now = self.clock()
+        policy = self.admission
+        timeout = policy.queue_timeout_s if policy is not None else None
+        expired: List[InferenceResult] = []
+        survivors: Deque[QueuedRequest] = deque()
+        while self._queue:
+            queued = self._queue.popleft()
+            request = queued.request
+            over_deadline = (
+                request.deadline_s is not None
+                and now - queued.enqueued_at >= request.deadline_s
+            )
+            waiting_since = (
+                queued.resume.preempted_at
+                if queued.resume is not None
+                else queued.enqueued_at
+            )
+            over_timeout = timeout is not None and now - waiting_since >= timeout
+            if not (over_deadline or over_timeout):
+                survivors.append(queued)
+                continue
+            expired.append(
+                self._queued_terminal_result(
+                    queued, now, self.num_active, FinishReason.DEADLINE
+                )
+            )
+            if self.tracer.enabled:
+                self.tracer.lifecycle_end(
+                    request.request_id, {"reason": FinishReason.DEADLINE}
+                )
+        self._queue = survivors
+        for index, slot in enumerate(self._slots):
+            if slot is None or slot.request.deadline_s is None:
+                continue
+            if now - slot.queued.enqueued_at >= slot.request.deadline_s:
+                expired.append(
+                    self._finish_slot(index, slot, now, FinishReason.DEADLINE)
+                )
+        self.deadline_expired += len(expired)
+        return expired
 
     # ------------------------------------------------------------------ #
     # Token emission
@@ -702,20 +1110,32 @@ class ContinuousBatchingScheduler:
         )
 
     def _prefill_group(
-        self, group: List[Tuple[int, QueuedRequest, PackedModel, Optional[tuple]]]
+        self,
+        group: List[
+            Tuple[int, QueuedRequest, PackedModel, Optional[tuple], np.ndarray]
+        ],
     ) -> List[_Slot]:
         """Prefill a same-model/same-suffix-length admission group in one pass.
 
         Requests with a shared-prefix hit attach the sealed pages first
         (copy-on-write references, no recompute/re-quantize), then only the
-        remaining prompt suffix runs through the model — each row at its own
-        positional offset.  Successful prefills register their prompt pages
+        remaining chain suffix runs through the model — each row at its own
+        positional offset.  Successful prefills register their chain pages
         in the pool's prefix index for later requests.
+
+        A resumed request restores its saved decode state instead of
+        emitting the pass's output: the distribution computed at the chain's
+        final position predicts a token the stream already delivered before
+        eviction, so it is discarded and the slot rejoins decode feeding its
+        real last token.  Re-prefilled suffix K/V is bit-identical to what
+        the evicted cache held (same tokens, same attended past — the
+        re-attached pages are the *same* quantized bytes), which is what
+        makes resume token-identical for greedy decode.
         """
         entry = group[0][2]
         caches: List[SequenceKVCache] = []
         try:
-            for _, queued, _, shared in group:
+            for _, queued, _, shared, chain in group:
                 cache = cache_for_model(entry.model, self.cache_config, pool=self.page_pool)
                 if shared is not None:
                     num_pages, layers_k, layers_v = shared
@@ -725,8 +1145,8 @@ class ContinuousBatchingScheduler:
                 caches.append(cache)
             suffixes = np.stack(
                 [
-                    queued.request.token_ids[cache.seq_len:]
-                    for (_, queued, _, _), cache in zip(group, caches)
+                    chain[cache.seq_len:]
+                    for (_, _, _, _, chain), cache in zip(group, caches)
                 ]
             )
             log_probs = entry.model.log_probs_incremental(
@@ -752,27 +1172,46 @@ class ContinuousBatchingScheduler:
             return admitted
         admitted = []
         now = self.clock()
-        for row, (index, queued, _, shared) in enumerate(group):
+        for row, (index, queued, _, shared, chain) in enumerate(group):
             if self.cache_config.prefix_sharing:
                 self.page_pool.register_prefix(
-                    self._prefix_key(queued.request),
-                    queued.request.token_ids,
-                    caches[row],
+                    self._prefix_key(queued.request), chain, caches[row]
                 )
             shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
-            sampler = Sampler(queued.request.sampling)
-            slot = _Slot(
-                queued=queued,
-                entry=entry,
-                cache=caches[row],
-                sampler=sampler,
-                generator=sampler.make_generator(),
-                prefill_tokens=queued.request.seq_len - shared_tokens,
-                shared_tokens=shared_tokens,
-            )
-            self._emit_token(slot, log_probs[row], now)
+            resume = queued.resume
+            if resume is None:
+                sampler = Sampler(queued.request.sampling)
+                slot = _Slot(
+                    queued=queued,
+                    entry=entry,
+                    cache=caches[row],
+                    sampler=sampler,
+                    generator=sampler.make_generator(),
+                    prefill_tokens=int(chain.size) - shared_tokens,
+                    shared_tokens=shared_tokens,
+                )
+                self._emit_token(slot, log_probs[row], now)
+            else:
+                slot = _Slot(
+                    queued=queued,
+                    entry=entry,
+                    cache=caches[row],
+                    sampler=resume.sampler,
+                    generator=resume.generator,
+                    generated=list(resume.generated),
+                    logprobs=list(resume.logprobs),
+                    top_logprobs=list(resume.top_logprobs),
+                    last_log_probs=resume.last_log_probs,
+                    last_token_at=resume.last_token_at,
+                    prefill_tokens=int(chain.size) - shared_tokens,
+                    shared_tokens=shared_tokens,
+                )
             if self.tracer.enabled:
-                self.tracer.lifecycle_begin(queued.request.request_id, "decode")
+                self.tracer.lifecycle_begin(
+                    queued.request.request_id,
+                    "decode",
+                    {"resumed": True} if resume is not None else None,
+                )
             self._slots[index] = slot
             admitted.append(slot)
         return admitted
@@ -1042,23 +1481,37 @@ class ContinuousBatchingScheduler:
             completed_at = self.clock()
             results: List[InferenceResult] = []
             occupancy_now = self.num_active
-            for index, slot in enumerate(self._slots):
-                if slot is None or not slot.done:
-                    continue
-                results.append(self._build_result(slot, completed_at, occupancy_now))
-                self._pending_finishes.append(slot.finish_reason)
-                self._pending_finish_classes.append(slot.request.slo_class)
-                self._pending_latencies.append(results[-1].latency)
-                self._pending_latency_classes.append(slot.request.slo_class)
-                self._register_generated_suffix(slot)
-                if self.tracer.enabled:
-                    self.tracer.lifecycle_end(
-                        slot.request.request_id,
-                        {"reason": slot.finish_reason, "tokens": len(slot.generated)},
+            try:
+                for index, slot in enumerate(self._slots):
+                    if slot is None or not slot.done:
+                        continue
+                    results.append(
+                        self._build_result(slot, completed_at, occupancy_now)
                     )
-                # Retirement releases the sequence's page references; pages
-                # kept alive by the prefix index go on serving later requests.
-                slot.cache.release()
-                self._slots[index] = None
-                self.retired += 1
+                    self._pending_finishes.append(slot.finish_reason)
+                    self._pending_finish_classes.append(slot.request.slo_class)
+                    self._pending_latencies.append(results[-1].latency)
+                    self._pending_latency_classes.append(slot.request.slo_class)
+                    self._register_generated_suffix(slot)
+                    if self.tracer.enabled:
+                        self.tracer.lifecycle_end(
+                            slot.request.request_id,
+                            {
+                                "reason": slot.finish_reason,
+                                "tokens": len(slot.generated),
+                            },
+                        )
+                    # Retirement releases the sequence's page references;
+                    # pages kept alive by the prefix index go on serving
+                    # later requests.
+                    slot.cache.release()
+                    self._slots[index] = None
+                    self.retired += 1
+            except BaseException:
+                # Slots freed before the raise already released their pages
+                # and left the slot table; losing the local list would erase
+                # their terminal outcome.  Stash the completed results so
+                # the next step() delivers them.
+                self._expired_stash.extend(results)
+                raise
             return results

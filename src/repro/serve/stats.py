@@ -132,6 +132,8 @@ class DecodeRoundRecord:
     latency_classes: tuple = ()
     first_token_classes: tuple = ()
     finish_classes: tuple = ()
+    # SLO class of each request preempted (slot evicted, re-queued) this round.
+    preempted_classes: tuple = ()
     # Resource accounting at round end (zero when the scheduler predates it).
     queue_depth: int = 0               # requests waiting for a slot
     slot_kv_bytes: tuple = ()          # resident KV bytes per slot (idle = 0)
@@ -194,6 +196,9 @@ class ServingSummary:
     finish_length: int = 0
     finish_aborted: int = 0
     finish_error: int = 0
+    finish_deadline: int = 0
+    # Requests preempted (slot evicted, re-queued) over the window.
+    preemptions: int = 0
     # Streamed-token latencies over the window (zero when nothing streamed).
     ttft_p50_ms: float = 0.0
     ttft_p95_ms: float = 0.0
@@ -235,6 +240,7 @@ class ServingSummary:
             "length": self.finish_length,
             "aborted": self.finish_aborted,
             "error": self.finish_error,
+            "deadline": self.finish_deadline,
         }
 
     def as_dict(self) -> Dict[str, float]:
@@ -270,6 +276,8 @@ class ServingSummary:
             "finish_length": self.finish_length,
             "finish_aborted": self.finish_aborted,
             "finish_error": self.finish_error,
+            "finish_deadline": self.finish_deadline,
+            "preemptions": self.preemptions,
             "ttft_p50_ms": round(self.ttft_p50_ms, 3),
             "ttft_p95_ms": round(self.ttft_p95_ms, 3),
             "inter_token_p50_ms": round(self.inter_token_p50_ms, 3),
@@ -335,6 +343,26 @@ class ServingStats:
             "serve_requests_finished_total",
             "Finished generation requests",
             labels=("reason", "slo_class"),
+        )
+        # Resilience counters (admission control / deadlines / preemption).
+        self._m_rejected = r.counter(
+            "serve_requests_rejected_total",
+            "Requests rejected at admission",
+            labels=("reason", "slo_class"),
+        )
+        self._m_preemptions = r.counter(
+            "serve_preemptions_total",
+            "Active slots evicted and re-queued for higher-priority work",
+            labels=("slo_class",),
+        )
+        self._m_deadline_misses = r.counter(
+            "serve_deadline_misses_total",
+            "Requests terminated by deadline/queue-timeout expiry",
+            labels=("slo_class",),
+        )
+        self._m_chunks_evicted = r.counter(
+            "serve_stream_chunks_evicted_total",
+            "Buffered stream chunks dropped by the engine's bounded buffer",
         )
         self._m_proposed = r.counter(
             "serve_draft_proposed_tokens_total", "Draft tokens fed to the verify pass"
@@ -418,6 +446,10 @@ class ServingStats:
         finish_classes = _classes_for(record.finish_reasons, record.finish_classes)
         for reason, cls in zip(record.finish_reasons, finish_classes):
             self._m_finished.inc(reason=str(reason), slo_class=cls)
+            if str(reason) == "deadline":
+                self._m_deadline_misses.inc(slo_class=cls)
+        for cls in record.preempted_classes:
+            self._m_preemptions.inc(slo_class=str(cls))
         latency_classes = _classes_for(record.latencies, record.latency_classes)
         for latency, cls in zip(record.latencies, latency_classes):
             self._m_latency.observe(latency, slo_class=cls)
@@ -435,6 +467,20 @@ class ServingStats:
         self._m_pool_lru.set(record.pool_decoded_lru_bytes)
         for slot_index, nbytes in enumerate(record.slot_kv_bytes):
             self._m_slot_kv.set(nbytes, slot=str(slot_index))
+
+    def record_rejection(self, reason: str, slo_class: str = _DEFAULT_CLASS) -> None:
+        """Count one admission rejection (``queue_full`` / ``shed`` / ...).
+
+        Rejections never enter the windowed record log: a rejected request
+        does no work, so it must not perturb latency/throughput aggregates —
+        only the dedicated counter (and the watchdog reading it) sees it.
+        """
+        self._m_rejected.inc(reason=str(reason), slo_class=str(slo_class))
+
+    def record_chunks_evicted(self, count: int) -> None:
+        """Count stream chunks dropped by the engine's bounded result buffer."""
+        if count > 0:
+            self._m_chunks_evicted.inc(int(count))
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of the metrics registry.
@@ -543,6 +589,8 @@ class ServingStats:
             finish_length=reasons.count("length"),
             finish_aborted=reasons.count("aborted"),
             finish_error=reasons.count("error"),
+            finish_deadline=reasons.count("deadline"),
+            preemptions=sum(len(r.preempted_classes) for r in rounds),
             ttft_p50_ms=_pct_ms(ttfts, 50),
             ttft_p95_ms=_pct_ms(ttfts, 95),
             inter_token_p50_ms=_pct_ms(gaps, 50),

@@ -1,0 +1,447 @@
+"""Deterministic fault-injection harness tests and the seeded chaos suite.
+
+The harness promise: a :class:`FaultSchedule` generated from a seed is
+identical on every run, and under **every** schedule the scheduler keeps
+its PR-5 invariants — each submitted request reaches exactly one terminal
+outcome (result, recorded failure, or typed rejection), PagePool
+refcounts balance against the enumerable holders, streams stay gapless
+with a single terminal chunk, and the engine keeps serving afterwards.
+The async half covers bounded retry with jittered backoff and the
+structured propagation of scheduler-task errors.
+"""
+
+import asyncio
+import os
+from collections import Counter, defaultdict
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdmissionPolicy,
+    AsyncServer,
+    ContinuousBatchingScheduler,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    FinishReason,
+    InferenceRequest,
+    InjectedFault,
+    KVCacheConfig,
+    ModelRepository,
+    QueueFullError,
+    RetryPolicy,
+    SamplingParams,
+    ServingEngine,
+    ServingError,
+    ServingStats,
+    WorkloadFamily,
+)
+from repro.serve.faultinject import check_refcounts, drive
+
+MODEL = "gpt2-xl"
+VOCAB = 96
+
+
+@pytest.fixture(scope="module")
+def repository():
+    repo = ModelRepository(bits=4, seed=0)
+    repo.get(MODEL, WorkloadFamily.LM)
+    return repo
+
+
+def packed_config():
+    return KVCacheConfig(bits=4, page_size=4, prefix_sharing=True)
+
+
+def lm_request(prompt, max_new_tokens=3, seed=0, **kwargs):
+    return InferenceRequest(
+        MODEL,
+        WorkloadFamily.LM,
+        np.asarray(prompt),
+        sampling=SamplingParams(max_new_tokens=max_new_tokens, seed=seed),
+        **kwargs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Specs and schedules
+# --------------------------------------------------------------------------- #
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            FaultSpec("meteor_strike")
+        with pytest.raises(ServingError):
+            FaultSpec("phase_error", at_count=0)
+        with pytest.raises(ServingError):
+            FaultSpec("clock_jump", jump_s=0.0)
+        with pytest.raises(ServingError):
+            FaultSpec("queue_burst", burst=0)
+
+    def test_schedule_rejects_non_specs(self):
+        with pytest.raises(ServingError):
+            FaultSchedule(("not a spec",))
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        for seed in range(20):
+            a = FaultSchedule.generate(seed, num_faults=6)
+            b = FaultSchedule.generate(seed, num_faults=6)
+            assert a == b and len(a) == 6
+
+    def test_seeds_produce_distinct_schedules(self):
+        schedules = {FaultSchedule.generate(seed, num_faults=6) for seed in range(20)}
+        assert len(schedules) > 1
+
+
+# --------------------------------------------------------------------------- #
+# Individual fault kinds through the seams
+# --------------------------------------------------------------------------- #
+class TestInjection:
+    def test_phase_error_fires_at_exact_occurrence(self, repository):
+        schedule = FaultSchedule((FaultSpec("phase_error", phase="round", at_count=2),))
+        scheduler = ContinuousBatchingScheduler(
+            repository, num_slots=2, cache_config=packed_config()
+        )
+        injector = FaultInjector(schedule).attach(scheduler)
+        scheduler.submit(lm_request(np.arange(6), max_new_tokens=5))
+        scheduler.step()  # round 1: clean
+        with pytest.raises(InjectedFault):
+            scheduler.step()  # round 2: injected
+        assert [s.kind for s in injector.fired] == ["phase_error"]
+        aborted = scheduler.abort_active(injector.fired[0] and InjectedFault("x"))
+        assert len(aborted) == 1
+        check_refcounts(scheduler)
+
+    def test_pool_decode_error_fires_from_decode_funnel(self, repository):
+        schedule = FaultSchedule((FaultSpec("pool_decode_error", at_count=1),))
+        scheduler = ContinuousBatchingScheduler(
+            repository, num_slots=1, cache_config=packed_config()
+        )
+        injector = FaultInjector(schedule).attach(scheduler)
+        # A long prompt seals pages mid-prefill and attention reads them
+        # back through decoded_many — the injection funnel — so the very
+        # first decode call fails the prefill pass; the request must still
+        # reach exactly one terminal outcome, as a recorded failure.
+        request = lm_request(np.arange(9), max_new_tokens=6)
+        report = drive(scheduler, injector, [request])
+        assert [s.kind for s in injector.fired] == ["pool_decode_error"]
+        failures = dict(report["failures"])
+        assert set(failures) == {request.request_id}
+        assert isinstance(failures[request.request_id], InjectedFault)
+        assert not report["results"]
+        check_refcounts(scheduler)
+
+    def test_clock_jump_expires_deadlines(self, repository):
+        schedule = FaultSchedule(
+            (FaultSpec("clock_jump", phase="round", at_count=2, jump_s=60.0),)
+        )
+        scheduler = ContinuousBatchingScheduler(
+            repository, num_slots=1, cache_config=packed_config()
+        )
+        injector = FaultInjector(schedule).attach(scheduler)
+        request = lm_request(np.arange(6), max_new_tokens=40, deadline_s=30.0)
+        report = drive(scheduler, injector, [request])
+        assert [s.kind for s in injector.fired] == ["clock_jump"]
+        assert len(report["results"]) == 1
+        assert report["results"][0].output.finish_reason == FinishReason.DEADLINE
+        check_refcounts(scheduler)
+
+    def test_queue_burst_overflows_bounded_queue(self, repository):
+        schedule = FaultSchedule((FaultSpec("queue_burst", at_count=1, burst=5),))
+        scheduler = ContinuousBatchingScheduler(
+            repository,
+            num_slots=1,
+            cache_config=packed_config(),
+            admission=AdmissionPolicy(max_queue_depth=2),
+        )
+        injector = FaultInjector(schedule).attach(scheduler)
+        requests = [lm_request(np.arange(4) + i, max_new_tokens=1) for i in range(6)]
+        report = drive(scheduler, injector, requests)
+        assert [s.kind for s in injector.fired] == ["queue_burst"]
+        assert report["rejected"], "the burst must overflow the bounded queue"
+        assert all(isinstance(e, QueueFullError) for _, e in report["rejected"])
+        # Everyone not rejected finished.
+        done = {r.request_id for r in report["results"]}
+        rejected = {rid for rid, _ in report["rejected"]}
+        assert done | rejected == {r.request_id for r in requests}
+        assert not done & rejected
+        check_refcounts(scheduler)
+
+    def test_each_spec_fires_at_most_once(self, repository):
+        schedule = FaultSchedule((FaultSpec("phase_error", phase="round", at_count=1),))
+        scheduler = ContinuousBatchingScheduler(
+            repository, num_slots=1, cache_config=packed_config()
+        )
+        injector = FaultInjector(schedule).attach(scheduler)
+        report = drive(scheduler, injector, [lm_request(np.arange(5))])
+        assert len(injector.fired) == 1
+        # After absorbing the one-shot fault the request was re-recorded as a
+        # failure; nothing is left in flight and later rounds ran clean.
+        assert report["rounds"] >= 1
+        assert len(scheduler) == 0
+
+
+# --------------------------------------------------------------------------- #
+# The seeded chaos suite
+# --------------------------------------------------------------------------- #
+# Tier-1 replays seeds [0, 10) so CI is reproducible; the non-blocking CI
+# chaos job widens the sweep and shifts the base per run via CHAOS_SEEDS /
+# CHAOS_SEED_BASE.  The seed lands in the test id, so any failure replays
+# exactly with ``-k "[<seed>]"``.
+_CHAOS_BASE = int(os.environ.get("CHAOS_SEED_BASE", "0"))
+_CHAOS_SEEDS = range(_CHAOS_BASE, _CHAOS_BASE + int(os.environ.get("CHAOS_SEEDS", "10")))
+
+
+class TestChaosSuite:
+    @pytest.mark.parametrize("seed", _CHAOS_SEEDS)
+    def test_invariants_hold_under_every_schedule(self, repository, seed):
+        rng = np.random.default_rng(seed)
+        policy = AdmissionPolicy(
+            max_queue_depth=4,
+            queue_timeout_s=30.0,
+            class_priority={"interactive": 5},
+            preempt=True,
+        )
+        scheduler = ContinuousBatchingScheduler(
+            repository,
+            num_slots=2,
+            cache_config=packed_config(),
+            stats=ServingStats(),
+            admission=policy,
+        )
+        injector = FaultInjector(FaultSchedule.generate(seed, num_faults=4))
+        injector.attach(scheduler)
+        requests = [
+            lm_request(
+                rng.integers(0, VOCAB, size=int(rng.integers(2, 9))),
+                max_new_tokens=int(rng.integers(1, 5)),
+                seed=seed,
+                slo_class="interactive" if rng.integers(0, 2) else "batch",
+                deadline_s=60.0 if rng.integers(0, 3) == 0 else None,
+            )
+            for _ in range(6)
+        ]
+        chunks = []
+        original_step = scheduler.step
+
+        def step_and_collect():
+            results = original_step()
+            chunks.extend(scheduler.take_chunks())
+            check_refcounts(scheduler)
+            return results
+
+        scheduler.step = step_and_collect
+        report = drive(scheduler, injector, requests)
+        check_refcounts(scheduler)
+
+        # Exactly one terminal outcome per submitted request.
+        outcomes = Counter()
+        for result in report["results"]:
+            outcomes[result.request_id] += 1
+        for rid, _ in report["failures"]:
+            outcomes[rid] += 1
+        for rid, _ in report["rejected"]:
+            outcomes[rid] += 1
+        assert set(outcomes) == {r.request_id for r in requests}
+        assert all(count == 1 for count in outcomes.values()), dict(outcomes)
+
+        # Streams: gapless indices, at most one terminal chunk per request.
+        index = defaultdict(int)
+        terminals = Counter()
+        for chunk in chunks:
+            assert chunk.index == index[chunk.request_id]
+            if chunk.is_token:
+                index[chunk.request_id] += 1
+            if chunk.finish_reason is not None:
+                terminals[chunk.request_id] += 1
+        assert all(count == 1 for count in terminals.values())
+
+        # The scheduler still serves after the chaos.  Cancel whatever part
+        # of the schedule never fired first — the probe checks recovery, not
+        # behaviour under yet another fault.
+        injector.disarm()
+        probe = lm_request(np.arange(4), max_new_tokens=2)
+        scheduler.submit(probe)
+        survived = []
+        for _ in range(20):
+            try:
+                survived.extend(original_step())
+            except InjectedFault as exc:
+                scheduler.abort_active(exc)
+            if not len(scheduler):
+                break
+        assert [r.request_id for r in survived] == [probe.request_id]
+
+    def test_engine_absorbs_injected_faults_and_keeps_serving(self, repository):
+        engine = ServingEngine(
+            repository, kv_cache_config=packed_config(), num_slots=2
+        )
+        schedule = FaultSchedule(
+            (
+                FaultSpec("phase_error", phase="sample", at_count=2),
+                FaultSpec("pool_decode_error", at_count=3),
+            )
+        )
+        injector = FaultInjector(schedule).attach(engine.lm_scheduler)
+        ids = [
+            engine.submit(lm_request(np.arange(7) + i, max_new_tokens=6))
+            for i in range(2)
+        ]
+        engine.run_until_idle()
+        assert len(injector.fired) >= 1
+        failed = [rid for rid in ids if rid in engine._failed]
+        assert failed, "the injected mid-round fault must surface as failures"
+        for rid in failed:
+            with pytest.raises(ServingError):
+                engine.result(rid)
+        check_refcounts(engine.lm_scheduler)
+        # Mirror consistency after the faults: finished counter equals the
+        # summary's reasons, error count matches the aborted requests.
+        summary = engine.stats.summary()
+        counter = engine.stats.registry.get("serve_requests_finished_total")
+        mirrored = {
+            reason: counter.value(reason=reason, slo_class="default")
+            for reason in ("stop", "length", "aborted", "error", "deadline")
+        }
+        assert mirrored == summary.finish_reasons
+        assert mirrored["error"] == len(failed)
+        # Still serving.
+        probe = engine.submit(lm_request(np.arange(4), max_new_tokens=2))
+        engine.run_until_idle()
+        assert engine.result(probe).output.finish_reason in ("stop", "length")
+
+
+# --------------------------------------------------------------------------- #
+# Async retry and structured scheduler-error propagation
+# --------------------------------------------------------------------------- #
+class TestAsyncRetry:
+    def test_retry_absorbs_bounded_queue_overflow(self, repository):
+        async def main():
+            engine = ServingEngine(
+                repository,
+                kv_cache_config=packed_config(),
+                num_slots=2,
+                admission=AdmissionPolicy(max_queue_depth=1),
+            )
+            retry = RetryPolicy(max_retries=6, backoff_base_s=0.001, seed=7)
+            async with AsyncServer(engine, retry=retry) as server:
+                requests = [
+                    lm_request(np.arange(5) + i, max_new_tokens=2) for i in range(5)
+                ]
+                results = await asyncio.gather(
+                    *(server.infer(r) for r in requests), return_exceptions=True
+                )
+            return results
+
+        results = asyncio.run(main())
+        errors = [r for r in results if isinstance(r, Exception)]
+        assert not errors, [type(e).__name__ for e in errors]
+        assert len(results) == 5
+
+    def test_retry_budget_exhaustion_chains_the_cause(self, repository):
+        async def main():
+            engine = ServingEngine(
+                repository, kv_cache_config=packed_config(), num_slots=1
+            )
+
+            def always_full(request):
+                raise QueueFullError("queue stays full")
+
+            engine.submit = always_full
+            retry = RetryPolicy(max_retries=2, backoff_base_s=0.0)
+            async with AsyncServer(engine, retry=retry) as server:
+                with pytest.raises(ServingError) as info:
+                    await server.infer(lm_request(np.arange(4)))
+                assert isinstance(info.value.__cause__, QueueFullError)
+                assert server.in_flight == 0
+                assert not server._attempts and not server._requests
+
+        asyncio.run(main())
+
+    def test_terminal_errors_never_retry(self, repository):
+        async def main():
+            engine = ServingEngine(
+                repository, kv_cache_config=packed_config(), num_slots=1
+            )
+            calls = []
+            original = engine.submit
+
+            def failing(request):
+                calls.append(request.request_id)
+                raise ServingError("malformed")
+
+            engine.submit = failing
+            retry = RetryPolicy(max_retries=5, backoff_base_s=0.0)
+            async with AsyncServer(engine, retry=retry) as server:
+                with pytest.raises(ServingError):
+                    await server.infer(lm_request(np.arange(4)))
+            engine.submit = original
+            return calls
+
+        calls = asyncio.run(main())
+        assert len(calls) == 1, "terminal errors must not consume retry budget"
+
+    def test_streaming_requests_never_retry(self, repository):
+        async def main():
+            engine = ServingEngine(
+                repository, kv_cache_config=packed_config(), num_slots=1
+            )
+            calls = []
+            original = engine.submit
+
+            def always_full(request):
+                calls.append(request.request_id)
+                raise QueueFullError("queue stays full")
+
+            retry = RetryPolicy(max_retries=5, backoff_base_s=0.001)
+            async with AsyncServer(engine, retry=retry) as server:
+                engine.submit = always_full
+                # The same retryable rejection that infer() would absorb
+                # surfaces immediately on the streaming path, unretried.
+                with pytest.raises(QueueFullError):
+                    async for _ in server.stream(lm_request(np.arange(4))):
+                        pass
+                engine.submit = original
+            return calls
+
+        calls = asyncio.run(main())
+        assert len(calls) == 1, "streams must not consume retry budget"
+
+    def test_scheduler_error_propagates_structured(self, repository):
+        """Satellite: the scheduler task must fail futures, not strand them."""
+
+        async def main():
+            engine = ServingEngine(
+                repository, kv_cache_config=packed_config(), num_slots=1
+            )
+            boom = RuntimeError("loop blew up")
+
+            def broken_next_wait():
+                raise boom
+
+            async with AsyncServer(engine) as server:
+                engine.batcher.next_wait = broken_next_wait
+                with pytest.raises(ServingError) as info:
+                    await server.infer(lm_request(np.arange(4)))
+                assert "serving scheduler error" in str(info.value)
+                assert info.value.__cause__ is boom
+                assert server.in_flight == 0
+
+        asyncio.run(main())
+
+    def test_jittered_backoff_is_seeded_and_bounded(self):
+        policy = RetryPolicy(
+            max_retries=3, backoff_base_s=0.01, backoff_multiplier=2.0, jitter=0.5
+        )
+        a = [policy.delay_for(n, np.random.default_rng(0)) for n in range(3)]
+        b = [policy.delay_for(n, np.random.default_rng(0)) for n in range(3)]
+        assert a == b, "same seed, same jitter"
+        for attempt, delay in enumerate(a):
+            base = 0.01 * 2.0 ** attempt
+            assert base <= delay <= base * 1.5
+        with pytest.raises(ServingError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ServingError):
+            RetryPolicy(backoff_multiplier=0.5)

@@ -515,7 +515,7 @@ class TestRegistryMirrorOnCancel:
         counter = registry.get("serve_requests_finished_total")
         return {
             reason: counter.value(reason=reason, slo_class="default")
-            for reason in ("stop", "length", "aborted", "error")
+            for reason in ("stop", "length", "aborted", "error", "deadline")
         }
 
     def test_cancel_mid_round_keeps_registry_and_summary_consistent(self):

@@ -1,15 +1,17 @@
 """Randomized invariant fuzz over the continuous scheduler's state machine.
 
 Drives ``ContinuousBatchingScheduler`` through seeded random
-admit/step/cancel/stop sequences — with and without speculative decoding —
-and asserts after every step that
+admit/step/cancel/preempt/deadline/fault sequences — with and without
+speculative decoding — and asserts after every step that
 
 * PagePool refcounts balance exactly against the holders (slot caches and
   prefix-index nodes), and every live handle is accounted for;
 * slot occupancy never exceeds capacity;
 * no retired request ever re-emits a :class:`TokenChunk` (indices are
-  gapless, terminals are single and final);
-* every submitted request reaches exactly one terminal ``finish_reason``.
+  gapless, terminals are single and final — a preempted stream pauses
+  without a terminal and resumes at the same index);
+* every submitted request reaches exactly one terminal outcome: a
+  ``finish_reason`` (``deadline`` included) or a recorded failure.
 
 The suite runs derandomized (fixed seeds) so tier-1 CI is reproducible.
 """
@@ -21,9 +23,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.serve import (
+    AdmissionPolicy,
     ContinuousBatchingScheduler,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
     FinishReason,
     InferenceRequest,
+    InjectedFault,
     KVCacheConfig,
     ModelRepository,
     SamplingParams,
@@ -125,7 +132,12 @@ def run_sequence(repository, cache_config, speculative, plan, seeds):
         cache_config=cache_config,
         speculative=speculative,
         share_generated_suffix=bool(rng.integers(0, 2)),
+        # Preemption armed: "gold" submissions (op 3) evict default-priority
+        # actives, exercising evict/re-queue/resume under the same invariants.
+        admission=AdmissionPolicy(class_priority={"gold": 5}, preempt=True),
     )
+    # Fault seam armed with an empty schedule; op 5 injects one-shot faults.
+    injector = FaultInjector(FaultSchedule(())).attach(scheduler)
     ledger = _ChunkLedger()
     submitted = []
     terminals = {}
@@ -137,6 +149,35 @@ def run_sequence(repository, cache_config, speculative, plan, seeds):
             assert result.output.finish_reason in FinishReason.ALL
             terminals[rid] = result.output.finish_reason
 
+    def step():
+        try:
+            absorb(scheduler.step())
+        except InjectedFault as exc:
+            # The engine's recovery discipline: abort in-flight slots and
+            # keep serving; the aborted ids surface via take_failures().
+            scheduler.abort_active(exc)
+
+    def make_request(slo_class="default", deadline_s=None):
+        seq_len = int(rng.integers(2, 9))
+        sampling = SamplingParams(
+            temperature=float(rng.choice([0.0, 0.0, 0.9])),
+            max_new_tokens=int(rng.integers(1, 6)),
+            stop_token_ids=(
+                (int(rng.integers(0, VOCAB)),) if rng.integers(0, 2) else ()
+            ),
+            seed=int(rng.integers(0, 1 << 16)),
+        )
+        request = InferenceRequest(
+            MODEL,
+            WorkloadFamily.LM,
+            rng.integers(0, VOCAB, size=seq_len),
+            sampling=sampling,
+            slo_class=slo_class,
+            deadline_s=deadline_s,
+        )
+        submitted.append(request.request_id)
+        scheduler.submit(request)
+
     def checkpoint():
         assert scheduler.num_active <= NUM_SLOTS
         assert 0.0 <= scheduler.slot_occupancy <= 1.0
@@ -145,34 +186,30 @@ def run_sequence(repository, cache_config, speculative, plan, seeds):
 
     for op in plan:
         if op == 0:  # submit
-            seq_len = int(rng.integers(2, 9))
-            sampling = SamplingParams(
-                temperature=float(rng.choice([0.0, 0.0, 0.9])),
-                max_new_tokens=int(rng.integers(1, 6)),
-                stop_token_ids=(
-                    (int(rng.integers(0, VOCAB)),) if rng.integers(0, 2) else ()
-                ),
-                seed=int(rng.integers(0, 1 << 16)),
-            )
-            request = InferenceRequest(
-                MODEL,
-                WorkloadFamily.LM,
-                rng.integers(0, VOCAB, size=seq_len),
-                sampling=sampling,
-            )
-            submitted.append(request.request_id)
-            scheduler.submit(request)
+            make_request()
         elif op == 1:  # step
-            absorb(scheduler.step())
+            step()
         elif op == 2 and submitted:  # cancel a known request (maybe done)
             target = submitted[int(rng.integers(0, len(submitted)))]
             result = scheduler.cancel(target)
             if result is not None:
                 absorb([result])
+        elif op == 3:  # preempt: gold-priority submission evicts an active
+            make_request(slo_class="gold")
+        elif op == 4:  # deadline-expire: already dead on the next sweep
+            make_request(deadline_s=1e-9)
+        elif op == 5:  # inject-fault: one-shot error entering the next round
+            injector.add(
+                FaultSpec(
+                    "phase_error",
+                    phase="round",
+                    at_count=injector.occurrences("round") + 1,
+                )
+            )
         checkpoint()
 
     while len(scheduler):
-        absorb(scheduler.step())
+        step()
         checkpoint()
 
     failures = dict(scheduler.take_failures())
@@ -194,7 +231,7 @@ def run_sequence(repository, cache_config, speculative, plan, seeds):
 @pytest.mark.parametrize("with_speculation", [False, True])
 @settings(max_examples=10, deadline=None, derandomize=True)
 @given(
-    plan=st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=16),
+    plan=st.lists(st.integers(min_value=0, max_value=5), min_size=4, max_size=16),
     seeds=st.integers(min_value=0, max_value=2**32 - 1),
 )
 def test_scheduler_invariants_hold_under_random_traffic(
