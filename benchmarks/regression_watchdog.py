@@ -63,6 +63,12 @@ _RULES = (
     ("acceptance", "contains", HIGHER, "abs", 0.05),
     ("attainment", "contains", HIGHER, "abs", 0.05),
     ("occupancy", "suffix", HIGHER, "abs", 0.10),
+    # Gateway / docqa correctness pins: identity and pass flags are 0/1 and
+    # must never drop; confidence floors get a small absolute slack.
+    ("token_identity", "contains", HIGHER, "abs", 0.0),
+    ("passed", "suffix", HIGHER, "abs", 0.0),
+    ("availability", "contains", HIGHER, "abs", 0.01),
+    ("confidence_observed", "suffix", HIGHER, "abs", 0.02),
 )
 
 
@@ -146,6 +152,17 @@ def main(argv=None):
         # A missing artifact is a setup problem, not a perf regression; stay
         # green so the non-blocking CI step never masks the bench job itself.
         return 0
+
+    # A brand-new bench section (no baseline entry yet) is expected right
+    # after the bench lands: warn so someone commits a baseline, never crash
+    # or flag — there is nothing to regress against.
+    for section in sorted(set(current) - set(baseline)):
+        message = (f"section '{section}' is not in the baseline; its metrics "
+                   f"are reported as new until BENCH_baseline.json learns it")
+        if args.annotate:
+            print(f"::warning title=Bench section missing baseline::{message}")
+        else:
+            print(f"watchdog: {message}")
 
     base_flat = {(s, m): v for s, m, v in flatten(baseline)}
     regressions, compared = [], 0

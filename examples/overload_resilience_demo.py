@@ -84,7 +84,7 @@ def act_bounded_admission(repository):
           f"rejected counter = {scheduler.rejected}")
     counter = stats.registry.get("serve_requests_rejected_total")
     print(f"  serve_requests_rejected_total{{queue_full,default}} = "
-          f"{counter.value(reason='queue_full', slo_class='default')}")
+          f"{counter.value_sum(reason='queue_full', slo_class='default')}")
     assert shed == 4 and len(done) == 2
 
 

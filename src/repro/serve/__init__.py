@@ -66,7 +66,25 @@ request/response engine:
 * :mod:`repro.serve.faultinject` — deterministic, seeded fault-injection
   harness (phase errors, pool-decode failures, clock jumps, queue-pressure
   bursts) driving chaos suites that assert the scheduler's refcount /
-  stream / terminal-finish invariants under every schedule.
+  stream / terminal-finish invariants under every schedule;
+* :mod:`repro.serve.gateway` — the multi-tenant front door: per-tenant API
+  keys, token-bucket rate limits and concurrent-request quotas mapped onto
+  admission priorities, JSON-shaped request/response/error envelopes with
+  HTTP-ish status codes, and a ``tenant`` label threaded through the
+  scheduler into ``serve_requests_*_total{tenant,...}`` and the per-tenant
+  SLO gauges (each tenant's ``slo_class`` defaults to its own name);
+* :mod:`repro.serve.loadgen` — seeded trace-driven load generation: bursty
+  on/off arrivals per tenant, multi-turn conversations that re-walk shared
+  prefixes, a replayable JSON trace format and a virtual-round
+  :class:`~repro.serve.loadgen.LoadRunner` whose per-tenant SLO-attainment
+  report is byte-identical across runs of the same trace.
+
+The scheduler additionally supports **chunked prefill**
+(``prefill_chunk_tokens=`` on :class:`~repro.serve.engine.ServingEngine` /
+:class:`~repro.serve.scheduler.ContinuousBatchingScheduler`): long prompts
+append K/V one bounded, page-aligned chunk per round, interleaved with
+decode, so a single long document cannot stall interactive streams for a
+whole prompt-length prefill pass — greedy outputs stay token-identical.
 """
 
 from repro.serve.admission import AdmissionPolicy
@@ -74,13 +92,33 @@ from repro.serve.aio import AsyncServer, RetryPolicy
 from repro.serve.batcher import MicroBatcher, QueuedRequest
 from repro.serve.errors import (
     AdmissionRejectedError,
+    AuthenticationError,
     InjectedFault,
     QueueFullError,
+    QuotaExceededError,
+    RateLimitedError,
     RetryableServingError,
     is_retryable,
 )
 from repro.serve.faultinject import FaultInjector, FaultSchedule, FaultSpec
 from repro.serve.engine import InferenceEngine, ServingEngine
+from repro.serve.gateway import (
+    ErrorEnvelope,
+    Gateway,
+    GatewayConfig,
+    ResponseEnvelope,
+    TenantConfig,
+)
+from repro.serve.loadgen import (
+    LoadRunner,
+    TenantLoad,
+    TraceConfig,
+    TraceEvent,
+    VirtualClock,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
 from repro.serve.health import (
     BurnRatePolicy,
     HealthConfig,
@@ -146,15 +184,19 @@ __all__ = [
     "AdmissionPolicy",
     "AdmissionRejectedError",
     "AsyncServer",
+    "AuthenticationError",
     "BatchRecord",
     "BurnRatePolicy",
     "ContinuousBatchingScheduler",
     "Counter",
     "DecodeRoundRecord",
+    "ErrorEnvelope",
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
     "FinishReason",
+    "Gateway",
+    "GatewayConfig",
     "Gauge",
     "HealthConfig",
     "HealthEvent",
@@ -166,6 +208,7 @@ __all__ = [
     "InjectedFault",
     "KVCacheConfig",
     "LayerKVCache",
+    "LoadRunner",
     "LogitsProcessor",
     "MicroBatcher",
     "MetricsRegistry",
@@ -179,8 +222,11 @@ __all__ = [
     "PhaseRow",
     "QueueFullError",
     "QueuedRequest",
+    "QuotaExceededError",
+    "RateLimitedError",
     "RepositoryStats",
     "RequestOutput",
+    "ResponseEnvelope",
     "RetryPolicy",
     "RetryableServingError",
     "SLOClass",
@@ -196,15 +242,23 @@ __all__ = [
     "ServingStats",
     "ServingSummary",
     "TemperatureWarper",
+    "TenantConfig",
+    "TenantLoad",
     "TokenChunk",
+    "TraceConfig",
+    "TraceEvent",
     "Tracer",
     "TopKFilter",
     "TopPFilter",
+    "VirtualClock",
     "WorkloadFamily",
     "cache_for_model",
     "default_processors",
     "exponential_buckets",
+    "generate_trace",
     "is_retryable",
+    "load_trace",
+    "save_trace",
     "top_k_candidates",
     "unified_event_log",
     "validate_chrome_trace",

@@ -155,8 +155,18 @@ class InferenceEngine:
             end_candidates = e_row.copy()
             end_candidates[:start] = -np.inf
             end = int(np.argmax(end_candidates))
+            # Normalized span probability: how much mass the argmax span
+            # holds vs every valid (start, end >= start) alternative.
+            s_probs = np.asarray(F.softmax(s_row[None, :], axis=-1))[0]
+            e_probs = np.asarray(F.softmax(end_candidates[None, :], axis=-1))[0]
+            confidence = float(s_probs[start] * e_probs[end])
             outputs.append(
-                {"start": start, "end": end, "score": float(s_row[start] + end_candidates[end])}
+                {
+                    "start": start,
+                    "end": end,
+                    "score": float(s_row[start] + end_candidates[end]),
+                    "confidence": confidence,
+                }
             )
         return outputs
 
@@ -331,6 +341,13 @@ class ServingEngine:
     preempt low-priority slots for queued high-priority work, and — with
     ``shed_on_burn_rate`` and ``health=`` both set — sheds below-floor
     traffic while burn-rate alerts fire.
+
+    ``prefill_chunk_tokens=`` enables chunked prefill on the continuous
+    scheduler: long prompts append K/V one bounded chunk per round,
+    interleaved with decode, so a single long document cannot stall every
+    interactive stream for a whole prompt-length pass (token-identical
+    greedy output; see
+    :class:`~repro.serve.scheduler.ContinuousBatchingScheduler`).
     """
 
     def __init__(
@@ -348,6 +365,7 @@ class ServingEngine:
         tracer=None,
         health=None,
         admission: Optional[AdmissionPolicy] = None,
+        prefill_chunk_tokens: Optional[int] = None,
     ) -> None:
         self.repository = repository or ModelRepository()
         self.clock = clock
@@ -386,6 +404,7 @@ class ServingEngine:
             tracer=tracer,
             admission=admission,
             health_monitor=self.health,
+            prefill_chunk_tokens=prefill_chunk_tokens,
         )
         # step() also returns its results, so callers that consume the return
         # value never call result(); the registries are therefore bounded
@@ -450,8 +469,11 @@ class ServingEngine:
         except QueueFullError:
             # The scheduler path records its own rejections; mirror that
             # accounting for micro-batcher traffic before re-raising.
-            self.stats.record_rejection("queue_full", request.slo_class)
+            self.stats.record_rejection(
+                "queue_full", request.slo_class, request.tenant
+            )
             raise
+        self.stats.record_submitted(request.tenant, request.slo_class)
         return request.request_id
 
     def warm(self, model: str, family: str, num_classes: int = 2) -> PackedModel:
@@ -692,6 +714,19 @@ class ServingEngine:
             return self._completed.pop(request_id)
         except KeyError as exc:
             raise ServingError(f"no completed result for request {request_id!r}") from exc
+
+    def failure(self, request_id: str) -> Optional[Exception]:
+        """Peek the recorded failure of ``request_id`` without consuming it.
+
+        :meth:`result` raises (and forgets) a failed request; the gateway's
+        poll path needs to *distinguish* failed from still-pending without
+        destroying the record, so this read is non-destructive.
+        """
+        return self._failed.get(request_id)
+
+    def is_completed(self, request_id: str) -> bool:
+        """True when :meth:`result` would return (not raise) for this id."""
+        return request_id in self._completed
 
     @property
     def pending(self) -> int:

@@ -19,7 +19,13 @@ policy) may reasonably retry after backing off:
   rejected a low-priority request while an SLO burn-rate alert fires;
 * :class:`InjectedFault` — a deterministic fault from
   :mod:`repro.serve.faultinject`, modelling the transient round errors
-  (allocator hiccups, cache-decode failures) real serving fleets retry.
+  (allocator hiccups, cache-decode failures) real serving fleets retry;
+* :class:`RateLimitedError` / :class:`QuotaExceededError` — the gateway's
+  per-tenant token bucket ran dry / the tenant's concurrent-request quota is
+  full; both clear as time passes or in-flight requests finish.
+
+:class:`AuthenticationError` (unknown or wrong tenant API key) is terminal:
+resending the same bad credential can never succeed.
 
 Use :func:`is_retryable` rather than ``isinstance`` checks so call sites
 survive taxonomy growth.
@@ -31,8 +37,11 @@ from repro.core.errors import ReproError
 
 __all__ = [
     "AdmissionRejectedError",
+    "AuthenticationError",
     "InjectedFault",
     "QueueFullError",
+    "QuotaExceededError",
+    "RateLimitedError",
     "RetryableServingError",
     "ServingError",
     "is_retryable",
@@ -57,6 +66,18 @@ class AdmissionRejectedError(RetryableServingError):
 
 class InjectedFault(RetryableServingError):
     """A deterministic fault injected by :mod:`repro.serve.faultinject`."""
+
+
+class AuthenticationError(ServingError):
+    """The gateway rejected the request's tenant API key (terminal)."""
+
+
+class RateLimitedError(RetryableServingError):
+    """The tenant's token-bucket rate limit ran dry; retry after backoff."""
+
+
+class QuotaExceededError(RetryableServingError):
+    """The tenant's concurrent-request quota is full; retry as work drains."""
 
 
 def is_retryable(exc: BaseException) -> bool:

@@ -15,7 +15,7 @@ Prometheus-style registry); this module *interprets* them.  Three pieces:
     Evaluates the objectives continuously against the *existing* serving
     instruments — the ``serve_ttft_seconds`` / ``serve_request_latency_seconds``
     histograms (per ``slo_class`` label) and the
-    ``serve_requests_finished_total{reason,slo_class}`` counter — exposing
+    ``serve_requests_finished_total{reason,slo_class,tenant}`` counter — exposing
     ``serve_slo_attainment{slo_class,objective}`` gauges, windowed
     ``serve_slo_burn_rate`` gauges and cumulative error-budget counters.
     Alerting follows the multi-window burn-rate recipe: an alert *fires*
@@ -262,7 +262,7 @@ class HealthMonitor:
         )
         self._m_finished = r.counter(
             "serve_requests_finished_total", "Finished generation requests",
-            labels=("reason", "slo_class"),
+            labels=("reason", "slo_class", "tenant"),
         )
         # The write-side (derived) instruments.
         self._m_attainment = r.gauge(
@@ -306,12 +306,14 @@ class HealthMonitor:
     def _observed(self, cls: SLOClass, objective: str) -> Tuple[float, float]:
         """``(good, total)`` cumulative events of one class/objective."""
         if objective == "availability":
+            # value_sum aggregates across the tenant label: availability is
+            # per-class, whichever tenants contributed.
             good = sum(
-                self._m_finished.value(reason=reason, slo_class=cls.name)
+                self._m_finished.value_sum(reason=reason, slo_class=cls.name)
                 for reason in _GOOD_FINISHES
             )
             bad = sum(
-                self._m_finished.value(reason=reason, slo_class=cls.name)
+                self._m_finished.value_sum(reason=reason, slo_class=cls.name)
                 for reason in _BAD_FINISHES
             )
             return good, good + bad

@@ -101,6 +101,14 @@ class InferenceRequest:
         Optional explicit admission priority (higher wins).  Overrides the
         :class:`~repro.serve.admission.AdmissionPolicy` class-priority
         mapping for this one request; ``None`` defers to the policy.
+    tenant:
+        The tenant this request is billed to (see
+        :mod:`repro.serve.gateway`).  Like ``slo_class`` it is purely an
+        accounting label — it never fragments batches — but it is threaded
+        through the scheduler into the
+        ``serve_requests_{submitted,rejected,finished}_total`` counters so
+        per-tenant traffic and rejection rates are observable.  The default
+        ``"-"`` marks untenanted (direct-to-engine) traffic.
     """
 
     model: str
@@ -114,10 +122,13 @@ class InferenceRequest:
     slo_class: str = "default"
     deadline_s: Optional[float] = None
     priority: Optional[int] = None
+    tenant: str = "-"
 
     def __post_init__(self) -> None:
         if not self.slo_class or not isinstance(self.slo_class, str):
             raise ServingError("slo_class must be a non-empty string")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ServingError("tenant must be a non-empty string")
         if self.deadline_s is not None:
             self.deadline_s = float(self.deadline_s)
             if not self.deadline_s > 0:

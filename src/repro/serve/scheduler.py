@@ -42,7 +42,16 @@ admits/retires sequences *mid-flight*:
   bytes, so they are registered under the prefix index, the slot drops, and
   the re-queued request resumes by re-attaching them copy-on-write and
   prefilling only the open-page suffix — greedy output is token-identical
-  to an uninterrupted run.
+  to an uninterrupted run;
+* **chunked prefill** — with ``prefill_chunk_tokens`` set, a prompt whose
+  un-shared suffix exceeds the chunk admits into its slot immediately but
+  appends K/V one bounded chunk per round, interleaved with the other
+  slots' decode steps; intermediate chunks skip the LM-head GEMM entirely.
+  One tenant's long document therefore delays each decode round by at most
+  a chunk instead of the whole prompt, and greedy output stays
+  token-identical to unchunked prefill (chunk boundaries are page-aligned
+  for quantized caches, so every position attends the same
+  quantized/fp32 past either way).
 
 Every sampled token is also emitted as a
 :class:`~repro.serve.sampling.TokenChunk` (drained by the engine's
@@ -127,6 +136,15 @@ class _Slot:
     last_token_at: Optional[float] = None
     prefill_tokens: int = 0   # prompt tokens actually prefilled (suffix only
     shared_tokens: int = 0    # ... when shared_tokens came from the page pool)
+    # Chunked prefill: the chain tokens not yet appended to the cache (None
+    # once prefill completed) and the full chain for prefix registration.
+    pending_tokens: Optional[np.ndarray] = None
+    chain: Optional[np.ndarray] = None
+
+    @property
+    def prefilling(self) -> bool:
+        """True while the slot still owes prompt chunks (no decode yet)."""
+        return self.pending_tokens is not None
 
     @property
     def request(self) -> InferenceRequest:
@@ -204,6 +222,17 @@ class ContinuousBatchingScheduler:
         Optional :class:`~repro.serve.health.HealthMonitor` consulted by the
         policy's shed-on-burn-rate mode: while any burn-rate alert is
         firing, below-floor-priority submissions are rejected.
+    prefill_chunk_tokens:
+        Enable chunked prefill: a prompt whose un-shared suffix exceeds this
+        many tokens admits into its slot immediately but appends K/V in
+        chunks of at most this size, one chunk per :meth:`step`, interleaved
+        with the other slots' decode rounds — so one tenant's long document
+        cannot monopolise a round and starve interactive streams.  Greedy
+        output is token-identical to unchunked prefill; with quantized
+        caches the chunk size must be a multiple of ``page_size`` (chunk
+        boundaries then land exactly on page seals, so every position
+        attends the same mix of quantized/fp32 past either way).  ``None``
+        (default) prefills whole prompts in one pass, exactly as before.
     """
 
     def __init__(
@@ -219,12 +248,28 @@ class ContinuousBatchingScheduler:
         tracer=None,
         admission: Optional[AdmissionPolicy] = None,
         health_monitor=None,
+        prefill_chunk_tokens: Optional[int] = None,
     ) -> None:
         if num_slots < 1:
             raise ServingError("num_slots must be >= 1")
         self.repository = repository
         self.num_slots = int(num_slots)
         self.cache_config = cache_config or KVCacheConfig(bits=repository.bits)
+        if prefill_chunk_tokens is not None:
+            prefill_chunk_tokens = int(prefill_chunk_tokens)
+            if prefill_chunk_tokens < 1:
+                raise ServingError("prefill_chunk_tokens must be >= 1")
+            if (
+                self.cache_config.quantize
+                and prefill_chunk_tokens % self.cache_config.page_size
+            ):
+                raise ServingError(
+                    "prefill_chunk_tokens must be a multiple of page_size "
+                    f"({self.cache_config.page_size}) for quantized caches: "
+                    "chunk boundaries must land on page seals to keep chunked "
+                    "prefill token-identical to unchunked"
+                )
+        self.prefill_chunk_tokens = prefill_chunk_tokens
         self.clock = clock
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -263,6 +308,7 @@ class ContinuousBatchingScheduler:
         self._pending_gaps: List[float] = []
         self._pending_finishes: List[str] = []
         self._pending_finish_classes: List[str] = []
+        self._pending_finish_tenants: List[str] = []
         self._pending_latencies: List[float] = []
         self._pending_latency_classes: List[str] = []
         self._pending_proposed = 0
@@ -310,6 +356,8 @@ class ContinuousBatchingScheduler:
         if request.deadline_s is not None:
             self._deadline_watch = True
         self._queue.append(QueuedRequest(request=request, enqueued_at=self.clock()))
+        if self.stats is not None:
+            self.stats.record_submitted(request.tenant, request.slo_class)
         if self.tracer.enabled:
             self.tracer.lifecycle_begin(
                 request.request_id, "queued", {"model": request.model}
@@ -327,7 +375,9 @@ class ContinuousBatchingScheduler:
         ):
             self.rejected += 1
             if self.stats is not None:
-                self.stats.record_rejection("queue_full", request.slo_class)
+                self.stats.record_rejection(
+                    "queue_full", request.slo_class, request.tenant
+                )
             raise QueueFullError(
                 f"scheduler queue full "
                 f"({len(self._queue)}/{policy.max_queue_depth}); "
@@ -341,7 +391,7 @@ class ContinuousBatchingScheduler:
         ):
             self.rejected += 1
             if self.stats is not None:
-                self.stats.record_rejection("shed", request.slo_class)
+                self.stats.record_rejection("shed", request.slo_class, request.tenant)
             raise AdmissionRejectedError(
                 f"shedding {request.request_id!r} "
                 f"(class {request.slo_class!r}, priority "
@@ -425,6 +475,12 @@ class ContinuousBatchingScheduler:
         try:
             with self.tracer.span("round"):
                 prefill_tokens, fresh, resumed = self._admit()
+                # Chunk-prefilling slots advance one bounded chunk per round;
+                # a slot whose final chunk lands emits its first token here
+                # (fresh) or rejoins decode immediately (resumed).
+                chunk_tokens, chunk_fresh = self._advance_prefills()
+                prefill_tokens += chunk_tokens
+                fresh = fresh + chunk_fresh
                 # Fresh admissions already produced their first token during
                 # prefill; resumed slots produced nothing new, so they rejoin
                 # the decode round immediately (preemption costs zero rounds).
@@ -497,6 +553,7 @@ class ContinuousBatchingScheduler:
         active = self.num_active + len(results)
         finish_reasons = tuple(self._pending_finishes)
         finish_classes = tuple(self._pending_finish_classes)
+        finish_tenants = tuple(self._pending_finish_tenants)
         latencies = tuple(self._pending_latencies)
         latency_classes = tuple(self._pending_latency_classes)
         ttfts = tuple(self._pending_ttfts)
@@ -506,6 +563,7 @@ class ContinuousBatchingScheduler:
         preempt_classes = tuple(self._pending_preempt_classes)
         self._pending_finishes = []
         self._pending_finish_classes = []
+        self._pending_finish_tenants = []
         self._pending_latencies = []
         self._pending_latency_classes = []
         self._pending_ttfts = []
@@ -550,6 +608,7 @@ class ContinuousBatchingScheduler:
                 latency_classes=latency_classes,
                 first_token_classes=ttft_classes,
                 finish_classes=finish_classes,
+                finish_tenants=finish_tenants,
                 preempted_classes=preempt_classes,
                 queue_depth=len(self._queue),
                 slot_kv_bytes=slot_kv_bytes,
@@ -596,6 +655,7 @@ class ContinuousBatchingScheduler:
                     "slot": index,
                     "request_id": slot.request.request_id,
                     "slo_class": slot.request.slo_class,
+                    "tenant": slot.request.tenant,
                     "kv_bytes": slot.cache.cache_bytes,
                     "kv_fp32_bytes": slot.cache.fp32_bytes,
                     "prompt_tokens": slot.request.seq_len,
@@ -603,8 +663,23 @@ class ContinuousBatchingScheduler:
                 }
             )
         consumers.sort(key=lambda c: (-c["kv_bytes"], c["slot"]))
+        # Queue depth broken down the way operators triage it: which SLO
+        # class / priority / tenant is the backlog, not just how deep.
+        by_class: Dict[str, int] = {}
+        by_priority: Dict[str, int] = {}
+        by_tenant: Dict[str, int] = {}
+        for queued in self._queue:
+            request = queued.request
+            by_class[request.slo_class] = by_class.get(request.slo_class, 0) + 1
+            by_tenant[request.tenant] = by_tenant.get(request.tenant, 0) + 1
+            if self.admission is not None:
+                prio = str(self.admission.priority_of(request))
+                by_priority[prio] = by_priority.get(prio, 0) + 1
         return {
             "queue_depth": len(self._queue),
+            "queue_depth_by_class": by_class,
+            "queue_depth_by_priority": by_priority,
+            "queue_depth_by_tenant": by_tenant,
             "active_slots": self.num_active,
             "num_slots": self.num_slots,
             "slot_occupancy": self.slot_occupancy,
@@ -658,10 +733,17 @@ class ContinuousBatchingScheduler:
                         queued.request.request_id, {"reason": FinishReason.ERROR}
                     )
             groups = {}
+            chunk = self.prefill_chunk_tokens
             for item in staged:
                 _, queued, entry, shared, chain = item
                 shared_tokens = shared[0] * self.cache_config.page_size if shared else 0
                 suffix_len = int(chain.size) - shared_tokens
+                if chunk is not None and suffix_len > chunk:
+                    # Long suffix: take the slot now but append K/V in
+                    # bounded chunks over the coming rounds (_advance_prefills)
+                    # instead of one monopolising pass.
+                    self._stage_chunked(item, shared_tokens)
+                    continue
                 groups.setdefault((id(entry), suffix_len), []).append(item)
             fresh: List[_Slot] = []
             resumed: List[_Slot] = []
@@ -671,6 +753,181 @@ class ContinuousBatchingScheduler:
             self.admitted += len(fresh)
             prefilled = sum(slot.prefill_tokens for slot in fresh + resumed)
             return prefilled, fresh, resumed
+
+    def _stage_chunked(
+        self,
+        item: Tuple[int, QueuedRequest, PackedModel, Optional[tuple], np.ndarray],
+        shared_tokens: int,
+    ) -> None:
+        """Occupy a slot for chunked prefill without running the model yet.
+
+        The cache is built (shared prefix attached copy-on-write) and the
+        un-appended chain suffix parks on the slot as ``pending_tokens``;
+        :meth:`_advance_prefills` feeds it through the model one bounded
+        chunk per round.  A resumed request restores its stream state here
+        so a cancel/deadline landing mid-prefill still reports everything
+        delivered before its eviction.
+        """
+        index, queued, entry, shared, chain = item
+        try:
+            cache = cache_for_model(entry.model, self.cache_config, pool=self.page_pool)
+            if shared is not None:
+                num_pages, layers_k, layers_v = shared
+                cache.attach_prefix(
+                    layers_k, layers_v, num_pages * self.cache_config.page_size
+                )
+        except Exception as exc:
+            self._failed.append((queued.request.request_id, exc))
+            if self.tracer.enabled:
+                self.tracer.lifecycle_end(
+                    queued.request.request_id, {"reason": FinishReason.ERROR}
+                )
+            return
+        resume = queued.resume
+        if resume is None:
+            sampler = Sampler(queued.request.sampling)
+            slot = _Slot(
+                queued=queued,
+                entry=entry,
+                cache=cache,
+                sampler=sampler,
+                generator=sampler.make_generator(),
+                shared_tokens=shared_tokens,
+                pending_tokens=chain[cache.seq_len:],
+                chain=chain,
+            )
+            self.admitted += 1
+        else:
+            slot = _Slot(
+                queued=queued,
+                entry=entry,
+                cache=cache,
+                sampler=resume.sampler,
+                generator=resume.generator,
+                generated=list(resume.generated),
+                logprobs=list(resume.logprobs),
+                top_logprobs=list(resume.top_logprobs),
+                last_log_probs=resume.last_log_probs,
+                last_token_at=resume.last_token_at,
+                shared_tokens=shared_tokens,
+                pending_tokens=chain[cache.seq_len:],
+                chain=chain,
+            )
+        self._slots[index] = slot
+
+    def _advance_prefills(self) -> Tuple[int, List[_Slot]]:
+        """Feed every chunk-prefilling slot its next bounded chunk.
+
+        Slots sharing a model entry, chunk length and finality advance in
+        one batched incremental pass.  Intermediate chunks run the backbone
+        only — their hidden states are never consumed, so the O(t × vocab)
+        LM-head GEMM is skipped.  The final chunk runs the full
+        ``last_only`` pass: the chain's pages register under the prefix
+        index and a fresh request emits its first token (a resumed one
+        discards the output — its next token was already delivered before
+        eviction — and rejoins decode this same round).
+
+        Returns ``(chunk_tokens_appended, fresh_slots_completed)``.
+        """
+        pending = [
+            slot
+            for slot in self._slots
+            if slot is not None and slot.prefilling and not slot.done
+        ]
+        if not pending:
+            return 0, []
+        chunk = self.prefill_chunk_tokens
+        groups: Dict[Tuple[int, int, bool], List[_Slot]] = {}
+        for slot in pending:
+            take = min(chunk, int(slot.pending_tokens.size))
+            final = take == int(slot.pending_tokens.size)
+            groups.setdefault((id(slot.entry), take, final), []).append(slot)
+        tokens = 0
+        completed_fresh: List[_Slot] = []
+        with self.tracer.span("chunked_prefill"):
+            for (_, take, final), slots in groups.items():
+                completed, appended = self._prefill_chunk(slots, take, final)
+                tokens += appended
+                completed_fresh.extend(completed)
+        return tokens, completed_fresh
+
+    def _prefill_chunk(
+        self, slots: List[_Slot], take: int, final: bool
+    ) -> Tuple[List[_Slot], int]:
+        """Run one ``take``-token chunk for ``slots`` (one batched pass).
+
+        On a failed pass a multi-slot group retries slot by slot so one bad
+        sequence cannot fail its co-batched neighbours; a single slot's
+        failure frees it with a terminal ``error`` exactly like a failed
+        admission prefill would have.  Returns the fresh slots whose prefill
+        completed (first token emitted) and the tokens actually appended.
+        """
+        entry = slots[0].entry
+        step_tokens = np.stack([slot.pending_tokens[:take] for slot in slots])
+        caches = [slot.cache for slot in slots]
+        try:
+            if final:
+                log_probs = entry.model.log_probs_incremental(
+                    step_tokens, caches, last_only=True
+                )[:, -1, :]
+            else:
+                entry.model.backbone.forward_incremental(step_tokens, caches)
+                log_probs = None
+        except Exception as exc:
+            if len(slots) > 1:
+                completed: List[_Slot] = []
+                appended = 0
+                for slot in slots:
+                    done, tokens = self._prefill_chunk([slot], take, final)
+                    completed.extend(done)
+                    appended += tokens
+                return completed, appended
+            self._fail_prefilling_slot(slots[0], exc)
+            return [], 0
+        now = self.clock()
+        completed: List[_Slot] = []
+        for row, slot in enumerate(slots):
+            slot.prefill_tokens += take
+            if not final:
+                slot.pending_tokens = slot.pending_tokens[take:]
+                continue
+            slot.pending_tokens = None
+            if self.cache_config.prefix_sharing:
+                self.page_pool.register_prefix(
+                    self._prefix_key(slot.request), slot.chain, slot.cache
+                )
+            if slot.queued.resume is None:
+                self._emit_token(slot, log_probs[row], now)
+                completed.append(slot)
+            if self.tracer.enabled:
+                self.tracer.lifecycle_begin(
+                    slot.request.request_id,
+                    "decode",
+                    {"resumed": True} if slot.queued.resume is not None else None,
+                )
+        return completed, take * len(slots)
+
+    def _fail_prefilling_slot(self, slot: _Slot, exc: Exception) -> None:
+        """Free a slot whose prefill chunk failed; the stream ends in ``error``."""
+        index = self._slots.index(slot)
+        self._failed.append((slot.request.request_id, exc))
+        self._chunks.append(
+            TokenChunk(
+                request_id=slot.request.request_id,
+                index=len(slot.generated),
+                token_id=None,
+                finish_reason=FinishReason.ERROR,
+            )
+        )
+        self._pending_finishes.append(FinishReason.ERROR)
+        self._pending_finish_classes.append(slot.request.slo_class)
+        self._pending_finish_tenants.append(slot.request.tenant)
+        if self.tracer.enabled:
+            self.tracer.lifecycle_end(
+                slot.request.request_id, {"reason": FinishReason.ERROR}
+            )
+        slot.cache.release()
+        self._slots[index] = None
 
     def _pop_next(self) -> QueuedRequest:
         """Pop the next request to admit: highest priority, FIFO among ties."""
@@ -768,23 +1025,36 @@ class ContinuousBatchingScheduler:
         slot = self._slots[index]
         request = slot.request
         if self.cache_config.prefix_sharing:
-            chain = np.concatenate(
-                [
-                    request.token_ids,
-                    np.asarray(slot.generated[:-1], dtype=np.int64),
-                ]
-            )
+            if slot.prefilling:
+                # Mid-chunked-prefill: only the appended (sealed-page) part
+                # of the chain exists; index exactly that, so the resume
+                # re-attaches it and re-prefills only the rest.
+                chain = slot.chain[: slot.cache.seq_len]
+            else:
+                chain = np.concatenate(
+                    [
+                        request.token_ids,
+                        np.asarray(slot.generated[:-1], dtype=np.int64),
+                    ]
+                )
             self.page_pool.register_prefix(self._prefix_key(request), chain, slot.cache)
-        resume = _ResumeState(
-            generated=list(slot.generated),
-            logprobs=list(slot.logprobs),
-            top_logprobs=list(slot.top_logprobs),
-            sampler=slot.sampler,
-            generator=slot.generator,
-            last_log_probs=slot.last_log_probs,
-            last_token_at=slot.last_token_at,
-            preempted_at=self.clock(),
-        )
+        if slot.prefilling and not slot.generated:
+            # A fresh request evicted before its prefill completed has
+            # emitted nothing and drawn nothing from its generator: it
+            # re-queues as if never admitted (the indexed pages still make
+            # its next admission cheap).
+            resume = None
+        else:
+            resume = _ResumeState(
+                generated=list(slot.generated),
+                logprobs=list(slot.logprobs),
+                top_logprobs=list(slot.top_logprobs),
+                sampler=slot.sampler,
+                generator=slot.generator,
+                last_log_probs=slot.last_log_probs,
+                last_token_at=slot.last_token_at,
+                preempted_at=self.clock(),
+            )
         slot.cache.release()
         self._slots[index] = None
         self.preempted += 1
@@ -798,7 +1068,10 @@ class ContinuousBatchingScheduler:
             self.tracer.lifecycle_begin(
                 request.request_id,
                 "queued",
-                {"preempted": True, "tokens": len(resume.generated)},
+                {
+                    "preempted": True,
+                    "tokens": len(resume.generated) if resume is not None else 0,
+                },
             )
 
     def _prefix_key(self, request: InferenceRequest) -> tuple:
@@ -874,6 +1147,7 @@ class ContinuousBatchingScheduler:
             )
             self._pending_finishes.append(FinishReason.ERROR)
             self._pending_finish_classes.append(slot.request.slo_class)
+            self._pending_finish_tenants.append(slot.request.tenant)
             if self.tracer.enabled:
                 self.tracer.lifecycle_end(
                     slot.request.request_id, {"reason": FinishReason.ERROR}
@@ -937,6 +1211,7 @@ class ContinuousBatchingScheduler:
         self._slots[index] = None
         self._pending_finishes.append(reason)
         self._pending_finish_classes.append(slot.request.slo_class)
+        self._pending_finish_tenants.append(slot.request.tenant)
         self._pending_latencies.append(result.latency)
         self._pending_latency_classes.append(slot.request.slo_class)
         self._chunks.append(
@@ -987,6 +1262,7 @@ class ContinuousBatchingScheduler:
         resume = queued.resume
         self._pending_finishes.append(reason)
         self._pending_finish_classes.append(request.slo_class)
+        self._pending_finish_tenants.append(request.tenant)
         self._pending_latencies.append(now - queued.enqueued_at)
         self._pending_latency_classes.append(request.slo_class)
         self._chunks.append(
@@ -1229,7 +1505,10 @@ class ContinuousBatchingScheduler:
         active = [
             slot
             for slot in self._slots
-            if slot is not None and not slot.done and id(slot) not in skip
+            if slot is not None
+            and not slot.done
+            and not slot.prefilling
+            and id(slot) not in skip
         ]
         if not active:
             return 0
@@ -1429,7 +1708,12 @@ class ContinuousBatchingScheduler:
     ) -> InferenceResult:
         """Assemble the typed output of a finished (or cancelled) slot."""
         request = slot.request
-        top = greedy_top_k(slot.last_log_probs, request.top_k)
+        if slot.last_log_probs is None:
+            # Terminated mid-chunked-prefill: no position was ever scored,
+            # so there is no final distribution to report candidates from.
+            top = {"next_tokens": [], "log_probs": []}
+        else:
+            top = greedy_top_k(slot.last_log_probs, request.top_k)
         kv_summary = slot.cache.memory_summary()
         kv_summary["prefix_shared_tokens"] = slot.shared_tokens
         output = RequestOutput(
@@ -1490,6 +1774,7 @@ class ContinuousBatchingScheduler:
                     )
                     self._pending_finishes.append(slot.finish_reason)
                     self._pending_finish_classes.append(slot.request.slo_class)
+                    self._pending_finish_tenants.append(slot.request.tenant)
                     self._pending_latencies.append(results[-1].latency)
                     self._pending_latency_classes.append(slot.request.slo_class)
                     self._register_generated_suffix(slot)

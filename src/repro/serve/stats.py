@@ -30,6 +30,10 @@ _TOKEN_BUCKETS = exponential_buckets(1e-5, 2.0, 14)
 #: SLO class used for observations recorded without a class annotation.
 _DEFAULT_CLASS = "default"
 
+#: Tenant label used for observations recorded without a tenant annotation
+#: (direct-to-engine traffic that never passed through the gateway).
+_DEFAULT_TENANT = "-"
+
 
 def _classes_for(values, classes) -> tuple:
     """Per-value SLO classes, backfilled with ``default`` on length mismatch.
@@ -43,6 +47,15 @@ def _classes_for(values, classes) -> tuple:
     if len(classes) == len(values):
         return classes
     return (_DEFAULT_CLASS,) * len(values)
+
+
+def _tenants_for(values, tenants) -> tuple:
+    """Per-value tenants, backfilled with ``"-"`` on length mismatch."""
+    values = tuple(values)
+    tenants = tuple(tenants)
+    if len(tenants) == len(values):
+        return tenants
+    return (_DEFAULT_TENANT,) * len(values)
 
 
 def _finite(values) -> np.ndarray:
@@ -132,6 +145,9 @@ class DecodeRoundRecord:
     latency_classes: tuple = ()
     first_token_classes: tuple = ()
     finish_classes: tuple = ()
+    # Tenant of each finished request, parallel to finish_reasons (empty
+    # tuples backfill as "-" — see _tenants_for).
+    finish_tenants: tuple = ()
     # SLO class of each request preempted (slot evicted, re-queued) this round.
     preempted_classes: tuple = ()
     # Resource accounting at round end (zero when the scheduler predates it).
@@ -342,13 +358,19 @@ class ServingStats:
         self._m_finished = r.counter(
             "serve_requests_finished_total",
             "Finished generation requests",
-            labels=("reason", "slo_class"),
+            labels=("reason", "slo_class", "tenant"),
+        )
+        # Tenant-facing counters (gateway front door; "-" = untenanted).
+        self._m_submitted = r.counter(
+            "serve_requests_submitted_total",
+            "Requests accepted into the serving engine",
+            labels=("tenant", "slo_class"),
         )
         # Resilience counters (admission control / deadlines / preemption).
         self._m_rejected = r.counter(
             "serve_requests_rejected_total",
             "Requests rejected at admission",
-            labels=("reason", "slo_class"),
+            labels=("reason", "slo_class", "tenant"),
         )
         self._m_preemptions = r.counter(
             "serve_preemptions_total",
@@ -444,8 +466,11 @@ class ServingStats:
         self._m_proposed.inc(record.draft_proposed_tokens)
         self._m_accepted.inc(record.draft_accepted_tokens)
         finish_classes = _classes_for(record.finish_reasons, record.finish_classes)
-        for reason, cls in zip(record.finish_reasons, finish_classes):
-            self._m_finished.inc(reason=str(reason), slo_class=cls)
+        finish_tenants = _tenants_for(record.finish_reasons, record.finish_tenants)
+        for reason, cls, tenant in zip(
+            record.finish_reasons, finish_classes, finish_tenants
+        ):
+            self._m_finished.inc(reason=str(reason), slo_class=cls, tenant=str(tenant))
             if str(reason) == "deadline":
                 self._m_deadline_misses.inc(slo_class=cls)
         for cls in record.preempted_classes:
@@ -468,14 +493,27 @@ class ServingStats:
         for slot_index, nbytes in enumerate(record.slot_kv_bytes):
             self._m_slot_kv.set(nbytes, slot=str(slot_index))
 
-    def record_rejection(self, reason: str, slo_class: str = _DEFAULT_CLASS) -> None:
+    def record_submitted(
+        self, tenant: str = _DEFAULT_TENANT, slo_class: str = _DEFAULT_CLASS
+    ) -> None:
+        """Count one request accepted into the engine (post-admission)."""
+        self._m_submitted.inc(tenant=str(tenant), slo_class=str(slo_class))
+
+    def record_rejection(
+        self,
+        reason: str,
+        slo_class: str = _DEFAULT_CLASS,
+        tenant: str = _DEFAULT_TENANT,
+    ) -> None:
         """Count one admission rejection (``queue_full`` / ``shed`` / ...).
 
         Rejections never enter the windowed record log: a rejected request
         does no work, so it must not perturb latency/throughput aggregates —
         only the dedicated counter (and the watchdog reading it) sees it.
         """
-        self._m_rejected.inc(reason=str(reason), slo_class=str(slo_class))
+        self._m_rejected.inc(
+            reason=str(reason), slo_class=str(slo_class), tenant=str(tenant)
+        )
 
     def record_chunks_evicted(self, count: int) -> None:
         """Count stream chunks dropped by the engine's bounded result buffer."""

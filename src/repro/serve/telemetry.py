@@ -140,6 +140,33 @@ class Counter(_Metric):
         with self._lock:
             return self._values.get(key, 0.0)
 
+    def value_sum(self, **labels: Any) -> float:
+        """Sum over every series whose labels match the given subset.
+
+        Readers that care about one dimension of a multi-label counter
+        (e.g. per-``slo_class`` totals of a ``{reason,slo_class,tenant}``
+        counter) aggregate here instead of enumerating the other label
+        values, so adding a label never breaks them.  Unknown label names
+        raise, exactly like :meth:`value` on a full mismatch.
+        """
+        unknown = set(labels) - set(self.label_names)
+        if unknown:
+            raise ValueError(
+                f"{self.name}: unknown label(s) {sorted(unknown)}; "
+                f"expected a subset of {list(self.label_names)}"
+            )
+        positions = [
+            (i, str(labels[name]))
+            for i, name in enumerate(self.label_names)
+            if name in labels
+        ]
+        with self._lock:
+            return sum(
+                v
+                for key, v in self._values.items()
+                if all(key[i] == want for i, want in positions)
+            )
+
     def _render(self, lines: List[str]) -> None:
         values = dict(self._values) or ({(): 0.0} if not self.label_names else {})
         for key in sorted(values):

@@ -1,0 +1,31 @@
+"""End-to-end workload pipelines built on the serving stack.
+
+Where :mod:`repro.serve` provides the machinery (engine, scheduler,
+gateway), this package provides *applications* of it — multi-request
+pipelines with their own quality harnesses:
+
+* :mod:`repro.workloads.docqa` — document question answering: fan each
+  question across overlapping document chunks through the gateway's span
+  family, aggregate the per-chunk answers by confidence, and check every
+  answer against an expected span and a per-question confidence floor.
+"""
+
+from repro.workloads.docqa import (
+    ChunkAnswer,
+    DocQAPipeline,
+    ExpectedAnswer,
+    Question,
+    QuestionResult,
+    chunk_document,
+    run_harness,
+)
+
+__all__ = [
+    "ChunkAnswer",
+    "DocQAPipeline",
+    "ExpectedAnswer",
+    "Question",
+    "QuestionResult",
+    "chunk_document",
+    "run_harness",
+]

@@ -1,0 +1,287 @@
+"""Document question answering over the multi-tenant gateway.
+
+The pipeline mirrors a production retrieval-free document-QA service (the
+DocuSenseLM review harness is the model): a long document is split into
+overlapping token chunks, every question is fanned out as one span-extraction
+request per chunk, and the per-chunk answers are aggregated by **normalized
+span confidence** — the product of the start/end softmax probabilities the
+span head assigned the argmax span (see ``ServingEngine._run_span``).  The
+winning chunk's span, mapped back to document coordinates, is the answer.
+
+Every request flows through the :class:`~repro.serve.gateway.Gateway`, so a
+document-QA tenant is rate-limited, metered, and SLO-tracked exactly like
+any other tenant, and the span fan-out exercises the micro-batcher path
+(same-shape chunks batch together).
+
+The quality harness follows the review-file idiom: each question carries an
+*expected* answer span and a *minimum confidence* floor; :func:`run_harness`
+reports, per question, the answer, its confidence, whether the floor held
+and whether the expected span matched — plus an overall pass flag the
+benchmark regression gate pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.errors import ServingError
+from repro.serve.requests import WorkloadFamily
+from repro.serve.requests import InferenceRequest
+
+__all__ = [
+    "Question",
+    "ExpectedAnswer",
+    "ChunkAnswer",
+    "QuestionResult",
+    "chunk_document",
+    "DocQAPipeline",
+    "run_harness",
+]
+
+
+@dataclass(frozen=True)
+class Question:
+    """One question: an id and its token-id rendering."""
+
+    question_id: str
+    token_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.question_id:
+            raise ServingError("question_id must be non-empty")
+        if not self.token_ids:
+            raise ServingError("a question needs at least one token")
+        object.__setattr__(
+            self, "token_ids", tuple(int(t) for t in self.token_ids)
+        )
+
+
+@dataclass(frozen=True)
+class ExpectedAnswer:
+    """The harness's expectation for one question.
+
+    ``expected_span`` is ``(start, end)`` in *document* coordinates
+    (inclusive, like the span head's output); ``min_confidence`` is the
+    floor the aggregated answer's confidence must clear.  Leave
+    ``expected_span`` ``None`` to check only the floor.
+    """
+
+    question_id: str
+    min_confidence: float
+    expected_span: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ServingError("min_confidence must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class ChunkAnswer:
+    """The span head's answer for one (question, chunk) pair."""
+
+    chunk_index: int
+    doc_start: int          # document coordinates (inclusive)
+    doc_end: int
+    confidence: float
+    score: float
+    in_question: bool       # span landed inside the question prefix
+
+
+@dataclass
+class QuestionResult:
+    """The aggregated answer to one question."""
+
+    question_id: str
+    answer: Optional[ChunkAnswer]
+    chunk_answers: List[ChunkAnswer] = field(default_factory=list)
+
+    @property
+    def confidence(self) -> float:
+        return self.answer.confidence if self.answer is not None else 0.0
+
+    @property
+    def span(self) -> Optional[Tuple[int, int]]:
+        if self.answer is None:
+            return None
+        return (self.answer.doc_start, self.answer.doc_end)
+
+
+def chunk_document(
+    document: Sequence[int], chunk_tokens: int, overlap: int = 0
+) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Split ``document`` into ``(offset, tokens)`` windows.
+
+    Windows are ``chunk_tokens`` long and successive windows share
+    ``overlap`` tokens, so an answer span crossing a chunk boundary is
+    still wholly inside some window (provided it is shorter than
+    ``overlap``).
+    """
+    if chunk_tokens < 1:
+        raise ServingError("chunk_tokens must be >= 1")
+    if not 0 <= overlap < chunk_tokens:
+        raise ServingError("overlap must satisfy 0 <= overlap < chunk_tokens")
+    tokens = [int(t) for t in document]
+    if not tokens:
+        raise ServingError("document must be non-empty")
+    stride = chunk_tokens - overlap
+    chunks: List[Tuple[int, Tuple[int, ...]]] = []
+    offset = 0
+    while True:
+        window = tokens[offset : offset + chunk_tokens]
+        chunks.append((offset, tuple(window)))
+        if offset + chunk_tokens >= len(tokens):
+            break
+        offset += stride
+    return chunks
+
+
+class DocQAPipeline:
+    """Fan questions across document chunks through a gateway tenant.
+
+    Parameters
+    ----------
+    gateway:
+        The :class:`~repro.serve.gateway.Gateway` to submit through.
+    api_key:
+        The docqa tenant's API key.
+    model:
+        Span-family model name (``bert-base`` in the zoo).
+    chunk_tokens / overlap:
+        Document windowing (see :func:`chunk_document`).
+    """
+
+    def __init__(
+        self,
+        gateway,
+        api_key: str,
+        model: str = "bert-base",
+        chunk_tokens: int = 48,
+        overlap: int = 8,
+    ) -> None:
+        self.gateway = gateway
+        self.api_key = api_key
+        self.model = model
+        self.chunk_tokens = int(chunk_tokens)
+        self.overlap = int(overlap)
+
+    def ask(
+        self, questions: Sequence[Question], document: Sequence[int]
+    ) -> Dict[str, QuestionResult]:
+        """Answer every question against ``document``.
+
+        Each (question, chunk) pair becomes one span request whose input is
+        ``question.token_ids + chunk`` (SQuAD-style concatenation); the
+        span head's indices map back to document coordinates through the
+        chunk's offset.  Spans that land inside the question prefix are
+        kept (flagged ``in_question``) but never win aggregation unless no
+        chunk produced an in-document span.
+        """
+        chunks = chunk_document(document, self.chunk_tokens, self.overlap)
+        pending: Dict[str, Tuple[str, int, int, int]] = {}
+        for question in questions:
+            q_len = len(question.token_ids)
+            for chunk_index, (offset, window) in enumerate(chunks):
+                request = InferenceRequest(
+                    model=self.model,
+                    family=WorkloadFamily.SPAN,
+                    token_ids=np.asarray(
+                        question.token_ids + window, dtype=np.int64
+                    ),
+                )
+                envelope = self.gateway.submit(self.api_key, request)
+                if envelope.status != 202:
+                    raise ServingError(
+                        f"gateway rejected docqa request "
+                        f"({envelope.status}): {envelope.error}"
+                    )
+                pending[request.request_id] = (
+                    question.question_id, chunk_index, offset, q_len
+                )
+        answers: Dict[str, List[ChunkAnswer]] = {
+            q.question_id: [] for q in questions
+        }
+        settled = self.gateway.run_until_idle()
+        for envelope in settled:
+            meta = pending.pop(envelope.request_id, None)
+            if meta is None:
+                continue  # someone else's traffic settled in the same drain
+            question_id, chunk_index, offset, q_len = meta
+            if envelope.status != 200:
+                raise ServingError(
+                    f"docqa request failed ({envelope.status}): "
+                    f"{envelope.error}"
+                )
+            body = envelope.body
+            start, end = int(body["start"]), int(body["end"])
+            in_question = start < q_len
+            answers[question_id].append(ChunkAnswer(
+                chunk_index=chunk_index,
+                doc_start=max(0, start - q_len) + offset,
+                doc_end=max(0, end - q_len) + offset,
+                confidence=float(body["confidence"]),
+                score=float(body["score"]),
+                in_question=in_question,
+            ))
+        if pending:
+            raise ServingError(
+                f"{len(pending)} docqa requests never settled"
+            )
+        results: Dict[str, QuestionResult] = {}
+        for question in questions:
+            per_chunk = sorted(
+                answers[question.question_id],
+                key=lambda a: (not a.in_question, a.confidence, -a.chunk_index),
+            )
+            best = per_chunk[-1] if per_chunk else None
+            results[question.question_id] = QuestionResult(
+                question_id=question.question_id,
+                answer=best,
+                chunk_answers=per_chunk,
+            )
+        return results
+
+
+def run_harness(
+    pipeline: DocQAPipeline,
+    questions: Sequence[Question],
+    expectations: Sequence[ExpectedAnswer],
+    document: Sequence[int],
+) -> Dict[str, Any]:
+    """Answer every question and grade against the expectations.
+
+    Returns a JSON-shaped report: per question the answer span, its
+    confidence, the floor, and the two checks (``confidence_ok``,
+    ``span_ok``); ``passed`` is the conjunction across questions.
+    """
+    by_id = {e.question_id: e for e in expectations}
+    missing = [q.question_id for q in questions if q.question_id not in by_id]
+    if missing:
+        raise ServingError(f"questions without expectations: {missing}")
+    results = pipeline.ask(questions, document)
+    graded: Dict[str, Any] = {}
+    passed = True
+    for question in questions:
+        result = results[question.question_id]
+        expected = by_id[question.question_id]
+        confidence_ok = result.confidence >= expected.min_confidence
+        span_ok = (
+            expected.expected_span is None
+            or result.span == tuple(expected.expected_span)
+        )
+        passed = passed and confidence_ok and span_ok
+        graded[question.question_id] = {
+            "span": list(result.span) if result.span else None,
+            "confidence": round(result.confidence, 6),
+            "min_confidence": expected.min_confidence,
+            "confidence_ok": confidence_ok,
+            "expected_span": (
+                list(expected.expected_span)
+                if expected.expected_span is not None else None
+            ),
+            "span_ok": span_ok,
+            "chunks_consulted": len(result.chunk_answers),
+        }
+    return {"passed": passed, "questions": graded}

@@ -1,0 +1,216 @@
+"""Chunked prefill: token identity with unchunked, interleaving, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import ServingEngine
+from repro.serve.kvcache import KVCacheConfig
+from repro.serve.repository import ModelRepository
+from repro.serve.requests import InferenceRequest, ServingError, WorkloadFamily
+from repro.serve.scheduler import ContinuousBatchingScheduler
+
+
+@pytest.fixture(scope="module")
+def repo():
+    repository = ModelRepository(bits=4, seed=0)
+    repository.get("gpt2-xl", WorkloadFamily.LM)
+    return repository
+
+
+# Full-precision K/V pages (quantize=False): the bit-exact reference mode
+# where chunk boundaries need not be page-aligned.
+FP32_CACHE = KVCacheConfig(bits=4, page_size=8, quantize=False)
+
+
+def gen_request(seq_len=8, max_new_tokens=4, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return InferenceRequest(
+        "gpt2-xl",
+        WorkloadFamily.LM,
+        rng.integers(0, 96, size=seq_len),
+        max_new_tokens=max_new_tokens,
+        **kwargs,
+    )
+
+
+def run_to_completion(scheduler, requests, max_steps=500):
+    outputs = {}
+    for request in requests:
+        scheduler.submit(request)
+    steps = 0
+    while scheduler.num_queued or scheduler.num_active:
+        for result in scheduler.step():
+            outputs[result.request_id] = list(result.output["generated_tokens"])
+        steps += 1
+        assert steps < max_steps, "scheduler did not drain"
+    return outputs
+
+
+class TestTokenIdentity:
+    """Greedy output must not depend on the prefill chunking."""
+
+    @pytest.mark.parametrize("chunk", [5, 7, 8, 13, 16])
+    def test_fp32_any_chunk_size(self, repo, chunk):
+        def run(chunk_tokens):
+            scheduler = ContinuousBatchingScheduler(
+                repo, num_slots=2, cache_config=FP32_CACHE,
+                prefill_chunk_tokens=chunk_tokens,
+            )
+            requests = [gen_request(seq_len=37, max_new_tokens=6, seed=s)
+                        for s in range(2)]
+            outputs = run_to_completion(scheduler, requests)
+            return [outputs[r.request_id] for r in requests]
+
+        assert run(chunk) == run(None)
+
+    @pytest.mark.parametrize("chunk", [8, 16, 24])
+    def test_packed_page_aligned_chunks(self, repo, chunk):
+        """Quantized caches seal pages; chunk boundaries land on them."""
+        config = KVCacheConfig(bits=4, page_size=8)
+        prompts = [np.random.default_rng(s).integers(0, 96, size=37)
+                   for s in range(2)]
+
+        def run(chunk_tokens):
+            scheduler = ContinuousBatchingScheduler(
+                repo, num_slots=2, cache_config=config,
+                prefill_chunk_tokens=chunk_tokens,
+            )
+            reqs = [InferenceRequest("gpt2-xl", WorkloadFamily.LM, p,
+                                     max_new_tokens=6) for p in prompts]
+            out = run_to_completion(scheduler, reqs)
+            return [out[r.request_id] for r in reqs]
+
+        assert run(chunk) == run(None)
+
+    def test_cross_page_boundary_prompt(self, repo):
+        """A prompt spanning several pages chunks without corrupting K/V."""
+        config = KVCacheConfig(bits=4, page_size=4)
+        prompt = np.random.default_rng(3).integers(0, 96, size=29)
+
+        def run(chunk_tokens):
+            scheduler = ContinuousBatchingScheduler(
+                repo, num_slots=1, cache_config=config,
+                prefill_chunk_tokens=chunk_tokens,
+            )
+            request = InferenceRequest("gpt2-xl", WorkloadFamily.LM, prompt,
+                                       max_new_tokens=5)
+            return run_to_completion(scheduler, [request])[request.request_id]
+
+        assert run(4) == run(None) == run(12)
+
+
+class TestInterleaving:
+    def test_short_request_decodes_during_long_prefill(self, repo):
+        """Chunking bounds the prefill work per round, so short requests
+        finish while the long document is still absorbing chunks."""
+        scheduler = ContinuousBatchingScheduler(
+            repo, num_slots=2,
+            cache_config=KVCacheConfig(bits=4, page_size=8),
+            prefill_chunk_tokens=8,
+        )
+        long_request = gen_request(seq_len=56, max_new_tokens=2, seed=1)
+        short_request = gen_request(seq_len=6, max_new_tokens=2, seed=2)
+        scheduler.submit(long_request)
+        scheduler.submit(short_request)
+        finished_order = []
+        steps = 0
+        while scheduler.num_queued or scheduler.num_active:
+            for result in scheduler.step():
+                finished_order.append(result.request_id)
+            steps += 1
+            assert steps < 100
+        assert finished_order[0] == short_request.request_id
+        # The 56-token prompt at 8 tokens/round needs ~7 chunk rounds.
+        assert steps >= 7
+
+    def test_prefilling_slot_counts_as_active(self, repo):
+        scheduler = ContinuousBatchingScheduler(
+            repo, num_slots=1,
+            cache_config=KVCacheConfig(bits=4, page_size=8),
+            prefill_chunk_tokens=8,
+        )
+        scheduler.submit(gen_request(seq_len=40, max_new_tokens=1))
+        scheduler.step()
+        assert scheduler.num_active == 1  # mid-prefill, holds its slot
+
+
+class TestLifecycle:
+    def test_cancel_mid_prefill(self, repo):
+        scheduler = ContinuousBatchingScheduler(
+            repo, num_slots=1,
+            cache_config=KVCacheConfig(bits=4, page_size=8),
+            prefill_chunk_tokens=8,
+        )
+        request = gen_request(seq_len=56, max_new_tokens=2)
+        scheduler.submit(request)
+        scheduler.step()  # first chunk only
+        result = scheduler.cancel(request.request_id)
+        assert result is not None
+        assert result.output["finish_reason"] == "aborted"
+        assert result.output["generated_tokens"] == []
+        assert scheduler.num_active == 0
+
+    def test_deadline_mid_prefill(self, repo):
+        clock = {"t": 0.0}
+        scheduler = ContinuousBatchingScheduler(
+            repo, num_slots=1, clock=lambda: clock["t"],
+            cache_config=KVCacheConfig(bits=4, page_size=8),
+            prefill_chunk_tokens=8,
+        )
+        request = gen_request(seq_len=56, max_new_tokens=2, deadline_s=1.0)
+        scheduler.submit(request)
+        scheduler.step()
+        clock["t"] = 5.0  # expire while still prefilling
+        results = scheduler.step()
+        expired = [r for r in results if r.request_id == request.request_id]
+        assert expired and expired[0].output["finish_reason"] == "deadline"
+
+    def test_validation(self, repo):
+        with pytest.raises(ServingError):
+            ContinuousBatchingScheduler(repo, num_slots=1,
+                                        prefill_chunk_tokens=0)
+        with pytest.raises(ServingError):
+            # Quantized caches require page-aligned chunks.
+            ContinuousBatchingScheduler(
+                repo, num_slots=1,
+                cache_config=KVCacheConfig(bits=4, page_size=8),
+                prefill_chunk_tokens=6,
+            )
+
+    def test_engine_threads_chunk_size(self, repo):
+        engine = ServingEngine(
+            repo, kv_cache_config=KVCacheConfig(bits=4, page_size=8),
+            num_slots=2, prefill_chunk_tokens=16,
+        )
+        assert engine.lm_scheduler.prefill_chunk_tokens == 16
+        request = gen_request(seq_len=40, max_new_tokens=2)
+        engine.submit(request)
+        results = []
+        for _ in range(100):
+            results += engine.step(force=True)
+            if results:
+                break
+        assert results[0].output["finish_reason"] == "length"
+
+
+class TestPrefixSharingWithChunks:
+    def test_chunked_prefill_registers_full_prefix(self, repo):
+        """After a chunked prefill completes, a same-prefix follow-up reuses
+        the cached pages instead of re-prefilling."""
+        from repro.serve.stats import ServingStats
+
+        config = KVCacheConfig(bits=4, page_size=8, prefix_sharing=True)
+        scheduler = ContinuousBatchingScheduler(
+            repo, num_slots=2, cache_config=config, prefill_chunk_tokens=8,
+            stats=ServingStats(),
+        )
+        prompt = np.random.default_rng(9).integers(0, 96, size=40)
+        first = InferenceRequest("gpt2-xl", WorkloadFamily.LM, prompt,
+                                 max_new_tokens=2)
+        out_first = run_to_completion(scheduler, [first])[first.request_id]
+        follow = InferenceRequest("gpt2-xl", WorkloadFamily.LM, prompt,
+                                  max_new_tokens=2)
+        out_follow = run_to_completion(scheduler, [follow])[follow.request_id]
+        # The follow-up adopted sealed pages instead of re-prefilling.
+        assert scheduler.stats.summary().prefix_pages_attached > 0
+        assert out_follow == out_first

@@ -302,7 +302,7 @@ class TestChaosSuite:
         summary = engine.stats.summary()
         counter = engine.stats.registry.get("serve_requests_finished_total")
         mirrored = {
-            reason: counter.value(reason=reason, slo_class="default")
+            reason: counter.value_sum(reason=reason, slo_class="default")
             for reason in ("stop", "length", "aborted", "error", "deadline")
         }
         assert mirrored == summary.finish_reasons

@@ -514,7 +514,7 @@ class TestRegistryMirrorOnCancel:
     def finished_by_reason(self, registry):
         counter = registry.get("serve_requests_finished_total")
         return {
-            reason: counter.value(reason=reason, slo_class="default")
+            reason: counter.value_sum(reason=reason, slo_class="default")
             for reason in ("stop", "length", "aborted", "error", "deadline")
         }
 

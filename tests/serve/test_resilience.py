@@ -145,7 +145,7 @@ class TestBoundedQueue:
         assert scheduler.num_active == 0
         assert scheduler.page_pool.num_entries == 0
         counter = stats.registry.get("serve_requests_rejected_total")
-        assert counter.value(reason="queue_full", slo_class="batch") == 1
+        assert counter.value_sum(reason="queue_full", slo_class="batch") == 1
         # The bound is on the queue, not the system: draining readmits.
         drain(scheduler)
         scheduler.submit(lm_request(np.arange(5)))
@@ -186,7 +186,7 @@ class TestBoundedQueue:
         with pytest.raises(QueueFullError):
             engine.submit(second)
         counter = engine.stats.registry.get("serve_requests_rejected_total")
-        assert counter.value(reason="queue_full", slo_class="default") == 1
+        assert counter.value_sum(reason="queue_full", slo_class="default") == 1
 
 
 class _FakeMonitor:
@@ -216,7 +216,7 @@ class TestShedOnBurnRate:
         scheduler.submit(lm_request(np.arange(5), slo_class="interactive"))
         assert scheduler.num_queued == 1
         counter = stats.registry.get("serve_requests_rejected_total")
-        assert counter.value(reason="shed", slo_class="batch") == 1
+        assert counter.value_sum(reason="shed", slo_class="batch") == 1
 
     def test_no_shedding_when_alerts_clear(self, repository):
         policy = AdmissionPolicy(shed_on_burn_rate=True, shed_priority_floor=1)
@@ -580,7 +580,7 @@ class TestAbortActive:
         # (idle) step, and summary/mirror agree.
         scheduler.step()
         counter = stats.registry.get("serve_requests_finished_total")
-        assert counter.value(reason="error", slo_class="default") == 2
+        assert counter.value_sum(reason="error", slo_class="default") == 2
         assert stats.summary().finish_error == 2
         # The scheduler still serves.
         scheduler.submit(lm_request(np.arange(4), max_new_tokens=2))

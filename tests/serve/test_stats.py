@@ -212,7 +212,7 @@ class TestThreadSafety:
         registry = stats.registry
         assert registry.get("serve_decode_rounds_total").value() == rounds
         assert registry.get("serve_batches_total").value() == rounds
-        assert registry.get("serve_requests_finished_total").value(
+        assert registry.get("serve_requests_finished_total").value_sum(
             reason="length", slo_class="default"
         ) == rounds
         final = stats.summary()

@@ -646,7 +646,10 @@ class TestEndToEnd:
             if line.startswith("serve_requests_finished_total{")
         )
         assert finished == len(results)
-        assert 'serve_requests_finished_total{reason="length",slo_class="default"}' in text
+        assert (
+            'serve_requests_finished_total'
+            '{reason="length",slo_class="default",tenant="-"}'
+        ) in text
         assert "serve_ttft_seconds_bucket" in text
         assert "serve_request_latency_seconds_count" in text
 

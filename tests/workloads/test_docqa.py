@@ -1,0 +1,178 @@
+"""Document QA pipeline: chunking, aggregation, confidence floors, grading."""
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import ServingEngine
+from repro.serve.gateway import Gateway, GatewayConfig, TenantConfig
+from repro.serve.kvcache import KVCacheConfig
+from repro.serve.repository import ModelRepository
+from repro.serve.requests import ServingError, WorkloadFamily
+from repro.workloads.docqa import (
+    DocQAPipeline,
+    ExpectedAnswer,
+    Question,
+    chunk_document,
+    run_harness,
+)
+
+
+@pytest.fixture(scope="module")
+def repo():
+    repository = ModelRepository(bits=4, seed=0)
+    repository.get("bert-base", WorkloadFamily.SPAN)
+    return repository
+
+
+def make_pipeline(repo, **kwargs):
+    config = GatewayConfig(tenants=(
+        TenantConfig(name="docqa", api_key="key-d", max_concurrent=64),
+    ))
+    engine = ServingEngine(
+        repo,
+        kv_cache_config=KVCacheConfig(bits=4, page_size=8),
+        num_slots=2,
+        admission=config.admission_policy(),
+        health=config.health_config(),
+    )
+    gateway = Gateway(engine, config)
+    return DocQAPipeline(gateway, "key-d", **kwargs)
+
+
+def make_inputs(doc_len=120, num_questions=3, seed=42):
+    rng = np.random.default_rng(seed)
+    document = [int(t) for t in rng.integers(0, 96, size=doc_len)]
+    questions = [
+        Question(f"q{i}", tuple(int(t) for t in rng.integers(0, 96, size=6)))
+        for i in range(num_questions)
+    ]
+    return document, questions
+
+
+class TestChunking:
+    def test_windows_cover_document_with_overlap(self):
+        chunks = chunk_document(list(range(100)), chunk_tokens=40, overlap=10)
+        assert chunks[0][0] == 0
+        # Successive windows share `overlap` tokens.
+        assert chunks[1][0] == 30
+        covered = set()
+        for offset, window in chunks:
+            covered.update(range(offset, offset + len(window)))
+        assert covered == set(range(100))
+
+    def test_short_document_single_chunk(self):
+        chunks = chunk_document([1, 2, 3], chunk_tokens=10)
+        assert chunks == [(0, (1, 2, 3))]
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            chunk_document([], 10)
+        with pytest.raises(ServingError):
+            chunk_document([1], 0)
+        with pytest.raises(ServingError):
+            chunk_document([1], 4, overlap=4)
+
+
+class TestPipeline:
+    def test_every_question_gets_an_answer_per_chunk(self, repo):
+        document, questions = make_inputs()
+        pipeline = make_pipeline(repo, chunk_tokens=48, overlap=8)
+        results = pipeline.ask(questions, document)
+        num_chunks = len(chunk_document(document, 48, 8))
+        for question in questions:
+            result = results[question.question_id]
+            assert len(result.chunk_answers) == num_chunks
+            assert result.answer is not None
+            assert 0.0 <= result.confidence <= 1.0
+            start, end = result.span
+            assert 0 <= start <= end < len(document)
+
+    def test_deterministic_across_runs(self, repo):
+        document, questions = make_inputs()
+        first = make_pipeline(repo).ask(questions, document)
+        second = make_pipeline(repo).ask(questions, document)
+        for qid in first:
+            assert first[qid].span == second[qid].span
+            assert first[qid].confidence == pytest.approx(
+                second[qid].confidence, abs=0.0
+            )
+
+    def test_winner_is_highest_confidence_in_document_span(self, repo):
+        document, questions = make_inputs(num_questions=1)
+        pipeline = make_pipeline(repo)
+        result = pipeline.ask(questions, document)[questions[0].question_id]
+        in_doc = [a for a in result.chunk_answers if not a.in_question]
+        if in_doc:
+            assert result.answer.confidence == max(
+                a.confidence for a in in_doc
+            )
+            assert not result.answer.in_question
+
+    def test_confidence_present_in_span_outputs(self, repo):
+        """The engine's span family now reports normalized confidence."""
+        engine = ServingEngine(repo, kv_cache_config=KVCacheConfig(bits=4))
+        from repro.serve.requests import InferenceRequest
+
+        request = InferenceRequest(
+            "bert-base", WorkloadFamily.SPAN,
+            np.arange(24, dtype=np.int64) % 96,
+        )
+        engine.submit(request)
+        results = engine.step(force=True)
+        output = results[0].output
+        assert 0.0 < output["confidence"] <= 1.0
+        assert output["start"] <= output["end"]
+
+
+class TestHarness:
+    def test_floors_from_reference_run_hold(self, repo):
+        document, questions = make_inputs()
+        reference = make_pipeline(repo).ask(questions, document)
+        expectations = [
+            ExpectedAnswer(
+                question_id=qid,
+                min_confidence=round(result.confidence * 0.9, 6),
+                expected_span=result.span,
+            )
+            for qid, result in reference.items()
+        ]
+        report = run_harness(
+            make_pipeline(repo), questions, expectations, document
+        )
+        assert report["passed"]
+        for entry in report["questions"].values():
+            assert entry["confidence_ok"] and entry["span_ok"]
+            assert entry["confidence"] >= entry["min_confidence"]
+
+    def test_unreachable_floor_fails_the_harness(self, repo):
+        document, questions = make_inputs(num_questions=1)
+        expectations = [
+            ExpectedAnswer(questions[0].question_id, min_confidence=1.0)
+        ]
+        report = run_harness(
+            make_pipeline(repo), questions, expectations, document
+        )
+        assert not report["passed"]
+        entry = report["questions"][questions[0].question_id]
+        assert not entry["confidence_ok"]
+
+    def test_wrong_expected_span_fails(self, repo):
+        document, questions = make_inputs(num_questions=1)
+        expectations = [
+            ExpectedAnswer(
+                questions[0].question_id,
+                min_confidence=0.0,
+                expected_span=(0, 0) ,
+            )
+        ]
+        reference = make_pipeline(repo).ask(questions, document)
+        if reference[questions[0].question_id].span != (0, 0):
+            report = run_harness(
+                make_pipeline(repo), questions, expectations, document
+            )
+            assert not report["passed"]
+
+    def test_missing_expectation_raises(self, repo):
+        document, questions = make_inputs(num_questions=2)
+        with pytest.raises(ServingError):
+            run_harness(make_pipeline(repo), questions, [], document)
