@@ -116,15 +116,28 @@ def serve_phase_report():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write the serving trajectory artifact when any serve bench recorded one."""
+    """Write the serving trajectory artifact when any serve bench recorded one.
+
+    Sections from an existing ``BENCH_serve.json`` are carried over so the
+    benches can run as *separate* pytest sessions (CI budgets the scaled-tier
+    wall-clock bench as its own step) and still produce one merged artifact;
+    sections recorded by this session overwrite their stale counterparts.
+    """
     if not _SERVE_TRAJECTORY:
         return
+    sections = {}
+    try:
+        with open(_TRAJECTORY_PATH) as handle:
+            sections.update(json.load(handle).get("sections", {}))
+    except (OSError, ValueError):
+        pass
+    sections.update(_SERVE_TRAJECTORY)
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "exit_status": int(exitstatus),
-        "sections": _SERVE_TRAJECTORY,
+        "sections": sections,
     }
     with open(_TRAJECTORY_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

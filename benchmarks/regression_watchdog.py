@@ -27,6 +27,14 @@ name pattern              direction     tolerance
 everything else           informational never flagged
 ========================  ============  =====================================
 
+Two refinements on top of the name rules: per-section overrides widen the
+noise bands for the ``scaled_decode`` wall-clock tier (real timing, shared
+runners), and ``_FLOORS`` pins absolute exit criteria (the scaled-tier
+speculative/bucketed wall ratios must stay above 1.0) that flag even when
+the baseline has no entry yet.  Metrics present in the baseline but absent
+from the current run warn — like missing sections — instead of silently
+rotting in the diff table.
+
 Usage::
 
     python benchmarks/regression_watchdog.py            # human-readable diff
@@ -71,10 +79,33 @@ _RULES = (
     ("confidence_observed", "suffix", HIGHER, "abs", 0.02),
 )
 
+# Section-scoped overrides consulted before the generic _RULES.  The scaled
+# tier measures real wall clock on shared runners, which is noisier than the
+# toy tier's modeled counts — its ratio/time bands are deliberately wider so
+# the watchdog does not flap on scheduler jitter.
+_SECTION_RULES = {
+    "scaled_decode": (
+        ("_ms", "suffix", LOWER, "rel", 0.35),
+        ("wall_ratio", "suffix", HIGHER, "rel", 0.30),
+        ("speedup", "suffix", HIGHER, "rel", 0.30),
+        ("tokens_per_s", "contains", HIGHER, "rel", 0.30),
+    ),
+}
 
-def classify(name):
+# Absolute floors enforced independently of the baseline (and even for
+# metrics the baseline has not learned yet).  These encode exit criteria,
+# not noise bands: the scaled tier exists to show speculation and the
+# bucketed attend winning in wall clock, so parity (1.0) is the hard line.
+_FLOORS = {
+    ("scaled_decode", "speculative_wall_ratio"): 1.0,
+    ("scaled_decode", "bucketed_wall_ratio"): 1.0,
+}
+
+
+def classify(name, section=None):
     """Return (direction, tolerance_kind, tolerance) for a metric name."""
-    for needle, kind, direction, tol_kind, tol in _RULES:
+    rules = _SECTION_RULES.get(section, ()) + _RULES
+    for needle, kind, direction, tol_kind, tol in rules:
         if (kind == "suffix" and name.endswith(needle)) or (
             kind == "contains" and needle in name
         ):
@@ -82,9 +113,9 @@ def classify(name):
     return INFO, "abs", 0.0
 
 
-def is_regression(name, baseline, current):
+def is_regression(name, baseline, current, section=None):
     """Return (regressed, direction, allowed_bound) for one metric."""
-    direction, tol_kind, tol = classify(name)
+    direction, tol_kind, tol = classify(name, section)
     if direction == INFO:
         return False, direction, None
     if tol_kind == "rel":
@@ -169,10 +200,19 @@ def main(argv=None):
     rows = []
     for section, metric, value in flatten(current):
         base = base_flat.pop((section, metric), None)
+        floor = _FLOORS.get((section, metric))
+        if floor is not None and value < floor:
+            # Exit-criterion floor: below the line is a regression even for
+            # a brand-new metric with no baseline entry yet.
+            rows.append((section, metric, base, value, "REGRESSED"))
+            regressions.append((section, metric, base, value, floor, HIGHER))
+            if base is not None:
+                compared += 1
+            continue
         if base is None:
             rows.append((section, metric, None, value, "new"))
             continue
-        regressed, direction, bound = is_regression(metric, base, value)
+        regressed, direction, bound = is_regression(metric, base, value, section)
         compared += 1
         if direction == INFO:
             status = "info"
@@ -182,8 +222,17 @@ def main(argv=None):
         else:
             status = "ok"
         rows.append((section, metric, base, value, status))
+    # A metric the baseline tracks but the current run no longer reports is
+    # a bench wiring problem (renamed key, skipped test): warn like a missing
+    # section instead of burying it in the table.
     for (section, metric), base in sorted(base_flat.items()):
         rows.append((section, metric, base, None, "missing"))
+        message = (f"metric '{section}.{metric}' is in the baseline but "
+                   f"missing from the current run (renamed or skipped?)")
+        if args.annotate:
+            print(f"::warning title=Bench metric missing::{message}")
+        else:
+            print(f"watchdog: {message}")
 
     width = max((len(f"{s}.{m}") for s, m, *_ in rows), default=20)
     print(f"bench watchdog: {compared} metrics compared, "
@@ -196,8 +245,9 @@ def main(argv=None):
 
     for section, metric, base, value, bound, direction in regressions:
         arrow = "above" if direction == LOWER else "below"
-        message = (f"{section}.{metric} regressed: {value:g} vs baseline "
-                   f"{base:g} ({arrow} allowed {bound:g})")
+        base_s = "no baseline" if base is None else f"baseline {base:g}"
+        message = (f"{section}.{metric} regressed: {value:g} vs "
+                   f"{base_s} ({arrow} allowed {bound:g})")
         if args.annotate:
             print(f"::warning title=Bench regression::{message}")
         else:

@@ -31,6 +31,7 @@ __all__ = [
     "ACCURACY_MODELS",
     "LLM_MODELS",
     "PERF_MODELS",
+    "SCALED_MODELS",
 ]
 
 
@@ -88,6 +89,15 @@ class AnalogueConfig:
     activation_outlier_channels: int
     activation_outlier_gain: float = 6.0
     lm_temperature: float = 0.25
+    #: Geometric decay of per-layer residual-block output scale.  Trained
+    #: LMs converge layer-wise: later blocks apply progressively smaller
+    #: refinements to the residual stream (the property early-exit and
+    #: speculative drafts exploit).  Random analogue weights have no such
+    #: structure — every layer reshuffles the stream — so layer-prefix
+    #: drafts are unpredictable at any width.  A decay < 1 scales layer
+    #: ``i``'s attention/FFN output projections by ``decay**i`` to restore
+    #: that convergence.  1.0 is a strict no-op (bitwise-identical build).
+    residual_decay: float = 1.0
 
 
 # --------------------------------------------------------------------------- #
@@ -167,6 +177,17 @@ _ANALOGUES: Dict[str, AnalogueConfig] = {
         outlier_max_sigma=8.0, outlier_ratio=0.002, activation_outlier_channels=0,
         activation_outlier_gain=1.0,
     ),
+    # Scaled wall-clock tier.  Same outlier profile as the gpt2-xl analogue
+    # but hidden/depth large enough that a decode round is GEMM-bound rather
+    # than Python-overhead-bound, so kernel wins (bucketed attend, speculative
+    # verify batching) show up in *wall time*, not just modeled round counts.
+    # Accuracy experiments stay on the toy tier; this one exists for
+    # benchmarks/bench_scaled_decode.py and equivalence tests.
+    "gpt2-xl-scaled": AnalogueConfig(
+        "gpt2-xl-scaled", ModelFamily.DECODER, 512, 4, 8, 1024, 96, 1024,
+        outlier_max_sigma=120.0, outlier_ratio=0.004, activation_outlier_channels=1,
+        activation_outlier_gain=6.0, lm_temperature=0.6, residual_decay=0.15,
+    ),
 }
 
 #: Models used in the GLUE/SQuAD accuracy experiments.
@@ -177,6 +198,10 @@ LLM_MODELS = ["gpt2-xl", "bloom-7b1", "opt-6.7b"]
 
 #: Models used in the performance/energy experiments (Figs. 9–10).
 PERF_MODELS = ["bert-base", "bert-large", "bart-base", "gpt2-xl", "bloom-7b1"]
+
+#: Scaled wall-clock tier: decode rounds are GEMM-bound, so serving
+#: benchmarks measure real time here instead of modeled round counts.
+SCALED_MODELS = ["gpt2-xl-scaled"]
 
 
 def paper_config(name: str) -> ModelConfig:

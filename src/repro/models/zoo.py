@@ -94,6 +94,7 @@ class CausalLM(Module):
         last_only: bool = False,
         batched_rounds: Optional[bool] = None,
         tracer=None,
+        scratch=None,
     ) -> np.ndarray:
         """Log-probabilities of new tokens only, via per-sequence KV caches.
 
@@ -107,10 +108,13 @@ class CausalLM(Module):
         ragged round kernel — the speculative verify pass uses it to advance
         ``m`` tokens per slot in one batched pass.  ``tracer`` (duck-typed,
         optional — the serving tracer's span protocol) records per-phase
-        spans down the forward path.
+        spans down the forward path.  ``scratch`` is an optional persistent
+        :class:`~repro.nn.attention.AttendScratch` threaded to the backbone
+        so a serve loop reuses its round buffers across rounds.
         """
         hidden = self.backbone.forward_incremental(
-            token_ids, caches, batched_rounds=batched_rounds, tracer=tracer
+            token_ids, caches, batched_rounds=batched_rounds, tracer=tracer,
+            scratch=scratch,
         )
         if last_only:
             hidden = hidden[:, -1:]
@@ -190,11 +194,34 @@ def build_causal_lm(name: str, seed: int = 0) -> CausalLM:
     if config.family != ModelFamily.DECODER:
         raise ValueError(f"model {name!r} is not a decoder-only LLM analogue")
     backbone = build_backbone(decoder_config, rng)
+    _apply_residual_decay(backbone, config.residual_decay)
     head = LMHead(
         config.hidden_size, config.vocab_size, temperature=config.lm_temperature, rng=rng
     )
     model = CausalLM(backbone, head, config)
     return _finalise(model, config, seed)
+
+
+def _apply_residual_decay(backbone: Module, decay: float) -> None:
+    """Scale layer ``i``'s block outputs by ``decay**i`` (no-op at 1.0).
+
+    Trained LMs refine the residual stream in progressively smaller steps
+    — the layer-wise convergence that early exit and layer-prefix drafts
+    rely on.  Random analogue weights lack it, so the scaled tier opts in
+    via ``AnalogueConfig.residual_decay``.  Scaling the attention/FFN
+    *output* projections scales each block's entire residual contribution
+    while leaving its internal statistics (and the outlier profile injected
+    afterwards, which is proportional to each matrix) untouched.
+    """
+    if decay == 1.0:
+        return
+    for index in range(backbone.num_layers):
+        layer = getattr(backbone, f"layer_{index}")
+        gain = decay ** index
+        for linear in (layer.self_attention.out_proj, layer.ffn.fc_out):
+            linear.weight.data = linear.weight.data * gain
+            if linear.bias is not None:
+                linear.bias.data = linear.bias.data * gain
 
 
 #: Suffix marking a speculative draft build: ``"<base>@draft<num_layers>"``.

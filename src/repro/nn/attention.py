@@ -82,25 +82,40 @@ def attend_padding_waste(
 
 
 class AttendScratch:
-    """Reusable pad/mask buffers for one decode round.
+    """Reusable pad/mask/temporary buffers for decode rounds.
 
     A decode round runs every decoder layer over the same slots with the
     same cached lengths, so the padded K/V scratch and the additive length
     mask have identical shapes layer after layer.  The round's caller
     (:meth:`TransformerDecoder.forward_incremental
-    <repro.nn.transformer.TransformerDecoder.forward_incremental>`) creates
-    one scratch and threads it through all layers: buffers allocate once per
-    round instead of once per layer, and the mask builds once per round.
+    <repro.nn.transformer.TransformerDecoder.forward_incremental>`) threads
+    one scratch through all layers: buffers allocate once per round instead
+    of once per layer, and the mask builds once per round.
 
-    Stale K/V values from the previous layer may remain beyond a slot's
-    length; they are always masked to ``-inf`` (zero softmax weight), and the
-    buffers are zero-initialised on allocation so no NaN/Inf garbage can leak
-    through the ``0 × value`` products.
+    A scratch may also persist *across* rounds (the scheduler owns one for
+    the lifetime of the serve loop) — the owner calls :meth:`begin_round`
+    at each round boundary.  Masks depend on the round's slot lengths, so
+    they rebuild every round; pad buffers and the generic :meth:`buffer`
+    temporaries survive, because every value read out of them is either
+    freshly written this round or masked to ``-inf`` (zero softmax weight).
+    Stale K/V values beyond a slot's length are finite (they were real K/V
+    once, and the buffers zero-initialise on allocation), so no NaN/Inf
+    garbage can leak through the ``0 × value`` products.
     """
 
     def __init__(self) -> None:
         self._pads: dict = {}
         self._masks: dict = {}
+        self._buffers: dict = {}
+
+    def begin_round(self) -> None:
+        """Reset per-round state while keeping the allocations.
+
+        Must be called at every round boundary when the scratch persists
+        across rounds: the cached masks encode the *previous* round's slot
+        lengths and must rebuild, while pads and temporaries may be reused.
+        """
+        self._masks.clear()
 
     def pads(self, key, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
         """The round's reusable ``(k_pad, v_pad)`` buffers for one bucket."""
@@ -117,6 +132,20 @@ class AttendScratch:
             mask = build()
             self._masks[key] = mask
         return mask
+
+    def buffer(self, key, shape: Tuple[int, ...]) -> np.ndarray:
+        """A reusable named temporary of ``shape`` (contents unspecified).
+
+        Used for the round's fully-overwritten intermediates (fused QKV
+        output, attended values, per-bucket score matrices) so the hot loop
+        stops allocating fresh arrays layer after layer.  Callers must write
+        every element they later read — nothing is zeroed on reuse.
+        """
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape)
+            self._buffers[key] = buf
+        return buf
 
 
 class MultiHeadAttention(Module):
@@ -146,6 +175,42 @@ class MultiHeadAttention(Module):
         self.k_proj = Linear(hidden_size, hidden_size, rng=rng)
         self.v_proj = Linear(hidden_size, hidden_size, rng=rng)
         self.out_proj = Linear(hidden_size, hidden_size, rng=rng)
+        # Lazily-built (source_arrays, (W_qkv^T, b_qkv)) pair for the fused
+        # decode-round projection; invalidated by identity whenever any of
+        # the six source weight/bias arrays is replaced (e.g. by packing).
+        self._fused_qkv = None
+
+    #: Decode-round Q/K/V projection: "fused" concatenates the three weight
+    #: matrices once and runs a single GEMM per round (the production path);
+    #: "unfused" runs the three Linear projections separately — the oracle
+    #: the greedy-token-identity tests pin the fused path against.
+    qkv_mode: str = "fused"
+
+    def _fused_qkv_operands(self):
+        """Cached ``(W_qkv^T, b_qkv)`` for the fused round projection.
+
+        Only plain :class:`Linear` projections fuse — a quantization wrapper
+        must keep running its own ``forward``, so any subclass falls back to
+        the unfused path.  The cache holds references to the six source
+        arrays and rebuilds when any is replaced (``is`` comparison), which
+        is how the packing/finalise passes swap weights in this codebase.
+        """
+        for proj in (self.q_proj, self.k_proj, self.v_proj):
+            if type(proj) is not Linear or proj.bias is None:
+                return None
+        sources = (
+            self.q_proj.weight.data, self.k_proj.weight.data,
+            self.v_proj.weight.data, self.q_proj.bias.data,
+            self.k_proj.bias.data, self.v_proj.bias.data,
+        )
+        cached = self._fused_qkv
+        if cached is not None and all(a is b for a, b in zip(cached[0], sources)):
+            return cached[1]
+        weight_t = np.concatenate([w.T for w in sources[:3]], axis=1)
+        bias = np.concatenate(sources[3:])
+        operands = (np.ascontiguousarray(weight_t), bias)
+        self._fused_qkv = (sources, operands)
+        return operands
 
     def _split_heads(self, x: np.ndarray) -> np.ndarray:
         batch, seq, _ = x.shape
@@ -241,19 +306,40 @@ class MultiHeadAttention(Module):
             raise ValueError(
                 f"got {hidden.shape[0]} sequences but {len(layer_caches)} layer caches"
             )
-        if tracer is not None and tracer.enabled:
-            with tracer.span("qkv_proj"):
+        num_seqs, t_new = hidden.shape[0], hidden.shape[1]
+        if batched_rounds is None:
+            batched_rounds = t_new == 1 and num_seqs > 1
+        # Fuse only the round kernel: prefill stays on the three separate
+        # projections so the one-shot prefill path remains bitwise-equal to
+        # ``forward`` (the round loop pins token identity, not bitwise).
+        fused = (
+            self._fused_qkv_operands()
+            if batched_rounds and self.qkv_mode == "fused"
+            else None
+        )
+        traced = tracer is not None and tracer.enabled
+        with tracer.span("qkv_proj") if traced else _NULL_BUCKET_SPAN:
+            if fused is not None:
+                weight_t, bias = fused
+                shape = (num_seqs, t_new, weight_t.shape[1])
+                # Flatten to one GEMM: a 3-D ``matmul`` would loop
+                # per-sequence GEMMs, re-streaming the fused weight for
+                # every slot in the round.
+                flat = hidden.reshape(-1, hidden.shape[-1])
+                if scratch is not None:
+                    qkv = scratch.buffer("qkv", shape)
+                    np.matmul(flat, weight_t, out=qkv.reshape(flat.shape[0], -1))
+                else:
+                    qkv = (flat @ weight_t).reshape(shape)
+                qkv += bias
+                size = self.hidden_size
+                q = self._split_heads(qkv[..., :size])
+                k_new = self._split_heads(qkv[..., size : 2 * size])
+                v_new = self._split_heads(qkv[..., 2 * size :])
+            else:
                 q = self._split_heads(self.q_proj(hidden))
                 k_new = self._split_heads(self.k_proj(hidden))
                 v_new = self._split_heads(self.v_proj(hidden))
-        else:
-            q = self._split_heads(self.q_proj(hidden))
-            k_new = self._split_heads(self.k_proj(hidden))
-            v_new = self._split_heads(self.v_proj(hidden))
-        num_seqs, t_new = hidden.shape[0], hidden.shape[1]
-
-        if batched_rounds is None:
-            batched_rounds = t_new == 1 and num_seqs > 1
         if batched_rounds:
             attended = self._attend_round(
                 q, k_new, v_new, layer_caches, scratch=scratch, tracer=tracer
@@ -390,7 +476,10 @@ class MultiHeadAttention(Module):
         """
         num_heads, t_new, head_dim = q.shape[1], q.shape[2], q.shape[3]
         traced = tracer is not None and tracer.enabled
-        attended = np.empty_like(q)
+        if scratch is not None:
+            attended = scratch.buffer("attended", q.shape)
+        else:
+            attended = np.empty(q.shape)
         for key, (indices, pad_len) in enumerate(bucket_by_length(lengths)):
             span = (
                 tracer.span("attend", attrs={"bucket": pad_len, "slots": len(indices)})
@@ -414,9 +503,18 @@ class MultiHeadAttention(Module):
                     k, v = kvs[i]
                     k_pad[row, :, : lengths[i]] = k
                     v_pad[row, :, : lengths[i]] = v
-                scores = (
-                    q[indices] @ k_pad.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
-                    + mask
-                )
+                # A single bucket covers every slot in order; skip the
+                # fancy-index copy of q in that (common, uniform-length) case.
+                q_sel = q[indices] if len(indices) < len(lengths) else q
+                k_t = k_pad.transpose(0, 1, 3, 2)
+                if scratch is not None:
+                    score_shape = (len(indices), num_heads, t_new, pad_len)
+                    scores = np.matmul(
+                        q_sel, k_t, out=scratch.buffer(("scores", key), score_shape)
+                    )
+                    scores /= np.sqrt(self.head_dim)
+                    scores += mask
+                else:
+                    scores = q_sel @ k_t / np.sqrt(self.head_dim) + mask
                 attended[indices] = F.softmax(scores, axis=-1) @ v_pad
         return attended

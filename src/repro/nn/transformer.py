@@ -243,6 +243,7 @@ class TransformerDecoder(Module):
         caches: Sequence,
         batched_rounds: Optional[bool] = None,
         tracer=None,
+        scratch: Optional[AttendScratch] = None,
     ) -> np.ndarray:
         """Run only the new tokens, appending K/V to per-sequence caches.
 
@@ -260,6 +261,12 @@ class TransformerDecoder(Module):
             auto (single-token multi-slot rounds only); a speculative verify
             round passes ``True`` so all ``m`` tokens of every slot advance
             in one bucketed attend instead of the per-sequence prefill loop.
+        scratch:
+            Optional persistent :class:`AttendScratch` owned by the caller
+            (the scheduler keeps one for the serve loop's lifetime, so round
+            temporaries stop reallocating every round).  ``None`` keeps the
+            old behaviour of one fresh scratch per batched round; either way
+            the outputs are bitwise identical.
 
         Returns hidden states of the new positions, ``(num_seqs, t_new, h)``.
         Appending a whole sequence to an empty cache computes exactly what
@@ -282,9 +289,17 @@ class TransformerDecoder(Module):
             hidden = self.embeddings(token_ids, position_offsets=offsets)
         # A multi-slot decode/verify round reuses one pad/mask scratch across
         # all layers (bucket shapes are identical layer to layer in a round).
+        # A caller-owned scratch persists across rounds; begin_round() drops
+        # the previous round's masks while keeping the buffer allocations.
         if batched_rounds is None:
             batched_rounds = token_ids.shape[0] > 1 and token_ids.shape[1] == 1
-        scratch = AttendScratch() if batched_rounds else None
+        if batched_rounds:
+            if scratch is None:
+                scratch = AttendScratch()
+            else:
+                scratch.begin_round()
+        else:
+            scratch = None
         for i in range(self.num_layers):
             layer_caches = [cache.layer(i) for cache in caches]
             hidden = getattr(self, f"layer_{i}").forward_incremental(

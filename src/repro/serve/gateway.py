@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -246,11 +246,19 @@ class _TokenBucket:
         self.last: Optional[float] = None
 
     def try_take(self, now: float) -> bool:
-        if self.last is not None:
+        if self.last is None or now < self.last:
+            # First take, or a clock that stepped backwards: the elapsed
+            # time is unknowable, so charge the current balance and
+            # re-anchor without refilling.
+            self.last = now
+        elif now > self.last:
+            # Refill is clamped to capacity (= burst), so a forward clock
+            # jump — real or injected via the fault-injection seam — mints
+            # at most one burst of tokens, never an unbounded backlog.
             self.tokens = min(
                 self.capacity, self.tokens + (now - self.last) * self.rate
             )
-        self.last = now
+            self.last = now
         if self.tokens >= 1.0:
             self.tokens -= 1.0
             return True
@@ -289,7 +297,6 @@ class Gateway:
     def __init__(self, engine, config: GatewayConfig) -> None:
         self.engine = engine
         self.config = config
-        self.clock = engine.clock
         self._by_key: Dict[str, TenantConfig] = {
             t.api_key: t for t in config.tenants
         }
@@ -302,6 +309,22 @@ class Gateway:
         self._inflight: Dict[str, set] = {t.name: set() for t in config.tenants}
         self._owner: Dict[str, str] = {}        # request_id -> tenant name
         self._settled: Dict[str, ResponseEnvelope] = {}
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The engine scheduler's *live* clock.
+
+        Resolved per call rather than captured at construction: the
+        fault-injection harness rebinds ``scheduler.clock`` in place (e.g.
+        ``clock_jump`` adds a forward offset), and per-tenant rate
+        accounting must tick on the same time base as the scheduler it
+        fronts — a gateway frozen on the original clock would refill token
+        buckets against a time the rest of the stack no longer uses.
+        """
+        scheduler = getattr(self.engine, "lm_scheduler", None)
+        if scheduler is not None:
+            return scheduler.clock
+        return self.engine.clock
 
     # ------------------------------------------------------------------ #
     # Tenant bookkeeping

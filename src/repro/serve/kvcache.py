@@ -481,6 +481,12 @@ class LayerKVCache:
         # grown open buffer instead of sealing, so a rollback of rejected
         # draft tokens never has to reopen a quantized page.
         self._hold_seals = False
+        # Reusable K/V assembly buffers for the batched round path (kv_many):
+        # grown geometrically, so a steady decode loop stops allocating a
+        # fresh concatenation every layer every round.  Callers read the
+        # assembled views within one attend only (same contract as the
+        # open-buffer view _finish already exposes).
+        self._assembly: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Append (quantize-on-append)
@@ -609,6 +615,7 @@ class LayerKVCache:
         self._open_len = 0
         self._seq_len = 0
         self._hold_seals = False
+        self._assembly.clear()
 
     # ------------------------------------------------------------------ #
     # Rollback (speculative decoding)
@@ -776,22 +783,45 @@ class LayerKVCache:
                 offset += nk + nv
         return [
             (
-                cache._finish(decoded_k[i], cache._open_k),
-                cache._finish(decoded_v[i], cache._open_v),
+                cache._finish(decoded_k[i], cache._open_k, reuse="k"),
+                cache._finish(decoded_v[i], cache._open_v, reuse="v"),
             )
             for i, cache in enumerate(caches)
         ]
 
-    def _finish(self, decoded_pages: List[np.ndarray], open_buffer: np.ndarray) -> np.ndarray:
+    def _finish(
+        self,
+        decoded_pages: List[np.ndarray],
+        open_buffer: np.ndarray,
+        reuse: Optional[str] = None,
+    ) -> np.ndarray:
         """Concatenate decoded sealed pages with the open-page rows.
 
         Callers only read the assembled K/V within one attend, so exposing a
-        view of the reusable open buffer (rather than a copy) is safe.
+        view of the reusable open buffer (rather than a copy) is safe.  The
+        batched round path passes ``reuse`` ("k"/"v") to assemble into this
+        cache's persistent buffer instead of a fresh ``np.concatenate`` —
+        same copies, no per-layer-per-round allocation; the returned view is
+        only valid until the next round assembles over it.
         """
         parts = list(decoded_pages)
         if self._open_len:
             parts.append(open_buffer[:, : self._open_len])
-        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+        if len(parts) == 1:
+            return parts[0]
+        if reuse is None:
+            return np.concatenate(parts, axis=1)
+        total = sum(part.shape[1] for part in parts)
+        buffer = self._assembly.get(reuse)
+        if buffer is None or buffer.shape[1] < total:
+            capacity = max(total, 2 * (0 if buffer is None else buffer.shape[1]))
+            buffer = np.empty((self.num_heads, capacity, self.head_dim))
+            self._assembly[reuse] = buffer
+        offset = 0
+        for part in parts:
+            buffer[:, offset : offset + part.shape[1]] = part
+            offset += part.shape[1]
+        return buffer[:, :total]
 
     # ------------------------------------------------------------------ #
     # Accounting

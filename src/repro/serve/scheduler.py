@@ -70,6 +70,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.attention import AttendScratch
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.batcher import QueuedRequest
 from repro.serve.errors import AdmissionRejectedError, QueueFullError
@@ -233,6 +234,16 @@ class ContinuousBatchingScheduler:
         boundaries then land exactly on page seals, so every position
         attends the same mix of quantized/fp32 past either way).  ``None``
         (default) prefills whole prompts in one pass, exactly as before.
+    decode_micro_rounds:
+        Run up to this many plain decode micro-rounds per :meth:`step`
+        (default 1, the historical behaviour).  Amortises the per-step
+        bookkeeping (deadline sweeps, admission, stats records) over
+        several batched model passes when no speculation is configured —
+        the speculative path re-plans proposals every round and therefore
+        ignores this knob.  Trade-off: admission, cancellation and
+        deadline checks happen between steps, so a value of ``m`` makes
+        those up to ``m`` tokens coarser; keep it small (2–4) when
+        latency SLOs are tight.
     """
 
     def __init__(
@@ -249,9 +260,13 @@ class ContinuousBatchingScheduler:
         admission: Optional[AdmissionPolicy] = None,
         health_monitor=None,
         prefill_chunk_tokens: Optional[int] = None,
+        decode_micro_rounds: int = 1,
     ) -> None:
         if num_slots < 1:
             raise ServingError("num_slots must be >= 1")
+        if decode_micro_rounds < 1:
+            raise ServingError("decode_micro_rounds must be >= 1")
+        self.decode_micro_rounds = int(decode_micro_rounds)
         self.repository = repository
         self.num_slots = int(num_slots)
         self.cache_config = cache_config or KVCacheConfig(bits=repository.bits)
@@ -325,6 +340,11 @@ class ContinuousBatchingScheduler:
         self._deadline_watch = bool(
             admission is not None and admission.queue_timeout_s is not None
         )
+        # One AttendScratch for the scheduler's lifetime: decode/verify
+        # rounds reuse the padded K/V buffers, masks and fused-QKV/score
+        # temporaries round after round instead of reallocating per round
+        # (see AttendScratch for the persistence contract).
+        self._round_scratch = AttendScratch()
         self.admitted = 0
         self.retired = 0
         self.cancelled = 0
@@ -1524,8 +1544,15 @@ class ContinuousBatchingScheduler:
                 decoded += self._verify_round(slots, proposals)
             else:
                 # No slot speculates this round: the classic single-token
-                # path, numerically untouched.
+                # path, numerically untouched.  Extra micro-rounds amortise
+                # the per-step bookkeeping over several batched passes;
+                # finished slots drop out between micro-iterations.
                 decoded += self._plain_round(slots)
+                for _ in range(self.decode_micro_rounds - 1):
+                    alive = [slot for slot in slots if not slot.done]
+                    if not alive:
+                        break
+                    decoded += self._plain_round(alive)
         return decoded
 
     def _plain_round(self, slots: List[_Slot]) -> int:
@@ -1537,7 +1564,10 @@ class ContinuousBatchingScheduler:
             )
             caches = [slot.cache for slot in slots]
             log_probs = slots[0].entry.model.log_probs_incremental(
-                step_tokens, caches, tracer=tracer if tracer.enabled else None
+                step_tokens,
+                caches,
+                tracer=tracer if tracer.enabled else None,
+                scratch=self._round_scratch,
             )
             now = self.clock()
             with tracer.span("sample"):
@@ -1569,6 +1599,15 @@ class ContinuousBatchingScheduler:
         page_size = self.cache_config.page_size
         max_tokens = []
         for slot in slots:
+            if slot.prefilling or not slot.generated:
+                # A slot mid-chunked-prefill has no emitted token to extend
+                # and its cache holds only a prompt prefix: it must neither
+                # receive draft proposals nor join a verify batch.  The
+                # round loop already filters prefilling slots, but plan()
+                # would otherwise read slot.generated[-1] after paying the
+                # calibration cost — guard here so every caller is safe.
+                max_tokens.append(0)
+                continue
             depth = min(
                 cap, slot.request.max_new_tokens - len(slot.generated) - 1
             )
@@ -1677,6 +1716,7 @@ class ContinuousBatchingScheduler:
                 caches,
                 batched_rounds=True,
                 tracer=tracer if tracer.enabled else None,
+                scratch=self._round_scratch,
             )
             now = self.clock()
             emitted_total = 0

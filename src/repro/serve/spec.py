@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.models.zoo import DRAFT_NAME_SEPARATOR, parse_draft_name
 from repro.nn import functional as F
+from repro.nn.attention import AttendScratch
 from repro.serve.errors import ServingError
 from repro.serve.kvcache import KVCacheConfig, SequenceKVCache, cache_for_model
 from repro.serve.repository import ModelRepository, PackedModel
@@ -240,6 +241,10 @@ class SpeculativeDecoder:
         )
         self._pairs: Dict[Tuple[str, str], Optional[_DraftPair]] = {}
         self.pair_errors: Dict[Tuple[str, str], Exception] = {}
+        # Persistent round scratch for the draft's batched single-token
+        # pass, mirroring the scheduler's: pad/mask/temporary buffers
+        # survive across rounds instead of reallocating each plan() call.
+        self._round_scratch = AttendScratch()
 
     # ------------------------------------------------------------------ #
     # Pairing / calibration
@@ -303,15 +308,15 @@ class SpeculativeDecoder:
                 0.0, 1.0 / np.sqrt(hidden), size=(hidden, self.config.feature_width * hidden)
             )
         emb = draft.backbone.embeddings.token_embedding.weight.data
-        rollouts = self._calibration_rollouts(target, vocab)
-        heads = self._fit_heads(draft, rollouts, feature_r, emb, vocab)
+        rollouts = self._calibration_rollouts(target, vocab, draft)
+        heads = self._fit_heads(rollouts, feature_r, emb, vocab)
         return _DraftPair(
             entry=draft_entry, heads=heads, feature_r=feature_r, emb=emb, vocab=vocab
         )
 
     def _calibration_rollouts(
-        self, target, vocab: int
-    ) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+        self, target, vocab: int, draft
+    ) -> List[Tuple[np.ndarray, np.ndarray, int, np.ndarray]]:
         """Seeded greedy rollouts of the target — the on-policy fitting set.
 
         Two prompt-length groups (short prompts rolled long, longer prompts
@@ -319,10 +324,20 @@ class SpeculativeDecoder:
         deeper in-context ones.  Rollouts decode through incremental caches
         at the *serving* precision (``target_cache_config``), so both the
         trajectories and the recorded per-position log-probs are exactly what
-        the scheduler's decode rounds will produce.  Returns
-        ``(sequences, log_probs, prompt_len)`` per group, where
-        ``log_probs[:, i]`` is the target's distribution at position
-        ``prompt_len - 1 + i``.
+        the scheduler's decode rounds will produce.
+
+        The draft hidden states are captured the same way :meth:`plan` will
+        produce them: a batched single-token incremental pass per step,
+        attending *borrowed* views of the target's quantized pages.  A clean
+        full-attention forward is **not** a substitute — quantize-on-append
+        caches perturb the served hidden states enough to flip a third of
+        greedy argmaxes, so heads fit on fp hidden states systematically
+        mispredict the quantized trajectory they are scored against.
+
+        Returns ``(sequences, log_probs, prompt_len, hiddens)`` per group,
+        where ``log_probs[:, i]`` is the target's distribution at position
+        ``prompt_len - 1 + i`` and ``hiddens[:, s]`` is the draft's
+        borrowed-cache hidden state after consuming generated token ``s``.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.calibration_seed)
@@ -354,15 +369,31 @@ class SpeculativeDecoder:
                 cache_for_model(target, self.target_cache_config, pool=pool)
                 for _ in range(count)
             ]
+            depth = draft.backbone.num_layers
             try:
                 log_probs = target.log_probs_incremental(
                     prompts, caches, last_only=True
                 )[:, -1, :]
                 columns = [prompts]
                 distributions = [log_probs]
+                hiddens = []
                 for _ in range(steps):
                     step_tokens = np.argmax(log_probs, axis=-1).astype(np.int64)
                     columns.append(step_tokens[:, None])
+                    # The draft sees this token exactly as plan() will: a
+                    # borrowed view of the target's pages *before* the
+                    # target has consumed it.
+                    borrowed = [
+                        _BorrowedSequenceCache(cache, depth) for cache in caches
+                    ]
+                    hiddens.append(
+                        draft.backbone.forward_incremental(
+                            step_tokens[:, None],
+                            borrowed,
+                            batched_rounds=True,
+                            scratch=self._round_scratch,
+                        )[:, -1, :]
+                    )
                     log_probs = target.log_probs_incremental(
                         step_tokens[:, None], caches
                     )[:, -1, :]
@@ -375,42 +406,46 @@ class SpeculativeDecoder:
                     np.concatenate(columns, axis=1),
                     np.stack(distributions, axis=1),
                     prompt_len,
+                    np.stack(hiddens, axis=1),
                 )
             )
         return groups
 
     def _fit_heads(
-        self, draft, rollouts, feature_r, emb, vocab: int
+        self, rollouts, feature_r, emb, vocab: int
     ) -> List[np.ndarray]:
         """Least-squares heads: draft hidden (+ token conditioning) → target log-probs.
 
-        Head ``j`` (1-based) maps the draft hidden state at position ``p`` —
-        plus the embeddings of the ``j-1`` *true* intermediate tokens — onto
-        the target's serving distribution for token ``p + j``.  At inference
-        the intermediate tokens are the earlier heads' proposals; since head
-        ``j`` is only consulted when those were accepted, the inference-time
-        input distribution matches the calibration one exactly.
+        Head ``j`` (1-based) maps the draft's borrowed-cache hidden state
+        after consuming generated token ``s`` — plus the embeddings of the
+        ``j-1`` *true* intermediate tokens — onto the target's serving
+        distribution for token ``s + j``.  At inference the intermediate
+        tokens are the earlier heads' proposals; since head ``j`` is only
+        consulted when those were accepted, and the hidden states come from
+        the same borrowed-quantized-page pass ``plan()`` runs, the
+        inference-time input distribution matches the calibration one
+        exactly.
         """
         k = self.config.num_speculative_tokens
         x_rows: List[List[np.ndarray]] = [[] for _ in range(k)]
         y_rows: List[List[np.ndarray]] = [[] for _ in range(k)]
-        for seqs, log_probs, prompt_len in rollouts:
+        for seqs, log_probs, prompt_len, hiddens in rollouts:
             seqs = np.asarray(seqs, dtype=np.int64)
-            total = seqs.shape[1]
-            hidden = draft.backbone(seqs)                       # (n, T, h)
-            start = prompt_len - 1  # first position the rollout scored
-            positions = np.arange(start, total - k)
-            base = hidden[:, positions].reshape(-1, hidden.shape[-1])
+            steps = hiddens.shape[1]
+            # Shared row set: hidden after token ``s`` (s = 0..steps-k) so
+            # every head has its target distribution and chain tokens.
+            positions = np.arange(0, steps - k + 1)
+            base = hiddens[:, positions].reshape(-1, hiddens.shape[-1])
             base = self._expand(base, feature_r)
             for j in range(k):
                 parts = [base]
                 for i in range(1, j + 1):
-                    tokens = seqs[:, positions + i].reshape(-1)
+                    tokens = seqs[:, prompt_len + positions + i].reshape(-1)
                     parts.append(emb[tokens])
                 parts.append(np.ones((base.shape[0], 1)))
                 x_rows[j].append(np.concatenate(parts, axis=1))
                 y_rows[j].append(
-                    log_probs[:, positions + j - start].reshape(-1, vocab)
+                    log_probs[:, positions + 1 + j].reshape(-1, vocab)
                 )
         heads = []
         for j in range(k):
@@ -459,7 +494,7 @@ class SpeculativeDecoder:
         tokens = np.array([[slot.generated[-1]] for _, slot in staged], dtype=np.int64)
         borrowed = [_BorrowedSequenceCache(slot.cache, depth) for _, slot in staged]
         hidden = pair.model.backbone.forward_incremental(
-            tokens, borrowed, batched_rounds=True
+            tokens, borrowed, batched_rounds=True, scratch=self._round_scratch
         )[:, -1, :]
         self._propose(pair, hidden, [index for index, _ in staged], max_tokens, proposals)
         return proposals

@@ -1,0 +1,112 @@
+"""Round-scratch reuse property: persistent buffers are bitwise-clean.
+
+The continuous-batching scheduler keeps one ``AttendScratch`` alive across
+decode/verify rounds and hands it back to ``forward_incremental`` every
+round.  Buffers persist while bucket shapes churn, so any stale byte that
+leaked into a live lane would show up as a logits diff.  The property here
+is the contract the scheduler relies on: a decode trajectory driven through
+one persistent scratch is **bitwise identical** to the same trajectory run
+with a fresh scratch per round, across changing bucket shapes, m-token
+rounds, fp32 and packed caches.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.zoo import build_causal_lm
+from repro.nn.attention import AttendScratch
+from repro.serve.kvcache import KVCacheConfig, cache_for_model
+
+VOCAB = 96
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_causal_lm("gpt2-xl", seed=0)
+
+
+def run_rounds(model, prompts, round_widths, config, seed, scratch):
+    """Prefill ``prompts`` then drive ``len(round_widths)`` batched rounds.
+
+    Each round feeds ``round_widths[i]`` fresh tokens per sequence (an
+    m-token verify-style round when > 1).  Returns the per-round logits.
+    """
+    caches = []
+    for prompt in prompts:
+        cache = cache_for_model(model, config)
+        model.log_probs_incremental(prompt[None], [cache])
+        caches.append(cache)
+    rng = np.random.default_rng(seed)
+    outputs = []
+    for width in round_widths:
+        step = rng.integers(0, VOCAB, size=(len(prompts), width))
+        outputs.append(
+            model.log_probs_incremental(
+                step, caches, batched_rounds=True, scratch=scratch
+            )
+        )
+    return outputs
+
+
+class TestPersistentScratchBitwise:
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=1, max_value=20), min_size=2, max_size=5
+        ),
+        round_widths=st.lists(
+            st.integers(min_value=1, max_value=3), min_size=2, max_size=5
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        quantize=st.booleans(),
+    )
+    def test_rounds_match_fresh_scratch(
+        self, model, lengths, round_widths, seed, quantize
+    ):
+        rng = np.random.default_rng(seed)
+        prompts = [rng.integers(0, VOCAB, size=n) for n in lengths]
+        config = KVCacheConfig(bits=4, page_size=8, quantize=quantize)
+        persistent = AttendScratch()
+        reused = run_rounds(
+            model, prompts, round_widths, config, seed, persistent
+        )
+        fresh = run_rounds(model, prompts, round_widths, config, seed, None)
+        for got, want in zip(reused, fresh):
+            np.testing.assert_array_equal(got, want)
+
+    def test_shrinking_and_growing_buckets(self, model):
+        """Alternate wide and narrow rounds so buffers shrink then regrow."""
+        rng = np.random.default_rng(11)
+        prompts = [rng.integers(0, VOCAB, size=n) for n in (3, 17, 9, 26)]
+        config = KVCacheConfig(bits=4, page_size=4)
+        widths = [3, 1, 2, 1, 3]
+        reused = run_rounds(model, prompts, widths, config, 11, AttendScratch())
+        fresh = run_rounds(model, prompts, widths, config, 11, None)
+        for got, want in zip(reused, fresh):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestScratchBufferSemantics:
+    def test_buffer_reused_for_same_key_and_shape(self):
+        scratch = AttendScratch()
+        first = scratch.buffer("qkv", (2, 3))
+        scratch.begin_round()
+        assert scratch.buffer("qkv", (2, 3)) is first
+        # A shape change must hand back a different (correctly sized) array.
+        grown = scratch.buffer("qkv", (4, 3))
+        assert grown.shape == (4, 3)
+        assert grown is not first
+
+    def test_begin_round_clears_masks_only(self):
+        scratch = AttendScratch()
+        mask = scratch.mask("bucket", lambda: np.zeros((5, 5)))
+        pads = scratch.pads("bucket", (2, 4, 5, 16))
+        buf = scratch.buffer("scores", (2, 5))
+        scratch.begin_round()
+        assert scratch._masks == {}
+        assert scratch.pads("bucket", (2, 4, 5, 16)) is pads
+        assert scratch.buffer("scores", (2, 5)) is buf
+        # Masks encode per-round lengths, so they rebuild — not replay.
+        rebuilt = scratch.mask("bucket", lambda: np.ones((5, 5)))
+        assert rebuilt is not mask

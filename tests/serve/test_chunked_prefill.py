@@ -8,6 +8,7 @@ from repro.serve.kvcache import KVCacheConfig
 from repro.serve.repository import ModelRepository
 from repro.serve.requests import InferenceRequest, ServingError, WorkloadFamily
 from repro.serve.scheduler import ContinuousBatchingScheduler
+from repro.serve.spec import SpeculativeConfig, SpeculativeDecoder
 
 
 @pytest.fixture(scope="module")
@@ -214,3 +215,66 @@ class TestPrefixSharingWithChunks:
         # The follow-up adopted sealed pages instead of re-prefilling.
         assert scheduler.stats.summary().prefix_pages_attached > 0
         assert out_follow == out_first
+
+
+#: Cheap calibration: the draft heads only need to exist and propose.
+SPEC_CONFIG = SpeculativeConfig(
+    num_speculative_tokens=2,
+    calibration_sequences=6,
+    calibration_tokens=12,
+    calibration_prompt_len=4,
+)
+
+
+class TestSpeculationDuringChunkedPrefill:
+    """A slot mid-chunked-prefill must never join the speculative path.
+
+    Its cache holds only a prompt prefix and it has emitted no token to
+    extend, so draft proposals for it would read ``slot.generated[-1]``
+    (IndexError pre-guard) and a verify batch would attend a half-built
+    prefix.  The guard lives in ``_plan_speculation`` so *every* caller is
+    safe, not just the round loop's prefilling-slot filter.
+    """
+
+    @pytest.fixture(scope="class")
+    def decoder(self, repo):
+        config = KVCacheConfig(bits=4, page_size=8, prefix_sharing=False)
+        decoder = SpeculativeDecoder(
+            repo, SPEC_CONFIG, target_cache_config=config
+        )
+        decoder.warm("gpt2-xl")
+        return decoder
+
+    def test_mid_prefill_slot_gets_no_proposals(self, repo, decoder):
+        scheduler = ContinuousBatchingScheduler(
+            repo, num_slots=1,
+            cache_config=KVCacheConfig(bits=4, page_size=8,
+                                       prefix_sharing=False),
+            prefill_chunk_tokens=8,
+            speculative=decoder,
+        )
+        scheduler.submit(gen_request(seq_len=56, max_new_tokens=8))
+        scheduler.step()  # first chunk only
+        slot = next(s for s in scheduler._slots if s is not None)
+        assert slot.prefilling and not slot.generated
+        # Direct call: the guard must hand back an empty proposal list
+        # instead of raising on the slot's empty ``generated`` history.
+        assert scheduler._plan_speculation([slot]) == [[]]
+
+    def test_chunked_speculative_token_identity(self, repo, decoder):
+        """Chunked prefill × speculation = plain unchunked greedy output."""
+        config = KVCacheConfig(bits=4, page_size=8, prefix_sharing=False)
+        prompts = [np.random.default_rng(s).integers(0, 96, size=37)
+                   for s in (21, 22)]
+
+        def run(chunk_tokens, speculative):
+            scheduler = ContinuousBatchingScheduler(
+                repo, num_slots=2, cache_config=config,
+                prefill_chunk_tokens=chunk_tokens, speculative=speculative,
+            )
+            reqs = [InferenceRequest("gpt2-xl", WorkloadFamily.LM, p,
+                                     max_new_tokens=10) for p in prompts]
+            out = run_to_completion(scheduler, reqs)
+            return [out[r.request_id] for r in reqs]
+
+        assert run(8, decoder) == run(None, None)

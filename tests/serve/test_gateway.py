@@ -352,3 +352,61 @@ class TestEnvelopeTypes:
             "retryable": True,
         }
         assert not envelope.ok
+
+
+class TestClockJumpResilience:
+    """A fault-injected clock jump must not mint unlimited rate tokens.
+
+    Two halves to the bug this pins: the bucket refill clamps to ``burst``
+    (a jump mints at most one burst, never an unbounded backlog), and the
+    gateway reads the clock *through the scheduler* — ``FaultInjector``
+    rebinds ``scheduler.clock``, so a statically captured engine clock
+    would silently keep pre-jump time and split the accounting.
+    """
+
+    def test_gateway_tracks_fault_injected_clock(self, repo):
+        from repro.serve.faultinject import (
+            FaultInjector,
+            FaultSchedule,
+            FaultSpec,
+        )
+
+        gateway, clock = build_gateway(repo)
+        scheduler = gateway.engine.lm_scheduler
+        schedule = FaultSchedule(
+            (FaultSpec("clock_jump", phase="round", at_count=1, jump_s=3600.0),)
+        )
+        FaultInjector(schedule).attach(scheduler)
+        # The gateway must read time through the scheduler's (re-bound)
+        # clock, not a reference captured at construction.
+        assert gateway.clock() == scheduler.clock()
+        # Drain the burst (2), confirm the limiter bites pre-jump.
+        assert gateway.submit("key-interactive", lm_request(seed=1)).status == 202
+        assert gateway.submit("key-interactive", lm_request(seed=2)).status == 202
+        assert gateway.submit("key-interactive", lm_request(seed=3)).status == 429
+        # Drain the accepted work; the first decode round fires the jump.
+        gateway.engine.run_until_idle()
+        assert scheduler.clock() == clock() + 3600.0
+        assert gateway.clock() == scheduler.clock()
+        # One hour "passed" at 2 rps — but the refill clamps to burst, so
+        # exactly the burst is admitted and the limiter still bites.
+        assert gateway.submit("key-interactive", lm_request(seed=4)).status == 202
+        assert gateway.submit("key-interactive", lm_request(seed=5)).status == 202
+        sixth = gateway.submit("key-interactive", lm_request(seed=6))
+        assert sixth.status == 429
+        assert sixth.error.code == "RateLimitedError"
+
+    def test_token_bucket_clamps_jump_and_survives_backwards_clock(self):
+        from repro.serve.gateway import _TokenBucket
+
+        bucket = _TokenBucket(rate=2.0, burst=2)
+        assert bucket.try_take(0.0) and bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # A huge forward jump mints at most one burst of tokens.
+        assert bucket.try_take(1e6) and bucket.try_take(1e6)
+        assert not bucket.try_take(1e6)
+        # A backwards step re-anchors without refilling (elapsed time is
+        # unknowable) and never raises or goes negative.
+        assert not bucket.try_take(1e6 - 50.0)
+        # Time moving forward from the re-anchor refills normally.
+        assert bucket.try_take(1e6 - 49.0)

@@ -344,3 +344,36 @@ class TestEngineWiring:
         assert engine.pending == 1
         engine.run_until_idle()
         assert engine.pending == 0
+
+
+class TestDecodeMicroRounds:
+    """decode_micro_rounds batches several plain rounds into one step()."""
+
+    def test_token_identity_and_fewer_steps(self, repo):
+        def run(micro_rounds):
+            scheduler = ContinuousBatchingScheduler(
+                repo, num_slots=2,
+                cache_config=KVCacheConfig(bits=4, page_size=8),
+                decode_micro_rounds=micro_rounds,
+            )
+            requests = [gen_request(seq_len=11, max_new_tokens=9, seed=s)
+                        for s in (41, 42)]
+            ids = [scheduler.submit(r) for r in requests]
+            steps = 0
+            outputs = {}
+            while len(scheduler):
+                for result in scheduler.step():
+                    outputs[result.request_id] = result.output["generated_tokens"]
+                steps += 1
+                assert steps < 100
+            return [outputs[i] for i in ids], steps
+
+        single_tokens, single_steps = run(1)
+        multi_tokens, multi_steps = run(3)
+        assert multi_tokens == single_tokens
+        assert multi_steps < single_steps
+
+    def test_validation(self, repo):
+        with pytest.raises(ServingError):
+            ContinuousBatchingScheduler(repo, num_slots=1,
+                                        decode_micro_rounds=0)
